@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the protocol engines themselves (loopback
+//! harness, real small-group cryptography): host-time cost of a join
+//! and a leave per protocol — a sanity check that the engines scale as
+//! Table 1 predicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_core::testkit::Loopback;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_event");
+    for kind in ProtocolKind::all() {
+        for n in [8usize, 32] {
+            group.bench_function(BenchmarkId::new(kind.name(), n), |b| {
+                b.iter_with_setup(
+                    || {
+                        let ids: Vec<usize> = (0..n + 1).collect();
+                        let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+                        lb.bootstrap(&ids[..n], 42);
+                        (lb, ids)
+                    },
+                    |(mut lb, ids)| {
+                        lb.install_view(ids.clone(), vec![n], vec![]);
+                        std::hint::black_box(lb.common_secret());
+                    },
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leave_event");
+    for kind in ProtocolKind::all() {
+        for n in [8usize, 32] {
+            group.bench_function(BenchmarkId::new(kind.name(), n), |b| {
+                b.iter_with_setup(
+                    || {
+                        let ids: Vec<usize> = (0..n).collect();
+                        let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+                        lb.bootstrap(&ids, 42);
+                        lb
+                    },
+                    |mut lb| {
+                        let leaver = n / 2;
+                        let members: Vec<usize> =
+                            (0..n).filter(|&c| c != leaver).collect();
+                        lb.install_view(members, vec![], vec![leaver]);
+                        std::hint::black_box(lb.common_secret());
+                    },
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_join, bench_leave
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the simulation engine itself: host time to
+//! run one full virtual experiment (formation + join) — keeps the
+//! reproduction harness honest about its own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gkap_core::experiment::{run_join, ExperimentConfig, SuiteKind};
+use gkap_core::protocols::ProtocolKind;
+
+fn bench_sim_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_join");
+    for kind in [ProtocolKind::Tgdh, ProtocolKind::Bd] {
+        for n in [10usize, 30] {
+            group.bench_function(BenchmarkId::new(kind.name(), n), |b| {
+                b.iter(|| {
+                    let cfg = ExperimentConfig::lan(kind, SuiteKind::Sim512);
+                    let outcome = run_join(&cfg, n);
+                    assert!(outcome.ok);
+                    std::hint::black_box(outcome.elapsed_ms)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sim_wan(c: &mut Criterion) {
+    c.bench_function("simulated_wan_join_tgdh_20", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::wan(ProtocolKind::Tgdh, SuiteKind::Sim512);
+            let outcome = run_join(&cfg, 20);
+            assert!(outcome.ok);
+            std::hint::black_box(outcome.elapsed_ms)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_join, bench_sim_wan
+}
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! `repro` — regenerates every table and figure of the paper (plus the
+//! extension studies) from the simulation.
+//!
+//! ```text
+//! cargo run --release -p gkap-bench --bin repro -- all
+//! cargo run --release -p gkap-bench --bin repro -- fig11
+//! ```
+//!
+//! Output: aligned tables on stdout and CSV files under `results/`.
+
+use std::path::PathBuf;
+
+use gkap_bench::{emit, figure_sizes, figures, micro, wan_sizes};
+use gkap_core::costs_table::render_table1;
+use gkap_core::experiment::SuiteKind;
+use gkap_gcs::testbed;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn cmd_table1() {
+    for (n, m, p) in [(20usize, 5usize, 5usize), (50, 10, 10)] {
+        println!("{}", render_table1(n, m, p));
+    }
+    std::fs::create_dir_all(out_dir()).expect("results dir");
+    std::fs::write(out_dir().join("table1.txt"), render_table1(50, 10, 10)).expect("write");
+    println!("[written: results/table1.txt]");
+}
+
+fn cmd_testbed() {
+    let wan = testbed::wan();
+    println!("# Figure 13 — WAN testbed");
+    for s in 0..wan.topology.site_count() {
+        let machines = (0..wan.topology.machine_count())
+            .filter(|&m| wan.topology.machine(m).site == s)
+            .count();
+        println!("site {} = {:>4}: {machines} machines", s, wan.topology.site_name(s));
+    }
+    for (a, b) in [(0usize, 1usize), (1, 2), (2, 0)] {
+        println!(
+            "RTT {} – {}: {:.0} ms",
+            wan.topology.site_name(a),
+            wan.topology.site_name(b),
+            wan.topology.site_latency(a, b).as_millis_f64() * 2.0
+        );
+    }
+}
+
+fn cmd_microlan() {
+    println!("# §6.1.1 micro-parameters (LAN)");
+    println!("{}", micro::render(&micro::lan_micro()));
+}
+
+fn cmd_microwan() {
+    println!("# §6.2.1 micro-parameters (WAN)");
+    println!("{}", micro::render(&micro::wan_micro()));
+}
+
+fn cmd_fig11(reps: u32) {
+    let sizes = figure_sizes();
+    for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
+        let fig = figures::fig11_join_lan(suite, &sizes, reps);
+        let stem = match suite {
+            SuiteKind::Sim512 => "fig11_join_lan_512",
+            _ => "fig11_join_lan_1024",
+        };
+        emit(&fig, &out_dir(), stem);
+    }
+}
+
+fn cmd_fig12(reps: u32) {
+    let sizes = figure_sizes();
+    for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
+        let fig = figures::fig12_leave_lan(suite, &sizes, reps);
+        let stem = match suite {
+            SuiteKind::Sim512 => "fig12_leave_lan_512",
+            _ => "fig12_leave_lan_1024",
+        };
+        emit(&fig, &out_dir(), stem);
+    }
+}
+
+fn cmd_fig14(reps: u32) {
+    let sizes = wan_sizes();
+    emit(&figures::fig14_join_wan(&sizes, reps), &out_dir(), "fig14_join_wan_512");
+    emit(&figures::fig14_leave_wan(&sizes, reps), &out_dir(), "fig14_leave_wan_512");
+}
+
+fn cmd_partition_merge(reps: u32) {
+    let sizes: Vec<usize> = vec![4, 8, 12, 20, 30, 40, 50];
+    emit(
+        &figures::partition_figure(&testbed::lan(), "Extension — Partition (half the group), LAN, DH 512", &sizes, reps),
+        &out_dir(),
+        "ext_partition_lan_512",
+    );
+    emit(
+        &figures::merge_figure(&testbed::lan(), "Extension — Merge (two halves), LAN, DH 512", &sizes, reps),
+        &out_dir(),
+        "ext_merge_lan_512",
+    );
+    let wan_sizes: Vec<usize> = vec![4, 8, 14, 26, 40];
+    emit(
+        &figures::partition_figure(&testbed::wan(), "Extension — Partition (half the group), WAN, DH 512", &wan_sizes, reps),
+        &out_dir(),
+        "ext_partition_wan_512",
+    );
+    emit(
+        &figures::merge_figure(&testbed::wan(), "Extension — Merge (two halves), WAN, DH 512", &wan_sizes, reps),
+        &out_dir(),
+        "ext_merge_wan_512",
+    );
+}
+
+fn cmd_crossover(reps: u32) {
+    let delays: Vec<u64> = vec![0, 5, 10, 20, 35, 50, 75, 100, 150, 200];
+    emit(&figures::crossover_figure(20, &delays, reps), &out_dir(), "ext_crossover_join_n20");
+}
+
+fn cmd_ablate_flow(reps: u32) {
+    let budgets: Vec<usize> = vec![1, 2, 5, 10, 20, 50];
+    emit(&figures::flow_control_ablation(50, &budgets, reps), &out_dir(), "ablate_flow_bd_wan_n50");
+}
+
+fn cmd_ablate_sponsor() {
+    emit(&figures::sponsor_location_ablation(26), &out_dir(), "ablate_sponsor_wan_n26");
+}
+
+fn cmd_ablate_tree() {
+    emit(&figures::tree_shape_ablation(24, 30), &out_dir(), "ablate_tree_shape_n24");
+}
+
+fn cmd_ablate_sig(reps: u32) {
+    emit(&figures::signature_scheme_ablation(26, reps), &out_dir(), "ablate_sig_join_n26");
+}
+
+fn cmd_ablate_confirm(reps: u32) {
+    emit(&figures::key_confirmation_ablation(20, reps), &out_dir(), "ablate_confirm_join_n20");
+}
+
+fn cmd_ablate_avl() {
+    emit(&figures::avl_policy_ablation(20, 25), &out_dir(), "ablate_avl_policy_n20");
+}
+
+fn cmd_ablate_hetero(reps: u32) {
+    emit(&figures::hetero_machine_ablation(26, reps), &out_dir(), "ablate_hetero_join_n26");
+}
+
+fn cmd_ika(reps: u32) {
+    let sizes: Vec<usize> = vec![2, 4, 8, 13, 20, 30, 40, 50];
+    emit(
+        &figures::ika_figure(&testbed::lan(), "Extension — real initial key agreement, LAN, DH 512", &sizes, reps),
+        &out_dir(),
+        "ext_ika_lan_512",
+    );
+    let wan_sizes: Vec<usize> = vec![2, 4, 8, 14, 26];
+    emit(
+        &figures::ika_figure(&testbed::wan(), "Extension — real initial key agreement, WAN, DH 512", &wan_sizes, reps),
+        &out_dir(),
+        "ext_ika_wan_512",
+    );
+}
+
+fn cmd_scale(reps: u32) {
+    let sizes: Vec<usize> = vec![10, 25, 50, 75, 100];
+    emit(&figures::scale_figure(&sizes, reps), &out_dir(), "ext_scale_join_lan_512");
+}
+
+fn cmd_lossy(reps: u32) {
+    let pcts: Vec<u32> = vec![0, 1, 2, 5, 10, 20];
+    emit(&figures::lossy_links_figure(20, &pcts, reps), &out_dir(), "ext_lossy_wan_join_n20");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let reps: u32 = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    let t0 = std::time::Instant::now();
+    match cmd {
+        "table1" => cmd_table1(),
+        "testbed" => cmd_testbed(),
+        "microlan" => cmd_microlan(),
+        "microwan" => cmd_microwan(),
+        "fig11" => cmd_fig11(reps),
+        "fig12" => cmd_fig12(reps),
+        "fig14" => cmd_fig14(reps),
+        "partition-merge" => cmd_partition_merge(reps),
+        "crossover" => cmd_crossover(reps),
+        "ablate-flow" => cmd_ablate_flow(reps),
+        "ablate-sponsor" => cmd_ablate_sponsor(),
+        "ablate-tree" => cmd_ablate_tree(),
+        "ablate-sig" => cmd_ablate_sig(reps),
+        "ablate-avl" => cmd_ablate_avl(),
+        "ablate-confirm" => cmd_ablate_confirm(reps),
+        "lossy" => cmd_lossy(reps),
+        "ika" => cmd_ika(reps),
+        "scale" => cmd_scale(reps),
+        "ablate-hetero" => cmd_ablate_hetero(reps),
+        "all" => {
+            cmd_table1();
+            cmd_testbed();
+            cmd_microlan();
+            cmd_microwan();
+            cmd_fig11(reps);
+            cmd_fig12(reps);
+            cmd_fig14(reps);
+            cmd_partition_merge(reps);
+            cmd_crossover(reps);
+            cmd_ablate_flow(reps);
+            cmd_ablate_sponsor();
+            cmd_ablate_tree();
+            cmd_ablate_sig(reps);
+            cmd_ablate_avl();
+            cmd_lossy(reps);
+            cmd_ablate_hetero(reps);
+            cmd_ablate_confirm(reps);
+            cmd_ika(reps);
+            cmd_scale(reps);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!(
+                "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
+                 partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl ablate-hetero ablate-confirm lossy ika scale [--reps N]"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro {cmd} done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

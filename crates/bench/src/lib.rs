@@ -1,0 +1,44 @@
+//! Shared harness code for the reproduction binary and the Criterion
+//! benches: figure builders for every experiment in DESIGN.md's index,
+//! plus the micro-benchmarks of the group communication substrate
+//! (§6.1.1 / §6.2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod figures;
+
+use std::io::Write;
+use std::path::Path;
+
+use gkap_sim::stats::Figure;
+
+/// Writes a figure as CSV + prints its table; returns the rendered
+/// table text.
+///
+/// # Panics
+///
+/// Panics if the output directory cannot be written.
+pub fn emit(fig: &Figure, out_dir: &Path, stem: &str) -> String {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let csv_path = out_dir.join(format!("{stem}.csv"));
+    let mut f = std::fs::File::create(&csv_path).expect("create csv");
+    f.write_all(fig.to_csv().as_bytes()).expect("write csv");
+    let table = fig.to_table();
+    println!("{table}");
+    println!("[written: {}]", csv_path.display());
+    table
+}
+
+/// The group sizes sampled for figures (the paper plots 2..50; we
+/// sample the same range densely enough to show every knee, including
+/// the multiples of 13 where machine sharing kicks in).
+pub fn figure_sizes() -> Vec<usize> {
+    vec![2, 5, 8, 11, 13, 14, 17, 20, 23, 26, 27, 30, 35, 40, 45, 50]
+}
+
+/// Smaller sample for the slower WAN figures.
+pub fn wan_sizes() -> Vec<usize> {
+    vec![2, 5, 8, 11, 14, 20, 26, 32, 40, 50]
+}

@@ -1,0 +1,21 @@
+//! One-off generator for the fixed Diffie–Hellman parameter constants
+//! embedded in `gkap-crypto` (512-bit safe prime, plus small test groups).
+//!
+//! Run with: `cargo run --release -p gkap-bignum --example gen_params`
+
+use gkap_bignum::{prime, SplitMix64, Ubig};
+
+fn main() {
+    let mut rng = SplitMix64::new(0x5ec0_9e57_u64);
+    for bits in [256usize, 512] {
+        let (p, q) = prime::random_safe_prime(bits, &mut rng);
+        // g = 2 is a generator of the order-q subgroup iff 2^q == 1 mod p
+        // for safe prime p; otherwise use 4 (always a QR).
+        let two = Ubig::from(2u64);
+        let g = if two.modexp(&q, &p).is_one() { 2u64 } else { 4u64 };
+        println!("// {bits}-bit safe prime (p = 2q+1), generator g = {g}");
+        println!("p = {}", p.to_hex());
+        println!("q = {}", q.to_hex());
+        println!();
+    }
+}

@@ -1,0 +1,352 @@
+//! Montgomery reduction context and windowed modular exponentiation.
+//!
+//! This reproduces the algorithm family the paper's platform used:
+//! "OpenSSL uses Montgomery reduction and the sliding window algorithm to
+//! implement the modular exponentiation" (§5). The multiplication kernel
+//! is the standard CIOS (coarsely integrated operand scanning) loop.
+
+use crate::ubig::Ubig;
+
+/// Window size (bits) for windowed exponentiation.
+const WINDOW: usize = 4;
+
+/// A Montgomery reduction context for a fixed odd modulus.
+///
+/// Build once per modulus and reuse for many exponentiations — exactly
+/// how the protocol layer treats a Diffie–Hellman group.
+///
+/// # Example
+///
+/// ```
+/// use gkap_bignum::{Montgomery, Ubig};
+///
+/// let p = Ubig::from_hex("ffffffffffffffc5").unwrap();
+/// let ctx = Montgomery::new(&p).unwrap();
+/// let g = Ubig::from(5u64);
+/// assert_eq!(ctx.modexp(&g, &Ubig::from(3u64)), Ubig::from(125u64));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    modulus: Ubig,
+    n: usize,
+    /// -modulus^{-1} mod 2^64
+    n0_inv: u64,
+    /// R^2 mod modulus, R = 2^(64n)
+    r2: Vec<u64>,
+    /// R mod modulus (the Montgomery form of 1)
+    r1: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Creates a context for `modulus`.
+    ///
+    /// Returns `None` if the modulus is even or < 3 (Montgomery reduction
+    /// requires an odd modulus; use [`Ubig::modexp`] which falls back to
+    /// division-based reduction for even moduli).
+    pub fn new(modulus: &Ubig) -> Option<Self> {
+        if modulus.is_even() || modulus.bit_len() < 2 {
+            return None;
+        }
+        let n = modulus.limbs.len();
+        // Inverse of the low limb mod 2^64 by Newton iteration, then negate.
+        let m0 = modulus.limbs[0];
+        let mut inv: u64 = m0; // correct mod 2^3 already for odd m0? start from m0 (odd) and iterate
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        let r = &Ubig::one() << (64 * n);
+        let r1 = pad(&r.rem(modulus), n);
+        let r2 = pad(&(&r * &r).rem(modulus), n);
+        Some(Montgomery {
+            modulus: modulus.clone(),
+            n,
+            n0_inv,
+            r2,
+            r1,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.modulus
+    }
+
+    /// CIOS Montgomery multiplication: `out = a * b * R^{-1} mod m`.
+    /// `a`, `b`, `out` are `n`-limb little-endian, already `< m`.
+    fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+        let n = self.n;
+        let m = &self.modulus.limbs;
+        let mut t = vec![0u64; n + 2];
+        for i in 0..n {
+            // t += a * b[i]
+            let bi = b[i];
+            let mut carry: u64 = 0;
+            for j in 0..n {
+                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry as u128;
+                t[j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[n] as u128 + carry as u128;
+            t[n] = s as u64;
+            t[n + 1] = t[n + 1].wrapping_add((s >> 64) as u64);
+
+            // u = t[0] * n0_inv mod 2^64; t += u * m; t >>= 64
+            let u = t[0].wrapping_mul(self.n0_inv);
+            let s0 = t[0] as u128 + u as u128 * m[0] as u128;
+            debug_assert_eq!(s0 as u64, 0);
+            let mut carry = (s0 >> 64) as u64;
+            for j in 1..n {
+                let s = t[j] as u128 + u as u128 * m[j] as u128 + carry as u128;
+                t[j - 1] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[n] as u128 + carry as u128;
+            t[n - 1] = s as u64;
+            let s2 = t[n + 1] as u128 + (s >> 64);
+            t[n] = s2 as u64;
+            t[n + 1] = (s2 >> 64) as u64;
+        }
+        out.clear();
+        out.extend_from_slice(&t[..n]);
+        // Conditional subtraction to bring the result below the modulus.
+        if t[n] != 0 || ge(out, m) {
+            sub_in_place(out, m);
+        }
+    }
+
+    /// Converts `a` (< m) into Montgomery form.
+    fn to_mont(&self, a: &Ubig) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.n);
+        self.mont_mul(&pad(a, self.n), &self.r2, &mut out);
+        out
+    }
+
+    /// Converts out of Montgomery form and normalizes to `Ubig`.
+    fn from_mont(&self, a: &[u64]) -> Ubig {
+        let one = pad(&Ubig::one(), self.n);
+        let mut out = Vec::with_capacity(self.n);
+        self.mont_mul(a, &one, &mut out);
+        Ubig::from_limbs(out)
+    }
+
+    /// Modular multiplication `(a * b) mod m` through the Montgomery
+    /// domain (constant context reuse makes this much faster than
+    /// [`Ubig::modmul`] for many multiplications by the same modulus).
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(&a.rem(&self.modulus));
+        let bm = self.to_mont(&b.rem(&self.modulus));
+        let mut prod = Vec::with_capacity(self.n);
+        self.mont_mul(&am, &bm, &mut prod);
+        self.from_mont(&prod)
+    }
+
+    /// Windowed modular exponentiation: `base^exp mod m`.
+    ///
+    /// Runs in time proportional to `exp.bit_len()` squarings plus
+    /// `exp.bit_len()/WINDOW` multiplications — the same cost profile the
+    /// paper's Table 1 counts as one "exponentiation".
+    pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.modulus);
+        }
+        let base = base.rem(&self.modulus);
+        if base.is_zero() {
+            return Ubig::zero();
+        }
+        let bm = self.to_mont(&base);
+
+        // Precompute odd powers bm^1, bm^3, ..., bm^(2^WINDOW - 1).
+        let mut bm2 = Vec::with_capacity(self.n);
+        self.mont_mul(&bm, &bm, &mut bm2);
+        let table_len = 1 << (WINDOW - 1);
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(table_len);
+        table.push(bm.clone());
+        for i in 1..table_len {
+            let mut next = Vec::with_capacity(self.n);
+            self.mont_mul(&table[i - 1], &bm2, &mut next);
+            table.push(next);
+        }
+
+        let mut acc = self.r1.clone(); // Montgomery form of 1
+        let mut scratch = Vec::with_capacity(self.n);
+        let mut i = exp.bit_len() as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                self.mont_mul(&acc.clone(), &acc, &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
+                i -= 1;
+                continue;
+            }
+            // Find the longest window [j..=i] ending in a set bit.
+            let j = (i - WINDOW as isize + 1).max(0);
+            let mut j = j as usize;
+            while !exp.bit(j) {
+                j += 1;
+            }
+            let width = i as usize - j + 1;
+            let mut value = 0usize;
+            for k in (j..=i as usize).rev() {
+                value = (value << 1) | exp.bit(k) as usize;
+            }
+            for _ in 0..width {
+                self.mont_mul(&acc.clone(), &acc, &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
+            }
+            self.mont_mul(&acc.clone(), &table[value >> 1], &mut scratch);
+            std::mem::swap(&mut acc, &mut scratch);
+            i = j as isize - 1;
+        }
+        self.from_mont(&acc)
+    }
+}
+
+impl Ubig {
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery + sliding window for odd moduli and a plain
+    /// square-and-multiply with division-based reduction otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// # use gkap_bignum::Ubig;
+    /// let p = Ubig::from(1009u64);
+    /// assert_eq!(Ubig::from(2u64).modexp(&Ubig::from(10u64), &p), Ubig::from(15u64));
+    /// ```
+    pub fn modexp(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modexp modulus must be non-zero");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        if let Some(ctx) = Montgomery::new(m) {
+            return ctx.modexp(self, exp);
+        }
+        // Fallback for even moduli: left-to-right square and multiply.
+        let mut acc = Ubig::one();
+        let base = self.rem(m);
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.modmul(&acc, m);
+            if exp.bit(i) {
+                acc = acc.modmul(&base, m);
+            }
+        }
+        acc
+    }
+}
+
+fn pad(v: &Ubig, n: usize) -> Vec<u64> {
+    let mut out = v.limbs.clone();
+    out.resize(n, 0);
+    out
+}
+
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let s = (a[i] as u128).wrapping_sub(b[i] as u128 + borrow as u128);
+        a[i] = s as u64;
+        borrow = ((s >> 64) as u64) & 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_or_tiny_modulus() {
+        assert!(Montgomery::new(&Ubig::from(100u64)).is_none());
+        assert!(Montgomery::new(&Ubig::one()).is_none());
+        assert!(Montgomery::new(&Ubig::zero()).is_none());
+        assert!(Montgomery::new(&Ubig::from(3u64)).is_some());
+    }
+
+    #[test]
+    fn mont_mul_matches_naive() {
+        let m = Ubig::from_hex("f6f33d0e9f7c9a1d62b7a8b3c4d5e6f7").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = Ubig::from_hex("123456789abcdef0123456789").unwrap();
+        let b = Ubig::from_hex("fedcba98765432100fedcba98").unwrap();
+        assert_eq!(ctx.mul(&a, &b), a.rem(&m).modmul(&b.rem(&m), &m));
+    }
+
+    #[test]
+    fn modexp_small_cases() {
+        let p = Ubig::from(1009u64);
+        assert_eq!(Ubig::from(2u64).modexp(&Ubig::from(0u64), &p), Ubig::one());
+        assert_eq!(Ubig::from(2u64).modexp(&Ubig::one(), &p), Ubig::from(2u64));
+        assert_eq!(
+            Ubig::from(2u64).modexp(&Ubig::from(10u64), &p),
+            Ubig::from(1024u64 % 1009)
+        );
+        assert_eq!(Ubig::zero().modexp(&Ubig::from(5u64), &p), Ubig::zero());
+        assert_eq!(Ubig::from(5u64).modexp(&Ubig::from(3u64), &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) == 1 mod p for prime p, a not divisible by p.
+        let p = Ubig::from_hex("ffffffffffffffc5").unwrap(); // 2^64 - 59, prime
+        let exp = &p - &Ubig::one();
+        for a in [2u64, 3, 65537, 0xdeadbeef] {
+            assert_eq!(Ubig::from(a).modexp(&exp, &p), Ubig::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn modexp_even_modulus_fallback() {
+        let m = Ubig::from(100u64);
+        assert_eq!(
+            Ubig::from(7u64).modexp(&Ubig::from(13u64), &m),
+            Ubig::from(7u64.pow(13) % 100)
+        );
+    }
+
+    #[test]
+    fn modexp_matches_fallback_on_odd_modulus() {
+        // Cross-check Montgomery path against the naive path.
+        let m = Ubig::from_hex("e3b0c44298fc1c149afbf4c8996fb925").unwrap();
+        let base = Ubig::from_hex("123456789abcdef").unwrap();
+        let exp = Ubig::from_hex("fedcba9876543210f0f0f0f0").unwrap();
+        let fast = base.modexp(&exp, &m);
+        let mut slow = Ubig::one();
+        for i in (0..exp.bit_len()).rev() {
+            slow = slow.modmul(&slow, &m);
+            if exp.bit(i) {
+                slow = slow.modmul(&base, &m);
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dh_commutativity_512bit() {
+        // The heart of every protocol in the paper: (g^a)^b == (g^b)^a.
+        let p = Ubig::from_hex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+             020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437",
+        )
+        .unwrap(); // a 512-bit odd modulus (commutativity holds for any modulus)
+        let g = Ubig::from(2u64);
+        let a = Ubig::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let b = Ubig::from_hex("fedcba9876543210ffeeddccbbaa9988").unwrap();
+        let ga = g.modexp(&a, &p);
+        let gb = g.modexp(&b, &p);
+        assert_eq!(ga.modexp(&b, &p), gb.modexp(&a, &p));
+    }
+}

@@ -1,0 +1,207 @@
+//! Probabilistic primality testing and prime generation.
+//!
+//! Provides what the crypto layer needs: Miller–Rabin testing, random
+//! prime generation (for RSA key generation) and safe-prime generation
+//! (for small Diffie–Hellman test groups; the production-size DH groups
+//! are published constants in `gkap-crypto`).
+
+use crate::rng::RandomSource;
+use crate::ubig::Ubig;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Deterministic Miller–Rabin witnesses sufficient for all `n < 3.3e24`
+/// (covers every value we trial-divide plus gives a strong base set for
+/// larger candidates before the random rounds).
+const FIXED_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Number of additional random Miller–Rabin rounds for large candidates.
+/// 2^-128 error bound together with the fixed witnesses.
+const RANDOM_ROUNDS: usize = 24;
+
+/// Returns `true` if `n` is (probably) prime.
+///
+/// Deterministic for `n < 3.3e24`; for larger `n` the error probability
+/// is below 2^-128.
+///
+/// ```
+/// use gkap_bignum::{prime, SplitMix64, Ubig};
+/// let mut rng = SplitMix64::new(1);
+/// assert!(prime::is_prime(&Ubig::from(65_537u64), &mut rng));
+/// assert!(!prime::is_prime(&Ubig::from(65_535u64), &mut rng));
+/// ```
+pub fn is_prime<R: RandomSource + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
+    if n.bit_len() <= 1 {
+        return false; // 0, 1
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = Ubig::from(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s.
+    let n_minus_1 = n.checked_sub(&Ubig::one()).expect("n >= 2");
+    let s = n_minus_1.trailing_zeros();
+    let d = &n_minus_1 >> s;
+
+    let witness_passes = |a: &Ubig| -> bool {
+        let mut x = a.modexp(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            return true;
+        }
+        for _ in 1..s {
+            x = x.modmul(&x, n);
+            if x == n_minus_1 {
+                return true;
+            }
+            if x.is_one() {
+                return false; // non-trivial sqrt of 1
+            }
+        }
+        false
+    };
+
+    for &a in &FIXED_WITNESSES {
+        let ab = Ubig::from(a);
+        if ab >= n_minus_1 {
+            continue;
+        }
+        if !witness_passes(&ab) {
+            return false;
+        }
+    }
+    // Deterministic witnesses settle everything below ~2^81.
+    if n.bit_len() <= 81 {
+        return true;
+    }
+    let two = Ubig::from(2u64);
+    let span = n_minus_1.checked_sub(&two).expect("n > 4 here");
+    for _ in 0..RANDOM_ROUNDS {
+        // a in [2, n-2]
+        let a = &rng.next_ubig_in_range(&span) + &two;
+        if !witness_passes(&a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+///
+/// ```
+/// use gkap_bignum::{prime, SplitMix64};
+/// let mut rng = SplitMix64::new(7);
+/// let p = prime::random_prime(64, &mut rng);
+/// assert_eq!(p.bit_len(), 64);
+/// ```
+pub fn random_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> Ubig {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = rng.next_ubig_exact_bits(bits);
+        candidate.set_bit(0, true); // force odd
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a *safe prime* `p = 2q + 1` (with `q` also prime) of exactly
+/// `bits` bits, returning `(p, q)`.
+///
+/// Safe primes make every quadratic residue a generator of the order-`q`
+/// subgroup, the standard Diffie–Hellman parameter shape the paper's
+/// 512/1024-bit groups use. This is slow for large sizes — production
+/// groups use the published constants in `gkap-crypto` — but is handy for
+/// generating small test groups.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn random_safe_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> (Ubig, Ubig) {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    loop {
+        let q = random_prime(bits - 1, rng);
+        let p = &(&q << 1) + &Ubig::one();
+        if p.bit_len() == bits && is_prime(&p, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut rng = SplitMix64::new(1);
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65_537, 1_000_003];
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 1_000_001, 65_535];
+        for p in primes {
+            assert!(is_prime(&Ubig::from(p), &mut rng), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&Ubig::from(c), &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        let mut rng = SplitMix64::new(2);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(&Ubig::from(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite.
+        let mut rng = SplitMix64::new(3);
+        let m127 = &(&Ubig::one() << 127) - &Ubig::one();
+        assert!(is_prime(&m127, &mut rng));
+        let f7 = &(&Ubig::one() << 128) + &Ubig::one();
+        assert!(!is_prime(&f7, &mut rng));
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut rng = SplitMix64::new(4);
+        for bits in [2usize, 3, 16, 64, 128] {
+            let p = random_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = SplitMix64::new(5);
+        let (p, q) = random_safe_prime(48, &mut rng);
+        assert_eq!(p.bit_len(), 48);
+        assert_eq!(p, &(&q << 1) + &Ubig::one());
+        assert!(is_prime(&q, &mut rng));
+        assert!(is_prime(&p, &mut rng));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let p1 = random_prime(64, &mut SplitMix64::new(99));
+        let p2 = random_prime(64, &mut SplitMix64::new(99));
+        assert_eq!(p1, p2);
+    }
+}

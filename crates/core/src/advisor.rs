@@ -1,0 +1,184 @@
+//! Protocol selection advice, codifying the paper's conclusions.
+//!
+//! The Secure Spread framework "allows the system to assign different
+//! key agreement protocols to different groups" (§1.2). This module
+//! turns §6.3's guidance into an executable policy — and, when a
+//! definitive answer matters, into a measurement: the advisor can run
+//! the actual simulation for a candidate workload and pick the winner.
+
+use gkap_gcs::GcsConfig;
+
+use crate::experiment::{
+    run_join, run_leave_weighted, run_merge, run_partition, ExperimentConfig, SuiteKind,
+};
+use crate::protocols::ProtocolKind;
+
+/// The network regime a group operates in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Low-delay network (sub-millisecond links): computation
+    /// dominates.
+    Lan,
+    /// High-delay network (tens of milliseconds and beyond):
+    /// communication rounds dominate.
+    Wan,
+}
+
+/// The expected mix of membership events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventMix {
+    /// Mostly joins and leaves of single members (the common case the
+    /// paper measures).
+    JoinLeave,
+    /// Frequent partitions and merges (flaky connectivity).
+    PartitionMerge,
+}
+
+/// A workload description for protocol selection.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Network regime.
+    pub network: NetworkKind,
+    /// Dominant event mix.
+    pub events: EventMix,
+    /// Typical group size.
+    pub group_size: usize,
+}
+
+/// Static advice from the paper's conclusions (§6.3/§7): no
+/// simulation, just the published guidance.
+///
+/// * Small LAN groups: BD's simplicity is competitive, but TGDH/STR
+///   already win in this implementation; the paper picks TGDH overall.
+/// * LAN at any size: TGDH ("the best performing protocol overall").
+/// * WAN join/leave: TGDH/CKD cluster at the top; TGDH is preferred
+///   for its contributory key (CKD is not contributory).
+/// * WAN with frequent partitions: TGDH's multi-round partition is its
+///   weak spot; STR (single-round partition) is the better choice.
+///
+/// ```
+/// use gkap_core::advisor::{advise, EventMix, NetworkKind, Workload};
+/// use gkap_core::protocols::ProtocolKind;
+/// let w = Workload { network: NetworkKind::Lan, events: EventMix::JoinLeave, group_size: 30 };
+/// assert_eq!(advise(&w), ProtocolKind::Tgdh);
+/// ```
+pub fn advise(workload: &Workload) -> ProtocolKind {
+    match (workload.network, workload.events) {
+        (NetworkKind::Lan, _) => ProtocolKind::Tgdh,
+        (NetworkKind::Wan, EventMix::JoinLeave) => ProtocolKind::Tgdh,
+        (NetworkKind::Wan, EventMix::PartitionMerge) => ProtocolKind::Str,
+    }
+}
+
+/// One protocol's measured score for a workload.
+#[derive(Clone, Debug)]
+pub struct Score {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Weighted mean event time (virtual ms) over the workload mix.
+    pub mean_ms: f64,
+}
+
+/// Empirical advice: simulates the workload for every protocol on the
+/// given testbed and returns the ranking (best first).
+///
+/// The event mix is weighted per [`EventMix`]: `JoinLeave` scores
+/// `(join + leave) / 2`; `PartitionMerge` scores
+/// `(join + leave + partition + merge) / 4` with half-group
+/// partitions/merges.
+///
+/// # Panics
+///
+/// Panics if any protocol fails the workload (a bug, not a policy
+/// outcome).
+pub fn rank_by_measurement(gcs: &GcsConfig, workload: &Workload) -> Vec<Score> {
+    let n = workload.group_size.max(3);
+    let mut scores: Vec<Score> = ProtocolKind::all()
+        .into_iter()
+        .map(|protocol| {
+            let cfg = ExperimentConfig {
+                protocol,
+                gcs: gcs.clone(),
+                suite: SuiteKind::Sim512,
+                seed: 0xadu64 << 32 | n as u64,
+                confirm_keys: false,
+            };
+            let join = run_join(&cfg, n);
+            let leave = run_leave_weighted(&cfg, n);
+            assert!(join.ok && leave.ok, "{protocol} failed the workload");
+            let mean_ms = match workload.events {
+                EventMix::JoinLeave => (join.elapsed_ms + leave.elapsed_ms) / 2.0,
+                EventMix::PartitionMerge => {
+                    let p = run_partition(&cfg, n, (n / 2).max(1).min(n - 1));
+                    let half = (n / 2).max(1);
+                    let m = run_merge(&cfg, n - half, half);
+                    assert!(p.ok && m.ok, "{protocol} failed partition/merge");
+                    (join.elapsed_ms + leave.elapsed_ms + p.elapsed_ms + m.elapsed_ms) / 4.0
+                }
+            };
+            Score { protocol, mean_ms }
+        })
+        .collect();
+    scores.sort_by(|a, b| a.mean_ms.partial_cmp(&b.mean_ms).expect("finite"));
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_advice_matches_paper() {
+        let lan = Workload {
+            network: NetworkKind::Lan,
+            events: EventMix::JoinLeave,
+            group_size: 40,
+        };
+        assert_eq!(advise(&lan), ProtocolKind::Tgdh);
+        let wan_churn = Workload {
+            network: NetworkKind::Wan,
+            events: EventMix::PartitionMerge,
+            group_size: 20,
+        };
+        assert_eq!(advise(&wan_churn), ProtocolKind::Str);
+    }
+
+    #[test]
+    fn measured_ranking_lan_join_leave() {
+        let w = Workload {
+            network: NetworkKind::Lan,
+            events: EventMix::JoinLeave,
+            group_size: 30,
+        };
+        let ranking = rank_by_measurement(&gkap_gcs::testbed::lan(), &w);
+        assert_eq!(ranking.len(), 5);
+        // TGDH or STR lead on the LAN; BD and GDH trail at this size.
+        let top = ranking[0].protocol;
+        assert!(
+            top == ProtocolKind::Tgdh || top == ProtocolKind::Str,
+            "unexpected LAN winner {top}"
+        );
+        let last = ranking[4].protocol;
+        assert!(
+            last == ProtocolKind::Bd || last == ProtocolKind::Gdh,
+            "unexpected LAN loser {last}"
+        );
+        // Sorted ascending.
+        assert!(ranking.windows(2).all(|w| w[0].mean_ms <= w[1].mean_ms));
+    }
+
+    #[test]
+    fn measured_ranking_wan_partition_merge_penalizes_gdh() {
+        let w = Workload {
+            network: NetworkKind::Wan,
+            events: EventMix::PartitionMerge,
+            group_size: 12,
+        };
+        let ranking = rank_by_measurement(&gkap_gcs::testbed::wan(), &w);
+        let gdh_pos = ranking
+            .iter()
+            .position(|s| s.protocol == ProtocolKind::Gdh)
+            .expect("present");
+        assert!(gdh_pos >= 3, "GDH's m-round merge must rank poorly on the WAN");
+    }
+}

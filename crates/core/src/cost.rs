@@ -1,0 +1,217 @@
+//! The virtual-time cost model and operation counters.
+//!
+//! The simulation executes real cryptography on a small, fast DH group
+//! but *charges* virtual time according to the paper's measured per-op
+//! costs on its 666 MHz Pentium III platform (§6.1.1). This separates
+//! protocol correctness (always real) from timing (modelled,
+//! deterministic, host-independent).
+
+use gkap_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation virtual-time costs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// One full modular exponentiation in the DH group.
+    pub exp: Duration,
+    /// One modular multiplication (the unit of BD's hidden cost: a
+    /// small-exponent exponentiation with exponent `e` costs about
+    /// `1.5 * log2(e)` multiplications with square-and-multiply).
+    pub modmul: Duration,
+    /// One RSA signature (1024-bit, CRT).
+    pub sign: Duration,
+    /// One RSA signature verification (1024-bit, e = 3).
+    pub verify: Duration,
+    /// Per-received-message processing overhead at a member
+    /// (unmarshalling, dispatch — §6.1.3 notes BD "deteriorates
+    /// rapidly since … broadcasts add up").
+    pub recv_overhead: Duration,
+    /// Symmetric encryption/decryption of one group-key blob
+    /// (CKD's key distribution unit).
+    pub symmetric: Duration,
+    /// One modular inverse of an exponent (GDH factor-out, BD round 2).
+    pub inverse: Duration,
+}
+
+impl CostModel {
+    /// The paper's platform constants for 512-bit Diffie–Hellman
+    /// (§6.1.1: exponentiation ≈ 1.7 ms; RSA-1024 sign ≈ 9.4 ms,
+    /// verify with e = 3 ≈ 1 ms — §6.1.1 notes verification is "relatively expensive" at scale even with e = 3).
+    pub fn paper_512() -> Self {
+        let exp = Duration::from_millis_f64(1.7);
+        CostModel {
+            exp,
+            // square-and-multiply: ~1.5 * 512 multiplications per exp.
+            modmul: Duration::from_millis_f64(1.7 / (1.5 * 512.0)),
+            sign: Duration::from_millis_f64(9.4),
+            verify: Duration::from_millis_f64(1.0),
+            recv_overhead: Duration::from_micros(150),
+            symmetric: Duration::from_micros(20),
+            inverse: Duration::from_micros(50),
+        }
+    }
+
+    /// The paper's platform constants for 1024-bit Diffie–Hellman
+    /// (exponentiation ≈ 7.3 ms).
+    pub fn paper_1024() -> Self {
+        let exp = Duration::from_millis_f64(7.3);
+        CostModel {
+            exp,
+            modmul: Duration::from_millis_f64(7.3 / (1.5 * 1024.0)),
+            sign: Duration::from_millis_f64(9.4),
+            verify: Duration::from_millis_f64(1.0),
+            recv_overhead: Duration::from_micros(150),
+            symmetric: Duration::from_micros(20),
+            inverse: Duration::from_micros(50),
+        }
+    }
+
+    /// A zero-cost model: pure protocol-correctness tests that do not
+    /// care about virtual time.
+    pub fn zero() -> Self {
+        CostModel {
+            exp: Duration::ZERO,
+            modmul: Duration::ZERO,
+            sign: Duration::ZERO,
+            verify: Duration::ZERO,
+            recv_overhead: Duration::ZERO,
+            symmetric: Duration::ZERO,
+            inverse: Duration::ZERO,
+        }
+    }
+
+    /// The same model with DSA signatures instead of RSA e = 3:
+    /// signing gets cheaper (one exponentiation plus change), but
+    /// verification — performed by *every* receiver of *every*
+    /// message — costs two full exponentiations. §6.1.1: "expensive
+    /// signature verification (e.g., as in DSA) noticeably degrades
+    /// performance".
+    pub fn with_dsa_signatures(mut self) -> Self {
+        self.sign = Duration::from_millis_f64(self.exp.as_millis_f64() * 1.2);
+        self.verify = Duration::from_millis_f64(self.exp.as_millis_f64() * 2.2);
+        self
+    }
+
+    /// Cost of one exponentiation with a *small* exponent `e` (BD's
+    /// step 3): `~1.5 * bit_len(e)` modular multiplications.
+    pub fn small_exp(&self, e: u64) -> Duration {
+        let bits = 64 - e.leading_zeros() as u64;
+        self.modmul.mul(bits + bits / 2)
+    }
+}
+
+/// Cryptographic and communication operation counters.
+///
+/// Accumulated per member; the experiment drivers diff them around an
+/// event and aggregate across members to validate the closed forms of
+/// Table 1 (see [`crate::costs_table`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Full modular exponentiations.
+    pub exp: u64,
+    /// Small-exponent exponentiations (BD step 3 hidden cost).
+    pub small_exp: u64,
+    /// Modular inverses of exponents.
+    pub inverse: u64,
+    /// RSA signatures produced.
+    pub sign: u64,
+    /// RSA signatures verified.
+    pub verify: u64,
+    /// Symmetric encryptions/decryptions (CKD key blobs).
+    pub symmetric: u64,
+    /// Agreed multicasts sent.
+    pub multicast: u64,
+    /// Unicasts sent (Agreed or FIFO).
+    pub unicast: u64,
+}
+
+impl OpCounts {
+    /// Element-wise difference `self - earlier` (for around-event
+    /// accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `earlier` exceeds the corresponding
+    /// counter of `self` (counters are monotone).
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            exp: self.exp - earlier.exp,
+            small_exp: self.small_exp - earlier.small_exp,
+            inverse: self.inverse - earlier.inverse,
+            sign: self.sign - earlier.sign,
+            verify: self.verify - earlier.verify,
+            symmetric: self.symmetric - earlier.symmetric,
+            multicast: self.multicast - earlier.multicast,
+            unicast: self.unicast - earlier.unicast,
+        }
+    }
+
+    /// Element-wise sum (for aggregating across members).
+    pub fn add(&mut self, other: &OpCounts) {
+        self.exp += other.exp;
+        self.small_exp += other.small_exp;
+        self.inverse += other.inverse;
+        self.sign += other.sign;
+        self.verify += other.verify;
+        self.symmetric += other.symmetric;
+        self.multicast += other.multicast;
+        self.unicast += other.unicast;
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.multicast + self.unicast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_ordered_sensibly() {
+        let m512 = CostModel::paper_512();
+        let m1024 = CostModel::paper_1024();
+        assert!(m1024.exp > m512.exp);
+        assert!(m512.verify < m512.sign);
+        // ~4.3x ratio between 1024- and 512-bit exponentiation.
+        let ratio = m1024.exp.as_millis_f64() / m512.exp.as_millis_f64();
+        assert!((4.0..4.6).contains(&ratio));
+    }
+
+    #[test]
+    fn small_exp_cost_tracks_exponent_size() {
+        let m = CostModel::paper_512();
+        assert!(m.small_exp(50) > m.small_exp(2));
+        assert!(m.small_exp(50) < m.exp, "small exponent is far below a full exp");
+        assert_eq!(m.small_exp(0), Duration::ZERO);
+        // Paper: "373 1024-bit modular multiplications" for ~n=50 and
+        // 1024-bit modulus; our per-exp accounting gives n * ~1.5*6
+        // muls = ~9 muls each -> ~450 for 50 members. Same order.
+        let m1024 = CostModel::paper_1024();
+        let muls_per = m1024.small_exp(50).as_millis_f64() / m1024.modmul.as_millis_f64();
+        assert!((6.0..12.0).contains(&muls_per));
+    }
+
+    #[test]
+    fn counts_diff_and_sum() {
+        let mut a = OpCounts { exp: 5, sign: 2, ..Default::default() };
+        let b = OpCounts { exp: 2, sign: 1, ..Default::default() };
+        let d = a.since(&b);
+        assert_eq!(d.exp, 3);
+        assert_eq!(d.sign, 1);
+        a.add(&b);
+        assert_eq!(a.exp, 7);
+        assert_eq!(a.messages(), 0);
+        let m = OpCounts { multicast: 2, unicast: 3, ..Default::default() };
+        assert_eq!(m.messages(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn since_panics_on_regression() {
+        let a = OpCounts { exp: 1, ..Default::default() };
+        let b = OpCounts { exp: 2, ..Default::default() };
+        let _ = a.since(&b);
+    }
+}

@@ -1,0 +1,557 @@
+//! Experiment drivers: the machinery behind every figure of the paper.
+//!
+//! Each driver builds a simulated world (LAN or WAN testbed), forms a
+//! group of the requested size, injects one membership event, and
+//! measures the *total elapsed time* "from the moment the group
+//! membership event happens until … the application is notified about
+//! the membership change and the new key" (§6) — membership service
+//! plus key agreement, in virtual milliseconds.
+
+use std::rc::Rc;
+
+use gkap_gcs::{ClientId, GcsConfig, SimWorld};
+use gkap_sim::stats::{Figure, Series, Summary};
+use gkap_sim::SimTime;
+
+use crate::cost::OpCounts;
+use crate::member::SecureMember;
+use crate::protocols::ProtocolKind;
+use crate::suite::CryptoSuite;
+
+/// Which cryptographic suite an experiment runs with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Real math on a small group, costs charged at 512-bit rates.
+    Sim512,
+    /// Costs charged at 1024-bit rates.
+    Sim1024,
+    /// 512-bit rates with DSA signature costs (signature ablation).
+    Sim512Dsa,
+    /// Zero-cost (correctness-only tests).
+    FastZero,
+}
+
+impl SuiteKind {
+    fn build(self) -> CryptoSuite {
+        match self {
+            SuiteKind::Sim512 => CryptoSuite::sim_512(),
+            SuiteKind::Sim1024 => CryptoSuite::sim_1024(),
+            SuiteKind::Sim512Dsa => CryptoSuite::sim_512_dsa(),
+            SuiteKind::FastZero => CryptoSuite::fast_zero(),
+        }
+    }
+
+    /// Figure label ("DH 512 bits" / "DH 1024 bits").
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::Sim512 => "DH 512 bits",
+            SuiteKind::Sim1024 => "DH 1024 bits",
+            SuiteKind::Sim512Dsa => "DH 512 bits, DSA signatures",
+            SuiteKind::FastZero => "zero-cost",
+        }
+    }
+}
+
+/// Full experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// The group communication configuration (testbed).
+    pub gcs: GcsConfig,
+    /// The cryptographic suite/cost model.
+    pub suite: SuiteKind,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Whether members broadcast key-confirmation digests after each
+    /// event (§5; off in the paper's measured configuration).
+    pub confirm_keys: bool,
+}
+
+impl ExperimentConfig {
+    /// Zero-cost LAN configuration (fast correctness tests).
+    pub fn lan_fast(protocol: ProtocolKind) -> Self {
+        ExperimentConfig {
+            protocol,
+            gcs: gkap_gcs::testbed::lan(),
+            suite: SuiteKind::FastZero,
+            seed: 0x5eed,
+            confirm_keys: false,
+        }
+    }
+
+    /// The paper's LAN testbed with the given parameter size.
+    pub fn lan(protocol: ProtocolKind, suite: SuiteKind) -> Self {
+        ExperimentConfig {
+            protocol,
+            gcs: gkap_gcs::testbed::lan(),
+            suite,
+            seed: 0x5eed,
+            confirm_keys: false,
+        }
+    }
+
+    /// The paper's WAN testbed.
+    pub fn wan(protocol: ProtocolKind, suite: SuiteKind) -> Self {
+        ExperimentConfig {
+            protocol,
+            gcs: gkap_gcs::testbed::wan(),
+            suite,
+            seed: 0x5eed,
+            confirm_keys: false,
+        }
+    }
+}
+
+/// Outcome of a single membership-event measurement.
+#[derive(Clone, Debug)]
+pub struct EventOutcome {
+    /// Whether every member completed and all keys agree.
+    pub ok: bool,
+    /// Inject → last member's key completion (virtual ms).
+    pub elapsed_ms: f64,
+    /// Inject → last member's view delivery (virtual ms) — the
+    /// membership-service share of the total.
+    pub membership_ms: f64,
+    /// Aggregate operation counts for the event across all members.
+    pub counts: OpCounts,
+    /// Group size after the event.
+    pub size_after: usize,
+}
+
+/// Outcome of group formation (bootstrap) checks.
+#[derive(Clone, Debug)]
+pub struct FormationOutcome {
+    /// All members computed identical group keys.
+    pub all_agreed: bool,
+    /// Number of members.
+    pub size: usize,
+}
+
+/// Which member leaves in a leave experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaveTarget {
+    /// The member in the middle of the view (STR's average case; the
+    /// default for every protocol).
+    Middle,
+    /// The oldest member (CKD's expensive controller-leave case).
+    Oldest,
+    /// The newest member (GDH's controller).
+    Newest,
+}
+
+fn build_world(cfg: &ExperimentConfig, initial: usize, extra: usize) -> (SimWorld, Rc<CryptoSuite>) {
+    let suite = Rc::new(cfg.suite.build());
+    let mut world = SimWorld::new(cfg.gcs.clone());
+    for i in 0..(initial + extra) {
+        let mut member = SecureMember::new(
+            cfg.protocol,
+            Rc::clone(&suite),
+            cfg.seed ^ ((i as u64 + 1) * 0x9e37_79b9),
+            Some(cfg.seed),
+        );
+        member.set_key_confirmation(cfg.confirm_keys);
+        world.add_client(Box::new(member));
+    }
+    world.install_initial_view_of((0..initial).collect());
+    world.run_until_quiescent();
+    (world, suite)
+}
+
+fn snapshot_counts(world: &SimWorld, ids: &[ClientId]) -> Vec<OpCounts> {
+    ids.iter()
+        .map(|&c| *world.client::<SecureMember>(c).counts())
+        .collect()
+}
+
+/// Runs the event measurement: injects a view change and waits for all
+/// `wait_for` members to complete epoch 2.
+fn measure_event(
+    world: &mut SimWorld,
+    joined: Vec<ClientId>,
+    left: Vec<ClientId>,
+    wait_for: Vec<ClientId>,
+) -> EventOutcome {
+    let target_epoch = world.view().expect("initial view installed").id + 1;
+    let before = snapshot_counts(world, &wait_for);
+    let inject = world.now();
+    world.inject_change(joined, left);
+    let complete = |w: &SimWorld| {
+        wait_for
+            .iter()
+            .all(|&c| w.client::<SecureMember>(c).completion(target_epoch).is_some())
+    };
+    // Run until everyone has the key (or the world goes quiescent —
+    // a protocol deadlock).
+    world.run_while(|w| !complete(w));
+    let done = complete(world);
+
+    let mut counts = OpCounts::default();
+    for (i, &c) in wait_for.iter().enumerate() {
+        counts.add(&world.client::<SecureMember>(c).counts().since(&before[i]));
+    }
+    let mut last_key = SimTime::ZERO;
+    let mut last_view = SimTime::ZERO;
+    let mut agree = done;
+    let mut secret: Option<gkap_bignum::Ubig> = None;
+    for &c in &wait_for {
+        let m = world.client::<SecureMember>(c);
+        if m.protocol_error().is_some() {
+            agree = false;
+        }
+        if let Some(t) = m.completion(target_epoch) {
+            last_key = last_key.max(t);
+        }
+        if let Some(t) = m.view_time(target_epoch) {
+            last_view = last_view.max(t);
+        }
+        match (m.secret(target_epoch), &secret) {
+            (Some(s), None) => secret = Some(s.clone()),
+            (Some(s), Some(prev)) if s != prev => agree = false,
+            (None, _) => agree = false,
+            _ => {}
+        }
+    }
+    EventOutcome {
+        ok: agree,
+        elapsed_ms: last_key.as_millis_f64() - inject.as_millis_f64(),
+        membership_ms: last_view.as_millis_f64() - inject.as_millis_f64(),
+        counts,
+        size_after: wait_for.len(),
+    }
+}
+
+/// Forms a group of `n` members and verifies all keys agree.
+pub fn run_formation(cfg: &ExperimentConfig, n: usize) -> FormationOutcome {
+    let (world, _suite) = build_world(cfg, n, 0);
+    let mut all_agreed = true;
+    let mut secret: Option<gkap_bignum::Ubig> = None;
+    for c in 0..n {
+        let m = world.client::<SecureMember>(c);
+        match (m.secret(1), &secret) {
+            (Some(s), None) => secret = Some(s.clone()),
+            (Some(s), Some(prev)) if s != prev => all_agreed = false,
+            (None, _) => all_agreed = false,
+            _ => {}
+        }
+    }
+    FormationOutcome { all_agreed, size: n }
+}
+
+/// Measures a join: a group of `n - 1` members admits one more.
+/// The reported size (figure x-coordinate) is `n`, the size after.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn run_join(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
+    assert!(n >= 2, "join needs an existing group");
+    let (mut world, _suite) = build_world(cfg, n - 1, 1);
+    let joiner = n - 1;
+    measure_event(&mut world, vec![joiner], vec![], (0..n).collect())
+}
+
+/// Measures a leave from a group of `n` members.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn run_leave(cfg: &ExperimentConfig, n: usize, target: LeaveTarget) -> EventOutcome {
+    assert!(n >= 2, "leave needs at least two members");
+    let (mut world, _suite) = build_world(cfg, n, 0);
+    let view: Vec<ClientId> = world.view().expect("view").members.clone();
+    let leaver = match target {
+        LeaveTarget::Middle => view[view.len() / 2],
+        LeaveTarget::Oldest => view[0],
+        LeaveTarget::Newest => *view.last().expect("non-empty"),
+    };
+    let remaining: Vec<ClientId> = view.into_iter().filter(|&c| c != leaver).collect();
+    measure_event(&mut world, vec![], vec![leaver], remaining)
+}
+
+/// The paper's leave measurement: the average case (middle member),
+/// with CKD weighting in the controller-leave case at probability
+/// `1/n` (§6.1.2).
+pub fn run_leave_weighted(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
+    let mid = run_leave(cfg, n, LeaveTarget::Middle);
+    if cfg.protocol != ProtocolKind::Ckd {
+        return mid;
+    }
+    let ctrl = run_leave(cfg, n, LeaveTarget::Oldest);
+    let nf = n as f64;
+    EventOutcome {
+        ok: mid.ok && ctrl.ok,
+        elapsed_ms: (mid.elapsed_ms * (nf - 1.0) + ctrl.elapsed_ms) / nf,
+        membership_ms: (mid.membership_ms * (nf - 1.0) + ctrl.membership_ms) / nf,
+        counts: mid.counts, // dominant case
+        size_after: mid.size_after,
+    }
+}
+
+/// Measures a partition: `p` members (spread across the view) leave a
+/// group of `n` at once.
+///
+/// # Panics
+///
+/// Panics if `p >= n` or `p == 0`.
+pub fn run_partition(cfg: &ExperimentConfig, n: usize, p: usize) -> EventOutcome {
+    assert!(p > 0 && p < n, "partition must leave a non-empty remainder");
+    let (mut world, _suite) = build_world(cfg, n, 0);
+    let view: Vec<ClientId> = world.view().expect("view").members.clone();
+    // Evict members at evenly spread positions (not a contiguous
+    // block — network partitions cut across the logical view).
+    let stride = n as f64 / p as f64;
+    let mut leaving: Vec<ClientId> = (0..p)
+        .map(|i| view[((i as f64 + 0.5) * stride) as usize % n])
+        .collect();
+    leaving.dedup();
+    let remaining: Vec<ClientId> = view
+        .into_iter()
+        .filter(|c| !leaving.contains(c))
+        .collect();
+    measure_event(&mut world, vec![], leaving, remaining)
+}
+
+/// Measures a merge: a previously separate component of `m` members
+/// (with its own established key) merges into a group of `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+pub fn run_merge(cfg: &ExperimentConfig, n: usize, m: usize) -> EventOutcome {
+    assert!(n > 0 && m > 0, "merge needs two non-empty groups");
+    let (mut world, _suite) = build_world(cfg, n, m);
+    let component: Vec<ClientId> = (n..n + m).collect();
+    // Pre-seed the merging component's protocol state (they formed a
+    // group elsewhere before the network healed).
+    let comp_seed = cfg.seed ^ 0xc0ffee;
+    for &c in &component {
+        world
+            .client_mut::<SecureMember>(c)
+            .preseed_component(&component, c, comp_seed);
+    }
+    measure_event(&mut world, component, vec![], (0..n + m).collect())
+}
+
+
+/// Scrambles the group with `churn` random join+leave pairs before an
+/// experiment ("Secure Spread must first be run … with a random
+/// sequence of joins and leaves in order to generate a random-looking
+/// tree", §6.1.2). Keeps the member count constant; returns the ids of
+/// the current members afterwards.
+fn apply_churn(world: &mut SimWorld, churn: usize, seed: u64) -> Vec<ClientId> {
+    use gkap_bignum::{RandomSource, SplitMix64};
+    let mut rng = SplitMix64::new(seed ^ 0xc4u64);
+    for step in 0..churn {
+        let members = world.view().expect("view").members.clone();
+        // One member (never the whole group) leaves…
+        let leaver = members[(rng.next_u64() as usize + step) % members.len()];
+        world.inject_leave(leaver);
+        world.run_until_quiescent();
+        // …and a fresh client joins (departed members never rejoin:
+        // their protocol state is stale by design).
+        let fresh = next_unused_client(world);
+        world.inject_join(fresh);
+        world.run_until_quiescent();
+    }
+    world.view().expect("view").members.clone()
+}
+
+/// The lowest client id that has never been in a view (provisioned by
+/// the caller as churn spares).
+fn next_unused_client(world: &SimWorld) -> ClientId {
+    let members = &world.view().expect("view").members;
+    let mut c = 0;
+    loop {
+        if !members.contains(&c)
+            && world.client::<SecureMember>(c).epoch() == 0
+        {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+/// `run_join` after `churn` random join/leave pairs have scrambled the
+/// group state (tree-shape ablation; §6.1.2's "truly fair comparison").
+pub fn run_join_churned(cfg: &ExperimentConfig, n: usize, churn: usize) -> EventOutcome {
+    assert!(n >= 2, "join needs an existing group");
+    let (mut world, _suite) = build_world(cfg, n - 1, churn + 1);
+    apply_churn(&mut world, churn, cfg.seed);
+    let joiner = next_unused_client(&world);
+    let members = world.view().expect("view").members.clone();
+    let mut wait_for = members;
+    wait_for.push(joiner);
+    measure_event(&mut world, vec![joiner], vec![], wait_for)
+}
+
+/// `run_leave` (middle member) after churn scrambling.
+pub fn run_leave_churned(cfg: &ExperimentConfig, n: usize, churn: usize) -> EventOutcome {
+    assert!(n >= 2, "leave needs at least two members");
+    let (mut world, _suite) = build_world(cfg, n, churn);
+    apply_churn(&mut world, churn, cfg.seed);
+    let members = world.view().expect("view").members.clone();
+    let leaver = members[members.len() / 2];
+    let wait_for: Vec<ClientId> = members.into_iter().filter(|&c| c != leaver).collect();
+    measure_event(&mut world, vec![], vec![leaver], wait_for)
+}
+
+/// Measures *real* initial key agreement (IKA): `n` members form a
+/// group from scratch, running the actual protocol (no transparent
+/// bootstrap). Reported time runs from the initial view installation
+/// to the last member's key completion.
+pub fn run_real_formation(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
+    let suite = Rc::new(cfg.suite.build());
+    let mut world = SimWorld::new(cfg.gcs.clone());
+    for i in 0..n {
+        let member = SecureMember::new(
+            cfg.protocol,
+            Rc::clone(&suite),
+            cfg.seed ^ ((i as u64 + 1) * 0x9e37_79b9),
+            None, // no bootstrap: run the protocol for real
+        );
+        world.add_client(Box::new(member));
+    }
+    let members: Vec<ClientId> = (0..n).collect();
+    let before = snapshot_counts(&world, &members);
+    world.install_initial_view_of(members.clone());
+    world.run_until_quiescent();
+
+    let mut counts = OpCounts::default();
+    for (i, &c) in members.iter().enumerate() {
+        counts.add(&world.client::<SecureMember>(c).counts().since(&before[i]));
+    }
+    let mut last_key = SimTime::ZERO;
+    let mut last_view = SimTime::ZERO;
+    let mut agree = true;
+    let mut secret: Option<gkap_bignum::Ubig> = None;
+    for &c in &members {
+        let m = world.client::<SecureMember>(c);
+        if m.protocol_error().is_some() {
+            agree = false;
+        }
+        match m.completion(1) {
+            Some(t) => last_key = last_key.max(t),
+            None => agree = false,
+        }
+        if let Some(t) = m.view_time(1) {
+            last_view = last_view.max(t);
+        }
+        match (m.secret(1), &secret) {
+            (Some(s), None) => secret = Some(s.clone()),
+            (Some(s), Some(prev)) if s != prev => agree = false,
+            (None, _) => agree = false,
+            _ => {}
+        }
+    }
+    EventOutcome {
+        ok: agree,
+        elapsed_ms: last_key.as_millis_f64(),
+        membership_ms: last_view.as_millis_f64(),
+        counts,
+        size_after: n,
+    }
+}
+
+/// Like [`run_join_churned`]/[`run_leave_churned`] but with a custom
+/// protocol factory (the TGDH AVL-policy ablation). Returns
+/// `(join_outcome, leave_outcome, tree_height_after_churn)` — height
+/// is only populated when the engine is a [`crate::protocols::tgdh::Tgdh`].
+pub fn run_churned_with_factory(
+    cfg: &ExperimentConfig,
+    factory: &dyn Fn() -> Box<dyn crate::protocols::GkaProtocol>,
+    n: usize,
+    churn: usize,
+) -> (EventOutcome, Option<usize>) {
+    let suite = Rc::new(cfg.suite.build());
+    let mut world = SimWorld::new(cfg.gcs.clone());
+    let extra = churn + 1;
+    for i in 0..(n - 1 + extra) {
+        let member = SecureMember::with_protocol(
+            factory(),
+            Rc::clone(&suite),
+            cfg.seed ^ ((i as u64 + 1) * 0x9e37_79b9),
+            Some(cfg.seed),
+        );
+        world.add_client(Box::new(member));
+    }
+    world.install_initial_view_of((0..n - 1).collect());
+    world.run_until_quiescent();
+    apply_churn(&mut world, churn, cfg.seed);
+    let members = world.view().expect("view").members.clone();
+    let height = world
+        .client::<SecureMember>(members[0])
+        .protocol_as::<crate::protocols::tgdh::Tgdh>()
+        .map(|t| t.tree_height());
+    let joiner = next_unused_client(&world);
+    let mut wait_for = members;
+    wait_for.push(joiner);
+    let outcome = measure_event(&mut world, vec![joiner], vec![], wait_for);
+    (outcome, height)
+}
+
+/// Builds one figure: elapsed time vs group size for all five
+/// protocols plus the membership-service baseline.
+///
+/// `measure` maps `(config, size)` to an outcome; `sizes` is the
+/// x-axis; `reps` runs per point with varied seeds.
+pub fn build_figure(
+    title: &str,
+    gcs: &GcsConfig,
+    suite: SuiteKind,
+    sizes: &[usize],
+    reps: u32,
+    measure: impl Fn(&ExperimentConfig, usize) -> EventOutcome,
+) -> Figure {
+    let mut fig = Figure::new(title);
+    let mut membership = Series::new("Membership");
+    let mut membership_points: Vec<(f64, Summary)> = sizes.iter().map(|&s| (s as f64, Summary::new())).collect();
+    for kind in ProtocolKind::all() {
+        let mut series = Series::new(kind.name());
+        for (si, &size) in sizes.iter().enumerate() {
+            let mut summary = Summary::new();
+            for rep in 0..reps {
+                let cfg = ExperimentConfig {
+                    protocol: kind,
+                    gcs: gcs.clone(),
+                    suite,
+                    seed: 0x5eed ^ ((rep as u64 + 1) << 32) ^ size as u64,
+                    confirm_keys: false,
+                };
+                let outcome = measure(&cfg, size);
+                assert!(
+                    outcome.ok,
+                    "{kind} failed at size {size} (rep {rep}) in {title}"
+                );
+                summary.add(outcome.elapsed_ms);
+                membership_points[si].1.add(outcome.membership_ms);
+            }
+            series.push(size as f64, summary);
+        }
+        fig.push(series);
+    }
+    for (x, s) in membership_points {
+        membership.push(x, s);
+    }
+    fig.push(membership);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_kinds_build() {
+        assert_eq!(SuiteKind::Sim512.build().nominal_bits(), 512);
+        assert_eq!(SuiteKind::Sim1024.label(), "DH 1024 bits");
+    }
+
+    #[test]
+    fn config_presets() {
+        let lan = ExperimentConfig::lan_fast(ProtocolKind::Bd);
+        assert_eq!(lan.gcs.topology.site_count(), 1);
+        let wan = ExperimentConfig::wan(ProtocolKind::Gdh, SuiteKind::Sim512);
+        assert_eq!(wan.gcs.topology.site_count(), 3);
+    }
+}

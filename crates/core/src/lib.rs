@@ -1,0 +1,63 @@
+//! The paper's contribution: five group key agreement protocols for
+//! dynamic peer groups, integrated with a (simulated) group
+//! communication system — a reproduction of *"On the Performance of
+//! Group Key Agreement Protocols"* (Amir, Kim, Nita-Rotaru, Tsudik;
+//! ICDCS 2002).
+//!
+//! # Architecture
+//!
+//! ```text
+//!  experiment::*  — drivers that reproduce the paper's figures
+//!        │
+//!  SecureMember   — a gkap-gcs Client: signs/verifies every protocol
+//!        │          message, tracks epochs and key-completion times,
+//!        │          charges virtual CPU per cryptographic operation
+//!        │
+//!  protocols::*   — GDH, CKD, TGDH, STR, BD state machines
+//!        │
+//!  CryptoSuite    — DH group + signature scheme + cost model
+//! ```
+//!
+//! Each protocol implements [`protocols::GkaProtocol`]: a message-driven
+//! state machine reacting to membership views (join / leave / merge /
+//! partition) and signed protocol messages, eventually producing a
+//! shared group secret. All five provide the same interface, so a
+//! group can be configured with any of them — the "multiple protocol
+//! framework" contribution of the paper.
+//!
+//! The [`session`] module turns an established group secret into
+//! data-confidentiality services (AES-128-CTR + HMAC-SHA-256), playing
+//! the role of the Secure Spread library's encrypted messaging.
+//!
+//! # Example: five members agree on a key with TGDH
+//!
+//! ```
+//! use gkap_core::experiment::{run_formation, ExperimentConfig};
+//! use gkap_core::protocols::ProtocolKind;
+//!
+//! let cfg = ExperimentConfig::lan_fast(ProtocolKind::Tgdh);
+//! let outcome = run_formation(&cfg, 5);
+//! assert!(outcome.all_agreed, "all members computed the same key");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod codec;
+pub mod cost;
+pub mod costs_table;
+pub mod envelope;
+pub mod experiment;
+pub mod member;
+pub mod protocols;
+pub mod scenario;
+pub mod session;
+pub mod suite;
+pub mod testkit;
+pub mod tree;
+
+pub use cost::{CostModel, OpCounts};
+pub use member::SecureMember;
+pub use protocols::{GkaError, GkaProtocol, ProtocolKind};
+pub use suite::{CryptoSuite, SigMode};

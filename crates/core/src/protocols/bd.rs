@@ -1,0 +1,239 @@
+//! Burmester–Desmedt (BD), §4.5 of the paper.
+//!
+//! BD is fully symmetric: no controllers or sponsors, and the same two
+//! all-to-all broadcast rounds handle every membership change. Each
+//! member performs only three full exponentiations — plus the "hidden"
+//! cost the paper analyses in §5: assembling the key from the round-2
+//! values takes Θ(n) small-exponent exponentiations, and the 2n
+//! broadcasts are what make BD deteriorate on larger groups.
+//!
+//! The key is `K = g^{r_1 r_2 + r_2 r_3 + … + r_n r_1}`:
+//!
+//! 1. every member broadcasts `z_i = g^{r_i}`;
+//! 2. every member broadcasts `X_i = (z_{i+1} / z_{i-1})^{r_i}`;
+//! 3. every member computes
+//!    `K = z_{i-1}^{n·r_i} · X_i^{n-1} · X_{i+1}^{n-2} ⋯ X_{i+n-2}`.
+
+use std::collections::BTreeMap;
+
+use gkap_bignum::Ubig;
+use gkap_gcs::{ClientId, View};
+
+use crate::protocols::{
+    bootstrap_exponent, GkaCtx, GkaError, GkaProtocol, ProtocolKind, ProtocolMsg, SendKind,
+};
+use crate::suite::CryptoSuite;
+
+/// BD protocol engine for one member.
+#[derive(Debug)]
+pub struct Bd {
+    me: Option<ClientId>,
+    members: Vec<ClientId>,
+    my_r: Option<Ubig>,
+    z: BTreeMap<ClientId, Ubig>,
+    x: BTreeMap<ClientId, Ubig>,
+    sent_round2: bool,
+    secret: Option<Ubig>,
+}
+
+impl Bd {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Bd {
+            me: None,
+            members: Vec::new(),
+            my_r: None,
+            z: BTreeMap::new(),
+            x: BTreeMap::new(),
+            sent_round2: false,
+            secret: None,
+        }
+    }
+
+    fn position(&self, m: ClientId) -> Result<usize, GkaError> {
+        self.members
+            .iter()
+            .position(|&x| x == m)
+            .ok_or(GkaError::Protocol("member not in view"))
+    }
+
+    fn neighbour(&self, pos: usize, offset: isize) -> ClientId {
+        let n = self.members.len() as isize;
+        let idx = ((pos as isize + offset) % n + n) % n;
+        self.members[idx as usize]
+    }
+
+    /// Round 2 once all z values are present.
+    fn maybe_round2(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        if self.sent_round2 || self.z.len() < self.members.len() {
+            return Ok(());
+        }
+        let me = ctx.me();
+        let pos = self.position(me)?;
+        let next = self.neighbour(pos, 1);
+        let prev = self.neighbour(pos, -1);
+        let z_next = self.z[&next].clone();
+        let z_prev = self.z[&prev].clone();
+        let p = ctx.suite.group().modulus().clone();
+        // Group-element inversion of z_prev (extended Euclid, charged
+        // as an inverse, not an exponentiation).
+        ctx.counts.inverse += 1;
+        ctx.transport.charge(ctx.suite.cost().inverse);
+        let z_prev_inv = z_prev
+            .mod_inverse(&p)
+            .ok_or(GkaError::Protocol("non-invertible z value"))?;
+        let ratio = ctx.modmul(&z_next, &z_prev_inv);
+        let r = self.my_r.clone().ok_or(GkaError::Protocol("no session random"))?;
+        let x = ctx.exp(&ratio, &r);
+        self.x.insert(me, x.clone());
+        self.sent_round2 = true;
+        ctx.send(SendKind::Multicast, &ProtocolMsg::BdRound2 { x });
+        self.maybe_finish(ctx)
+    }
+
+    /// Key assembly once all X values are present.
+    fn maybe_finish(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        let n = self.members.len();
+        if self.x.len() < n || self.z.len() < n || self.secret.is_some() {
+            return Ok(());
+        }
+        let me = ctx.me();
+        let pos = self.position(me)?;
+        let prev = self.neighbour(pos, -1);
+        let r = self.my_r.clone().ok_or(GkaError::Protocol("no session random"))?;
+        let q = ctx.suite.group().order();
+        // A = z_{i-1}^{n * r_i}: one full exponentiation.
+        let e = r.modmul(&Ubig::from(n as u64), q);
+        let z_prev = self.z[&prev].clone();
+        let mut acc = ctx.exp(&z_prev, &e);
+        // Multiply X_{i+j}^{n-1-j} for j = 0..n-1 (the last factor has
+        // exponent 1 — a plain multiplication).
+        for j in 0..(n.saturating_sub(1)) {
+            let m = self.neighbour(pos, j as isize);
+            let exp = (n - 1 - j) as u64;
+            let xv = self.x[&m].clone();
+            let term = if exp == 1 {
+                xv
+            } else {
+                ctx.exp_small(&xv, exp)
+            };
+            acc = ctx.modmul(&acc, &term);
+        }
+        self.secret = Some(acc);
+        Ok(())
+    }
+}
+
+impl Default for Bd {
+    fn default() -> Self {
+        Bd::new()
+    }
+}
+
+impl GkaProtocol for Bd {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Bd
+    }
+
+    fn on_view(&mut self, ctx: &mut GkaCtx<'_>, view: &View) -> Result<(), GkaError> {
+        // Identical handling for every membership event.
+        self.me = Some(ctx.me());
+        self.members = view.members.clone();
+        self.z.clear();
+        self.x.clear();
+        self.sent_round2 = false;
+        self.secret = None;
+        let r = ctx.fresh_exponent();
+        let z = ctx.exp_g(&r);
+        self.my_r = Some(r.clone());
+        self.z.insert(ctx.me(), z.clone());
+        if self.members.len() == 1 {
+            // Degenerate single-member group: K = g^{r·r}.
+            let q = ctx.suite.group().order();
+            let e = r.modmul(&r, q);
+            let g = ctx.suite.group().generator().clone();
+            self.secret = Some(ctx.exp(&g, &e));
+            return Ok(());
+        }
+        ctx.send(SendKind::Multicast, &ProtocolMsg::BdRound1 { z });
+        Ok(())
+    }
+
+    fn on_msg(
+        &mut self,
+        ctx: &mut GkaCtx<'_>,
+        sender: ClientId,
+        msg: ProtocolMsg,
+    ) -> Result<(), GkaError> {
+        match msg {
+            ProtocolMsg::BdRound1 { z } => {
+                if !self.members.contains(&sender) {
+                    return Err(GkaError::UnexpectedMessage("BD z from non-member"));
+                }
+                self.z.insert(sender, z);
+                self.maybe_round2(ctx)
+            }
+            ProtocolMsg::BdRound2 { x } => {
+                if !self.members.contains(&sender) {
+                    return Err(GkaError::UnexpectedMessage("BD X from non-member"));
+                }
+                self.x.insert(sender, x);
+                self.maybe_finish(ctx)
+            }
+            _ => Err(GkaError::UnexpectedMessage("not a BD message")),
+        }
+    }
+
+    fn group_secret(&self) -> Option<&Ubig> {
+        self.secret.as_ref()
+    }
+
+    fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
+        // K = g^{sum r_i r_{i+1}} computed directly in the exponent.
+        let q = suite.group().order();
+        let rs: Vec<Ubig> = members
+            .iter()
+            .map(|&m| bootstrap_exponent(suite, seed, m))
+            .collect();
+        let mut e = Ubig::zero();
+        let n = members.len();
+        for i in 0..n {
+            let term = rs[i].modmul(&rs[(i + 1) % n], q);
+            e = e.modadd(&term, q);
+        }
+        self.me = Some(me);
+        self.members = members.to_vec();
+        self.my_r = members
+            .iter()
+            .position(|&m| m == me)
+            .map(|i| rs[i].clone());
+        self.secret = Some(suite.group().exp_g(&e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_agrees_and_is_cyclic() {
+        let suite = CryptoSuite::fast_zero();
+        let members = vec![0, 1, 2, 3, 4];
+        let mut secrets = Vec::new();
+        for &m in &members {
+            let mut p = Bd::new();
+            p.bootstrap(&suite, &members, m, 9);
+            secrets.push(p.group_secret().unwrap().clone());
+        }
+        assert!(secrets.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn neighbour_wraps_around() {
+        let mut p = Bd::new();
+        p.members = vec![10, 20, 30];
+        assert_eq!(p.neighbour(0, -1), 30);
+        assert_eq!(p.neighbour(2, 1), 10);
+        assert_eq!(p.neighbour(1, 1), 30);
+    }
+}

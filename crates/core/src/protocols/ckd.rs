@@ -1,0 +1,320 @@
+//! Centralized Key Distribution (CKD), §4.2 of the paper.
+//!
+//! One member — the *controller*, always the oldest member — generates
+//! the group secret and distributes it to every member encrypted under
+//! a pairwise Diffie–Hellman key. The controller refreshes its own DH
+//! contribution at every re-key (providing key freshness/PFS), so each
+//! distribution costs the controller one exponentiation per member —
+//! which is why the paper finds CKD's cost "comparable to GDH" and its
+//! curves scale linearly with the group size.
+//!
+//! * **Join/merge**: the controller invites the new members with its
+//!   fresh public value (one unicast for a join, one broadcast for a
+//!   merge); each new member replies with its own public value over
+//!   the cheap FIFO channel (the pairwise channels that keep CKD
+//!   competitive on the WAN, §6.2.2); the controller then broadcasts
+//!   the new secret encrypted per member.
+//! * **Leave/partition**: the controller re-keys directly (one round,
+//!   one broadcast). If the controller itself left, the new controller
+//!   (the next-oldest member) must first re-establish pairwise
+//!   channels with everyone — the expensive case the paper weights in
+//!   (§6.1.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gkap_bignum::{RandomSource, Ubig};
+use gkap_crypto::aes::ctr_xor;
+use gkap_crypto::kdf;
+use gkap_gcs::{ClientId, View};
+
+use crate::protocols::{
+    bootstrap_exponent, GkaCtx, GkaError, GkaProtocol, ProtocolKind, ProtocolMsg, SendKind,
+};
+use crate::suite::CryptoSuite;
+
+/// Fixed width (bytes) of the encrypted group-secret blobs.
+const BLOB_LEN: usize = 64;
+
+fn blob_nonce(epoch: u64, member: ClientId) -> [u8; 12] {
+    use gkap_crypto::sha::{Digest, Sha256};
+    let mut h = Sha256::new();
+    h.update(b"ckd-nonce");
+    h.update(&epoch.to_be_bytes());
+    h.update(&(member as u64).to_be_bytes());
+    h.finalize()[..12].try_into().expect("12 bytes")
+}
+
+fn blob_key(pairwise: &Ubig) -> [u8; 16] {
+    kdf::derive(pairwise, b"ckd-pairwise", 16)
+        .try_into()
+        .expect("16 bytes")
+}
+
+/// CKD protocol engine for one member.
+#[derive(Debug)]
+pub struct Ckd {
+    me: Option<ClientId>,
+    members: Vec<ClientId>,
+    /// My long-term-ish pairwise DH exponent (refreshed when invited).
+    my_exp: Option<Ubig>,
+    /// My public value `g^{my_exp}`.
+    my_pub: Option<Ubig>,
+    /// Member public values known to me (complete at the controller).
+    pubs: BTreeMap<ClientId, Ubig>,
+    /// Members whose responses the controller is still waiting for.
+    awaiting: BTreeSet<ClientId>,
+    /// The controller's current private exponent (fresh per re-key).
+    controller_exp: Option<Ubig>,
+    /// `g^{controller_exp}` (computed once per re-key).
+    controller_pub: Option<Ubig>,
+    secret: Option<Ubig>,
+}
+
+impl Ckd {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Ckd {
+            me: None,
+            members: Vec::new(),
+            my_exp: None,
+            my_pub: None,
+            pubs: BTreeMap::new(),
+            awaiting: BTreeSet::new(),
+            controller_exp: None,
+            controller_pub: None,
+            secret: None,
+        }
+    }
+
+    fn controller(&self) -> ClientId {
+        *self.members.first().expect("non-empty group")
+    }
+
+    /// Controller-side: distribute a fresh secret to all members,
+    /// assuming `pubs` covers everyone.
+    fn distribute(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        let me = ctx.me();
+        let x = self
+            .controller_exp
+            .clone()
+            .ok_or(GkaError::Protocol("controller has no fresh exponent"))?;
+        let controller_pub = self
+            .controller_pub
+            .clone()
+            .ok_or(GkaError::Protocol("controller public value not derived"))?;
+        // Fresh group secret (a random value; not contributory).
+        let secret = ctx.rng.next_ubig_in_range(ctx.suite.group().modulus());
+        let secret_bytes = secret.to_be_bytes_padded(BLOB_LEN);
+        let mut blobs = Vec::with_capacity(self.members.len() - 1);
+        for &m in &self.members {
+            if m == me {
+                continue;
+            }
+            let their_pub = self
+                .pubs
+                .get(&m)
+                .ok_or(GkaError::Protocol("missing member public value"))?;
+            let pairwise = ctx.exp(their_pub, &x);
+            ctx.charge_symmetric(1);
+            let ct = ctr_xor(&blob_key(&pairwise), &blob_nonce(ctx.epoch, m), 0, secret_bytes.clone());
+            blobs.push((m, ct));
+        }
+        ctx.send(
+            SendKind::Multicast,
+            &ProtocolMsg::CkdKeyDist { controller_pub, blobs },
+        );
+        self.secret = Some(secret);
+        Ok(())
+    }
+
+    /// Controller-side: begin a re-key, inviting any members whose
+    /// public values we do not have.
+    fn start_rekey(&mut self, ctx: &mut GkaCtx<'_>, invite: Vec<ClientId>) -> Result<(), GkaError> {
+        let x = ctx.fresh_exponent();
+        self.controller_pub = Some(ctx.exp_g(&x));
+        self.controller_exp = Some(x);
+        self.awaiting = invite.iter().copied().collect();
+        if self.awaiting.is_empty() {
+            return self.distribute(ctx);
+        }
+        let controller_pub = self.controller_pub.clone().expect("just derived");
+        let msg = ProtocolMsg::CkdInvite { controller_pub, invited: invite.clone() };
+        if invite.len() == 1 {
+            ctx.send(SendKind::UnicastFifo(invite[0]), &msg);
+        } else {
+            ctx.send(SendKind::Multicast, &msg);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Ckd {
+    fn default() -> Self {
+        Ckd::new()
+    }
+}
+
+impl GkaProtocol for Ckd {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Ckd
+    }
+
+    fn on_view(&mut self, ctx: &mut GkaCtx<'_>, view: &View) -> Result<(), GkaError> {
+        let me = ctx.me();
+        self.me = Some(me);
+        let was_controller = self
+            .members
+            .first()
+            .map(|&c| c == me)
+            .unwrap_or(false);
+        self.members = view.members.clone();
+        self.secret = None;
+        for l in &view.left {
+            self.pubs.remove(l);
+        }
+        if ctx.me() != self.controller() {
+            return Ok(()); // wait for invite / key distribution
+        }
+
+        // I am the controller for this view.
+        let became_controller = !was_controller;
+        let invite: Vec<ClientId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != me)
+            .filter(|m| became_controller || !self.pubs.contains_key(m) || view.joined.contains(m))
+            .collect();
+        // A brand-new controller must re-establish every channel
+        // (§4.2: "the new group controller must first establish secure
+        // channels with all of remaining group members").
+        if became_controller {
+            self.pubs.clear();
+        }
+        self.start_rekey(ctx, invite)
+    }
+
+    fn on_msg(
+        &mut self,
+        ctx: &mut GkaCtx<'_>,
+        sender: ClientId,
+        msg: ProtocolMsg,
+    ) -> Result<(), GkaError> {
+        match msg {
+            ProtocolMsg::CkdInvite { invited, .. } => {
+                if sender != self.controller() {
+                    return Err(GkaError::UnexpectedMessage("invite from a non-controller"));
+                }
+                if !invited.contains(&ctx.me()) {
+                    return Ok(()); // broadcast invite addressed to others
+                }
+                // Refresh our pairwise contribution and respond over
+                // the direct channel.
+                let x = ctx.fresh_exponent();
+                let member_pub = ctx.exp_g(&x);
+                self.my_exp = Some(x);
+                self.my_pub = Some(member_pub.clone());
+                ctx.send(SendKind::UnicastFifo(sender), &ProtocolMsg::CkdResponse { member_pub });
+                Ok(())
+            }
+            ProtocolMsg::CkdResponse { member_pub } => {
+                if self.me != Some(self.controller()) {
+                    return Err(GkaError::UnexpectedMessage("response at a non-controller"));
+                }
+                ctx.suite
+                    .group()
+                    .validate_public(&gkap_crypto::dh::DhPublic(member_pub.clone()))
+                    .map_err(|_| GkaError::Protocol("invalid member public value"))?;
+                self.pubs.insert(sender, member_pub);
+                self.awaiting.remove(&sender);
+                if self.awaiting.is_empty() && self.secret.is_none() {
+                    self.distribute(ctx)?;
+                }
+                Ok(())
+            }
+            ProtocolMsg::CkdKeyDist { controller_pub, blobs } => {
+                if sender != self.controller() {
+                    return Err(GkaError::UnexpectedMessage("key dist from a non-controller"));
+                }
+                let me = ctx.me();
+                let x = self
+                    .my_exp
+                    .clone()
+                    .ok_or(GkaError::Protocol("no pairwise exponent"))?;
+                let pairwise = ctx.exp(&controller_pub, &x);
+                let (_, ct) = blobs
+                    .iter()
+                    .find(|(m, _)| *m == me)
+                    .ok_or(GkaError::Protocol("no blob for me"))?
+                    .clone();
+                ctx.charge_symmetric(1);
+                let pt = ctr_xor(&blob_key(&pairwise), &blob_nonce(ctx.epoch, me), 0, ct);
+                if pt.len() != BLOB_LEN {
+                    return Err(GkaError::Protocol("blob length mismatch"));
+                }
+                self.secret = Some(Ubig::from_be_bytes(&pt));
+                Ok(())
+            }
+            _ => Err(GkaError::UnexpectedMessage("not a CKD message")),
+        }
+    }
+
+    fn group_secret(&self) -> Option<&Ubig> {
+        self.secret.as_ref()
+    }
+
+    fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
+        let group = suite.group();
+        self.me = Some(me);
+        self.members = members.to_vec();
+        self.pubs.clear();
+        for &m in members {
+            let x = bootstrap_exponent(suite, seed, m);
+            let p = group.exp_g(&x);
+            if m == me {
+                self.my_exp = Some(x.clone());
+                self.my_pub = Some(p.clone());
+            }
+            self.pubs.insert(m, p);
+        }
+        // The bootstrap controller's exponent doubles as the seed for
+        // the initial group secret (derived, deterministic).
+        let controller = members[0];
+        let cx = bootstrap_exponent(suite, seed, controller);
+        self.controller_exp = if me == controller { Some(cx.clone()) } else { None };
+        let shared = group.exp_g(&cx.modmul(&cx, group.order()));
+        self.secret = Some(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_agrees() {
+        let suite = CryptoSuite::fast_zero();
+        let members = vec![2, 7, 9];
+        let mut secrets = Vec::new();
+        for &m in &members {
+            let mut p = Ckd::new();
+            p.bootstrap(&suite, &members, m, 5);
+            secrets.push(p.group_secret().unwrap().clone());
+        }
+        assert!(secrets.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn blob_primitives_roundtrip() {
+        let pairwise = Ubig::from(123456u64);
+        let key = blob_key(&pairwise);
+        let nonce = blob_nonce(4, 2);
+        let secret = Ubig::from(0xDEADBEEFu64).to_be_bytes_padded(BLOB_LEN);
+        let ct = ctr_xor(&key, &nonce, 0, secret.clone());
+        assert_ne!(ct, secret);
+        assert_eq!(ctr_xor(&key, &nonce, 0, ct), secret);
+        // Nonces are domain-separated per epoch and member.
+        assert_ne!(blob_nonce(4, 2), blob_nonce(5, 2));
+        assert_ne!(blob_nonce(4, 2), blob_nonce(4, 3));
+    }
+}

@@ -1,0 +1,427 @@
+//! Group Diffie–Hellman (Cliques GDH IKA.3), §4.1 of the paper.
+//!
+//! The group secret is `g^{r_1 r_2 … r_n}`. It is never transmitted;
+//! instead the *group controller* (always the most recent member)
+//! builds and broadcasts a list of partial keys
+//! `K_j = g^{∏_{i≠j} r_i}`, from which each member computes the secret
+//! with one exponentiation.
+//!
+//! * **Merge** (join is the 1-member case): the current controller
+//!   refreshes its contribution and unicasts the accumulated token
+//!   through the chain of new members; the last new member broadcasts
+//!   it; every member factors its own contribution out and unicasts
+//!   the result back (Agreed-ordered — the round the paper identifies
+//!   as GDH's WAN bottleneck, §6.2.2); the new controller exponentiates
+//!   each factor-out with its fresh contribution and broadcasts the
+//!   partial-key list.
+//! * **Leave / partition**: the controller refreshes its contribution,
+//!   rescales every remaining partial key by `r'/r` and broadcasts the
+//!   reduced list — one round, one message.
+
+use std::collections::BTreeMap;
+
+use gkap_bignum::Ubig;
+use gkap_gcs::{ClientId, View};
+
+use crate::protocols::{
+    bootstrap_exponent, GkaCtx, GkaError, GkaProtocol, ProtocolKind, ProtocolMsg, SendKind,
+};
+use crate::suite::CryptoSuite;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Stage {
+    Idle,
+    /// A new member waiting for the chain token (its position among
+    /// the new members is implied by the membership lists).
+    AwaitChain,
+    /// Waiting for the last new member's token broadcast.
+    AwaitBroadcast,
+    /// The new controller collecting factor-out values.
+    AwaitFactorOuts,
+    /// Waiting for the final partial-key list.
+    AwaitPartialKeys,
+}
+
+/// GDH IKA.3 protocol engine for one member.
+#[derive(Debug)]
+pub struct Gdh {
+    me: Option<ClientId>,
+    /// This member's current secret contribution `r`.
+    my_exp: Option<Ubig>,
+    /// Latest partial-key list `member -> g^{∏_{i≠member} r_i}`
+    /// (every member caches the controller's last broadcast so any
+    /// member can take over as controller).
+    partial_keys: BTreeMap<ClientId, Ubig>,
+    secret: Option<Ubig>,
+    stage: Stage,
+    members: Vec<ClientId>,
+    new_members: Vec<ClientId>,
+    /// Collected factor-out values (new controller only).
+    factor_outs: BTreeMap<ClientId, Ubig>,
+    /// The broadcast token (kept by the new controller as its own
+    /// partial key).
+    broadcast_token: Option<Ubig>,
+    /// Joiners to merge after a combined leave+join view finishes its
+    /// leave phase (cascaded handling).
+    pending_merge: Vec<ClientId>,
+}
+
+impl Gdh {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Gdh {
+            me: None,
+            my_exp: None,
+            partial_keys: BTreeMap::new(),
+            secret: None,
+            stage: Stage::Idle,
+            members: Vec::new(),
+            new_members: Vec::new(),
+            factor_outs: BTreeMap::new(),
+            broadcast_token: None,
+            pending_merge: Vec::new(),
+        }
+    }
+
+    /// Old members (current view minus the ones being merged in).
+    fn old_members(&self) -> Vec<ClientId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| !self.new_members.contains(m))
+            .collect()
+    }
+
+    fn start_leave(&mut self, ctx: &mut GkaCtx<'_>, left: &[ClientId]) -> Result<(), GkaError> {
+        for l in left {
+            self.partial_keys.remove(l);
+        }
+        self.secret = None;
+        // The leave phase involves only the surviving *old* members;
+        // any simultaneously joining members wait for the merge phase.
+        let old_members: Vec<ClientId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !self.pending_merge.contains(m))
+            .collect();
+        let controller = *old_members
+            .last()
+            .ok_or(GkaError::Protocol("no surviving members"))?;
+        if ctx.me() != controller {
+            self.stage = Stage::AwaitPartialKeys;
+            return Ok(());
+        }
+        // Controller: refresh own contribution and rescale the list.
+        let old_r = self
+            .my_exp
+            .clone()
+            .ok_or(GkaError::Protocol("controller lacks a contribution"))?;
+        if self.partial_keys.len() != old_members.len() {
+            return Err(GkaError::Protocol("controller lacks the partial-key list"));
+        }
+        let fresh = ctx.fresh_exponent();
+        let q = ctx.suite.group().order().clone();
+        let delta = ctx.invert_exponent(&old_r).modmul(&fresh, &q);
+        let me = ctx.me();
+        let mut new_list = BTreeMap::new();
+        for (&m, k) in &self.partial_keys {
+            if m == me {
+                // K_me does not contain r_me; it is unaffected.
+                new_list.insert(m, k.clone());
+            } else {
+                new_list.insert(m, ctx.exp(k, &delta));
+            }
+        }
+        self.my_exp = Some(fresh.clone());
+        self.partial_keys = new_list;
+        let k_me = self.partial_keys[&me].clone();
+        self.secret = Some(ctx.exp(&k_me, &fresh));
+        let entries: Vec<(ClientId, Ubig)> =
+            self.partial_keys.iter().map(|(&m, k)| (m, k.clone())).collect();
+        ctx.send(SendKind::Multicast, &ProtocolMsg::GdhPartialKeys { entries });
+        self.stage = Stage::Idle;
+        self.maybe_start_pending_merge(ctx)
+    }
+
+    fn start_merge(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        self.secret = None;
+        let me = ctx.me();
+        let old = self.old_members();
+        let old_controller = *old.last().expect("merge needs an existing group");
+        if me == old_controller {
+            // Refresh contribution: token = K_me^{r'} = g^{∏ old}.
+            let k_me = self
+                .partial_keys
+                .get(&me)
+                .cloned()
+                .ok_or(GkaError::Protocol("controller lacks its partial key"))?;
+            let fresh = ctx.fresh_exponent();
+            let token = ctx.exp(&k_me, &fresh);
+            self.my_exp = Some(fresh);
+            let first_new = self.new_members[0];
+            ctx.send(
+                SendKind::UnicastAgreed(first_new),
+                &ProtocolMsg::GdhChainToken { token },
+            );
+            self.stage = Stage::AwaitBroadcast;
+        } else if self.new_members.contains(&me) {
+            self.stage = Stage::AwaitChain;
+        } else {
+            self.stage = Stage::AwaitBroadcast;
+        }
+        Ok(())
+    }
+
+    fn maybe_start_pending_merge(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        if self.pending_merge.is_empty() {
+            return Ok(());
+        }
+        self.new_members = std::mem::take(&mut self.pending_merge);
+        self.start_merge(ctx)
+    }
+
+    /// The new controller (last new member) finishes the protocol once
+    /// every factor-out has arrived.
+    fn try_finish_collection(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        let expected = self.members.len() - 1;
+        if self.factor_outs.len() < expected {
+            return Ok(());
+        }
+        let token = self
+            .broadcast_token
+            .clone()
+            .ok_or(GkaError::Protocol("missing broadcast token"))?;
+        let fresh = ctx.fresh_exponent();
+        let mut entries: Vec<(ClientId, Ubig)> = Vec::with_capacity(self.members.len());
+        for (&m, f) in &self.factor_outs {
+            entries.push((m, ctx.exp(f, &fresh)));
+        }
+        // The controller's own partial key is the token itself
+        // (g^{∏ everyone else}).
+        entries.push((ctx.me(), token.clone()));
+        entries.sort_by_key(|(m, _)| *m);
+        self.partial_keys = entries.iter().cloned().collect();
+        self.secret = Some(ctx.exp(&token, &fresh));
+        self.my_exp = Some(fresh);
+        ctx.send(SendKind::Multicast, &ProtocolMsg::GdhPartialKeys { entries });
+        self.factor_outs.clear();
+        self.stage = Stage::Idle;
+        Ok(())
+    }
+}
+
+impl Default for Gdh {
+    fn default() -> Self {
+        Gdh::new()
+    }
+}
+
+impl GkaProtocol for Gdh {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Gdh
+    }
+
+    fn on_view(&mut self, ctx: &mut GkaCtx<'_>, view: &View) -> Result<(), GkaError> {
+        self.me = Some(ctx.me());
+        self.members = view.members.clone();
+        self.factor_outs.clear();
+        self.broadcast_token = None;
+        let mut joined = view.joined.clone();
+
+        // Initial formation without bootstrap: treat the first member
+        // as a pre-existing group of one (IKA from scratch).
+        if joined.len() == view.members.len() {
+            let first = joined.remove(0);
+            if ctx.me() == first && self.my_exp.is_none() {
+                // The singleton's partial "list": K_first = g.
+                let r = ctx.fresh_exponent();
+                self.my_exp = Some(r);
+                self.partial_keys
+                    .insert(first, ctx.suite.group().generator().clone());
+            }
+            if joined.is_empty() {
+                // A group of one: the secret is g^{r}.
+                let r = self.my_exp.clone().expect("own exponent");
+                let g = ctx.suite.group().generator().clone();
+                self.secret = Some(ctx.exp(&g, &r));
+                self.stage = Stage::Idle;
+                return Ok(());
+            }
+        }
+
+        if !view.left.is_empty() {
+            if joined.contains(&ctx.me()) {
+                // A simultaneously joining member skips the old
+                // group's leave phase and waits for the merge chain.
+                self.new_members = joined;
+                self.pending_merge.clear();
+                self.stage = Stage::AwaitChain;
+                return Ok(());
+            }
+            self.pending_merge = joined;
+            self.new_members.clear();
+            self.start_leave(ctx, &view.left)
+        } else if !joined.is_empty() {
+            self.new_members = joined;
+            self.start_merge(ctx)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn on_msg(
+        &mut self,
+        ctx: &mut GkaCtx<'_>,
+        sender: ClientId,
+        msg: ProtocolMsg,
+    ) -> Result<(), GkaError> {
+        match msg {
+            ProtocolMsg::GdhChainToken { token } => {
+                if self.stage != Stage::AwaitChain {
+                    return Err(GkaError::UnexpectedMessage("GDH chain token"));
+                }
+                let me = ctx.me();
+                let pos = self
+                    .new_members
+                    .iter()
+                    .position(|&m| m == me)
+                    .ok_or(GkaError::Protocol("chain token at a non-new member"))?;
+                let last = self.new_members.len() - 1;
+                if pos < last {
+                    // Add our contribution and forward.
+                    let r = ctx.fresh_exponent();
+                    let next_token = ctx.exp(&token, &r);
+                    self.my_exp = Some(r);
+                    let next = self.new_members[pos + 1];
+                    ctx.send(
+                        SendKind::UnicastAgreed(next),
+                        &ProtocolMsg::GdhChainToken { token: next_token },
+                    );
+                    self.stage = Stage::AwaitBroadcast;
+                } else {
+                    // We are the new controller: broadcast as received.
+                    self.broadcast_token = Some(token.clone());
+                    ctx.send(
+                        SendKind::Multicast,
+                        &ProtocolMsg::GdhBroadcastToken { token },
+                    );
+                    self.stage = Stage::AwaitFactorOuts;
+                }
+                let _ = sender;
+                Ok(())
+            }
+            ProtocolMsg::GdhBroadcastToken { token } => {
+                if self.stage != Stage::AwaitBroadcast {
+                    return Err(GkaError::UnexpectedMessage("GDH token broadcast"));
+                }
+                let r = self
+                    .my_exp
+                    .clone()
+                    .ok_or(GkaError::Protocol("no contribution to factor out"))?;
+                let r_inv = ctx.invert_exponent(&r);
+                let value = ctx.exp(&token, &r_inv);
+                ctx.send(SendKind::UnicastAgreed(sender), &ProtocolMsg::GdhFactorOut { value });
+                self.stage = Stage::AwaitPartialKeys;
+                Ok(())
+            }
+            ProtocolMsg::GdhFactorOut { value } => {
+                if self.stage != Stage::AwaitFactorOuts {
+                    return Err(GkaError::UnexpectedMessage("GDH factor-out"));
+                }
+                self.factor_outs.insert(sender, value);
+                self.try_finish_collection(ctx)
+            }
+            ProtocolMsg::GdhPartialKeys { entries } => {
+                if self.stage == Stage::AwaitChain {
+                    // The old group's leave-phase re-key during a
+                    // combined leave+join: not addressed to us.
+                    return Ok(());
+                }
+                if self.stage != Stage::AwaitPartialKeys {
+                    return Err(GkaError::UnexpectedMessage("GDH partial keys"));
+                }
+                self.partial_keys = entries.into_iter().collect();
+                let me = ctx.me();
+                let k_me = self
+                    .partial_keys
+                    .get(&me)
+                    .cloned()
+                    .ok_or(GkaError::Protocol("partial-key list misses me"))?;
+                let r = self.my_exp.clone().ok_or(GkaError::Protocol("no contribution"))?;
+                self.secret = Some(ctx.exp(&k_me, &r));
+                self.stage = Stage::Idle;
+                self.maybe_start_pending_merge(ctx)
+            }
+            _ => Err(GkaError::UnexpectedMessage("not a GDH message")),
+        }
+    }
+
+    fn group_secret(&self) -> Option<&Ubig> {
+        self.secret.as_ref()
+    }
+
+    fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
+        let group = suite.group();
+        let q = group.order().clone();
+        // Product of everyone's bootstrap exponent (mod q).
+        let exps: Vec<(ClientId, Ubig)> = members
+            .iter()
+            .map(|&m| (m, bootstrap_exponent(suite, seed, m)))
+            .collect();
+        let mut product = Ubig::one();
+        for (_, r) in &exps {
+            product = product.modmul(r, &q);
+        }
+        self.partial_keys.clear();
+        for (m, r) in &exps {
+            let r_inv = r.mod_inverse(&q).expect("prime order");
+            let e = product.modmul(&r_inv, &q);
+            self.partial_keys.insert(*m, group.exp_g(&e));
+            if *m == me {
+                self.my_exp = Some(r.clone());
+            }
+        }
+        self.me = Some(me);
+        self.members = members.to_vec();
+        self.secret = Some(group.exp_g(&product));
+        self.stage = Stage::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_agrees_across_members() {
+        let suite = CryptoSuite::fast_zero();
+        let members = vec![0, 1, 2, 3];
+        let mut secrets = Vec::new();
+        for &m in &members {
+            let mut p = Gdh::new();
+            p.bootstrap(&suite, &members, m, 42);
+            secrets.push(p.group_secret().unwrap().clone());
+        }
+        assert!(secrets.windows(2).all(|w| w[0] == w[1]));
+        // Different seed, different key.
+        let mut other = Gdh::new();
+        other.bootstrap(&suite, &members, 0, 43);
+        assert_ne!(other.group_secret().unwrap(), &secrets[0]);
+    }
+
+    #[test]
+    fn bootstrap_partial_keys_consistent() {
+        // K_j^{r_j} == group secret for every j.
+        let suite = CryptoSuite::fast_zero();
+        let members = vec![5, 9, 11];
+        let mut p = Gdh::new();
+        p.bootstrap(&suite, &members, 5, 1);
+        let secret = p.group_secret().unwrap().clone();
+        for &m in &members {
+            let r = bootstrap_exponent(&suite, 1, m);
+            let k = p.partial_keys.get(&m).unwrap();
+            assert_eq!(suite.group().exp(k, &r), secret, "member {m}");
+        }
+    }
+}

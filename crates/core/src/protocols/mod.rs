@@ -1,0 +1,303 @@
+//! The group key agreement protocol framework and its five
+//! implementations.
+//!
+//! All protocols implement [`GkaProtocol`]: a state machine driven by
+//! membership views and signed protocol messages, producing a shared
+//! group secret. The framework supplies each protocol with a
+//! [`GkaCtx`] that performs the actual group arithmetic while
+//! transparently counting operations and charging virtual CPU time —
+//! so the *same* protocol code yields both correctness (real keys) and
+//! the paper's cost accounting.
+
+pub mod bd;
+pub mod ckd;
+pub mod gdh;
+pub mod str_proto;
+pub mod tgdh;
+mod wire;
+
+use bytes::Bytes;
+use gkap_bignum::{RandomSource, SplitMix64, Ubig};
+use gkap_gcs::{ClientId, View};
+use gkap_sim::Duration;
+
+use crate::cost::OpCounts;
+use crate::suite::CryptoSuite;
+
+pub use wire::ProtocolMsg;
+
+/// Which of the five protocols a group runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Group Diffie–Hellman (Cliques GDH IKA.3).
+    Gdh,
+    /// Centralized Key Distribution with a dynamically chosen server.
+    Ckd,
+    /// Tree-based Group Diffie–Hellman.
+    Tgdh,
+    /// Skinny-tree (STR) protocol.
+    Str,
+    /// Burmester–Desmedt.
+    Bd,
+}
+
+impl ProtocolKind {
+    /// All five, in the paper's Table 1 order.
+    pub fn all() -> [ProtocolKind; 5] {
+        [
+            ProtocolKind::Gdh,
+            ProtocolKind::Tgdh,
+            ProtocolKind::Str,
+            ProtocolKind::Bd,
+            ProtocolKind::Ckd,
+        ]
+    }
+
+    /// Display name, as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Gdh => "GDH",
+            ProtocolKind::Ckd => "CKD",
+            ProtocolKind::Tgdh => "TGDH",
+            ProtocolKind::Str => "STR",
+            ProtocolKind::Bd => "BD",
+        }
+    }
+
+    /// Instantiates a fresh protocol engine.
+    pub fn create(&self) -> Box<dyn GkaProtocol> {
+        match self {
+            ProtocolKind::Gdh => Box::new(gdh::Gdh::new()),
+            ProtocolKind::Ckd => Box::new(ckd::Ckd::new()),
+            ProtocolKind::Tgdh => Box::new(tgdh::Tgdh::new()),
+            ProtocolKind::Str => Box::new(str_proto::Str::new()),
+            ProtocolKind::Bd => Box::new(bd::Bd::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors surfaced by protocol state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GkaError {
+    /// A message arrived that the current state cannot accept.
+    UnexpectedMessage(&'static str),
+    /// Internal invariant violated (indicates a bug or a Byzantine
+    /// peer, which the paper's threat model excludes).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for GkaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GkaError::UnexpectedMessage(what) => write!(f, "unexpected protocol message: {what}"),
+            GkaError::Protocol(what) => write!(f, "protocol invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GkaError {}
+
+/// How a protocol message is to be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendKind {
+    /// Agreed (totally ordered) multicast to the whole group.
+    Multicast,
+    /// Agreed unicast — ordered with respect to multicasts, and as
+    /// expensive as one (GDH factor-out tokens; §6.2.2).
+    UnicastAgreed(ClientId),
+    /// Cheap direct FIFO unicast (CKD pairwise channel traffic).
+    UnicastFifo(ClientId),
+}
+
+/// Transport abstraction the protocols send through: implemented by
+/// the live `SecureMember` (over the simulated GCS) and by the
+/// in-memory loopback harness in [`crate::testkit`].
+pub trait Transport {
+    /// This member's identifier.
+    fn my_id(&self) -> ClientId;
+    /// Queues an already-enveloped wire message.
+    fn send_wire(&mut self, kind: SendKind, wire: Bytes);
+    /// Charges virtual CPU time.
+    fn charge(&mut self, cost: Duration);
+}
+
+/// The execution context handed to protocol handlers: group
+/// arithmetic with automatic cost accounting, randomness, and sending.
+pub struct GkaCtx<'a> {
+    /// Underlying transport.
+    pub transport: &'a mut dyn Transport,
+    /// Cryptographic configuration.
+    pub suite: &'a CryptoSuite,
+    /// Operation counters (per member, monotone).
+    pub counts: &'a mut OpCounts,
+    /// The member's private randomness.
+    pub rng: &'a mut SplitMix64,
+    /// Current epoch (view id) — stamped into envelopes.
+    pub epoch: u64,
+}
+
+impl GkaCtx<'_> {
+    /// This member's id.
+    pub fn me(&self) -> ClientId {
+        self.transport.my_id()
+    }
+
+    /// Full modular exponentiation in the group (counted + charged).
+    pub fn exp(&mut self, base: &Ubig, e: &Ubig) -> Ubig {
+        self.counts.exp += 1;
+        self.transport.charge(self.suite.cost().exp);
+        self.suite.group().exp(base, e)
+    }
+
+    /// `g^e` (counted + charged).
+    pub fn exp_g(&mut self, e: &Ubig) -> Ubig {
+        self.counts.exp += 1;
+        self.transport.charge(self.suite.cost().exp);
+        self.suite.group().exp_g(e)
+    }
+
+    /// Small-exponent exponentiation (BD step 3; counted separately,
+    /// charged per modular multiplication).
+    pub fn exp_small(&mut self, base: &Ubig, e: u64) -> Ubig {
+        self.counts.small_exp += 1;
+        self.transport.charge(self.suite.cost().small_exp(e));
+        self.suite.group().exp(base, &Ubig::from(e))
+    }
+
+    /// Modular multiplication of two group elements (BD key
+    /// assembly; charged as one multiplication).
+    pub fn modmul(&mut self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.transport.charge(self.suite.cost().modmul);
+        a.modmul(b, self.suite.group().modulus())
+    }
+
+    /// Inverts an exponent modulo the group order (counted + charged).
+    pub fn invert_exponent(&mut self, e: &Ubig) -> Ubig {
+        self.counts.inverse += 1;
+        self.transport.charge(self.suite.cost().inverse);
+        self.suite.invert_exponent(e)
+    }
+
+    /// Draws a fresh secret exponent.
+    pub fn fresh_exponent(&mut self) -> Ubig {
+        self.suite.group().random_exponent(self.rng)
+    }
+
+    /// Charges `n` symmetric cipher operations (CKD key blobs).
+    pub fn charge_symmetric(&mut self, n: u64) {
+        self.counts.symmetric += n;
+        self.transport.charge(self.suite.cost().symmetric.mul(n));
+    }
+
+    /// Encodes, signs and sends a protocol message (sign is counted
+    /// and charged; message counters updated).
+    pub fn send(&mut self, kind: SendKind, msg: &ProtocolMsg) {
+        let body = msg.encode();
+        self.counts.sign += 1;
+        self.transport.charge(self.suite.cost().sign);
+        let env = crate::envelope::Envelope::seal(self.suite, self.me(), self.epoch, body);
+        match kind {
+            SendKind::Multicast => self.counts.multicast += 1,
+            SendKind::UnicastAgreed(_) | SendKind::UnicastFifo(_) => self.counts.unicast += 1,
+        }
+        self.transport.send_wire(kind, env.encode());
+    }
+}
+
+/// A group key agreement protocol state machine.
+///
+/// One instance lives inside each member's `SecureMember`. The
+/// framework guarantees that `on_view` is invoked for every installed
+/// view the member belongs to, and `on_msg` for every *verified*
+/// protocol message of the current epoch.
+pub trait GkaProtocol: std::any::Any {
+    /// Which protocol this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Reacts to a membership change: initiates (or participates in)
+    /// the re-keying for this view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GkaError`] if the view is inconsistent with
+    /// protocol state.
+    fn on_view(&mut self, ctx: &mut GkaCtx<'_>, view: &View) -> Result<(), GkaError>;
+
+    /// Handles a verified protocol message from `sender`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GkaError`] on unexpected or inconsistent messages.
+    fn on_msg(
+        &mut self,
+        ctx: &mut GkaCtx<'_>,
+        sender: ClientId,
+        msg: ProtocolMsg,
+    ) -> Result<(), GkaError>;
+
+    /// The established group secret, once this member has computed it
+    /// for the current epoch.
+    fn group_secret(&self) -> Option<&Ubig>;
+
+    /// Installs a deterministic pre-agreed state for `members` (used
+    /// to bootstrap initial groups and pre-merge components without
+    /// running — or charging for — an interactive protocol; see
+    /// DESIGN.md). `seed` must be identical across the members of the
+    /// component.
+    fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64);
+}
+
+/// Derives member `m`'s deterministic bootstrap exponent for a
+/// component seeded with `seed`. Every member of the component can
+/// derive every other member's exponent — the simulation's stand-in
+/// for "the group already shares a key" (never used after the first
+/// real membership event, which refreshes contributions).
+pub fn bootstrap_exponent(suite: &CryptoSuite, seed: u64, m: ClientId) -> Ubig {
+    let mut rng = SplitMix64::new(seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let _ = rng.next_u64(); // decorrelate from the raw seed
+    suite.group().random_exponent(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_all() {
+        assert_eq!(ProtocolKind::all().len(), 5);
+        let names: Vec<&str> = ProtocolKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["GDH", "TGDH", "STR", "BD", "CKD"]);
+        assert_eq!(ProtocolKind::Tgdh.to_string(), "TGDH");
+    }
+
+    #[test]
+    fn create_instantiates_matching_kind() {
+        for kind in ProtocolKind::all() {
+            assert_eq!(kind.create().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn bootstrap_exponents_deterministic_and_distinct() {
+        let suite = CryptoSuite::fast_zero();
+        let a1 = bootstrap_exponent(&suite, 7, 0);
+        let a2 = bootstrap_exponent(&suite, 7, 0);
+        let b = bootstrap_exponent(&suite, 7, 1);
+        let c = bootstrap_exponent(&suite, 8, 0);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(GkaError::UnexpectedMessage("x").to_string().contains("x"));
+        assert!(GkaError::Protocol("y").to_string().contains("y"));
+    }
+}

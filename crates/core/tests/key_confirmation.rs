@@ -1,0 +1,98 @@
+//! Key confirmation (§5): after each event every member can broadcast
+//! a digest of its key; everyone cross-checks, catching divergence at
+//! the price of one extra all-to-all round.
+
+use std::rc::Rc;
+
+use gkap_core::member::SecureMember;
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_gcs::{testbed, SimWorld};
+
+fn confirmed_world(kind: ProtocolKind, n: usize) -> SimWorld {
+    let suite = Rc::new(CryptoSuite::fast_zero());
+    let mut world = SimWorld::new(testbed::lan());
+    for i in 0..n as u64 {
+        let mut m = SecureMember::new(kind, Rc::clone(&suite), 40 + i, Some(6));
+        m.set_key_confirmation(true);
+        world.add_client(Box::new(m));
+    }
+    world.install_initial_view_of((0..n - 1).collect());
+    world.run_until_quiescent();
+    world.inject_join(n - 1);
+    world.run_until_quiescent();
+    world
+}
+
+#[test]
+fn every_member_confirms_every_other() {
+    for kind in ProtocolKind::all() {
+        let n = 7;
+        let world = confirmed_world(kind, n);
+        let epoch = world.view().unwrap().id;
+        for c in 0..n {
+            let m = world.client::<SecureMember>(c);
+            assert!(
+                m.protocol_error().is_none(),
+                "{kind} member {c}: {:?}",
+                m.protocol_error()
+            );
+            assert_eq!(
+                m.confirmations(epoch),
+                n - 1,
+                "{kind} member {c} should hold n-1 confirmations"
+            );
+        }
+    }
+}
+
+#[test]
+fn confirmation_costs_one_extra_broadcast_round() {
+    // With confirmation on, the aggregate multicast count for a leave
+    // grows by exactly n (every member confirms).
+    let measure = |confirm: bool| -> u64 {
+        let suite = Rc::new(CryptoSuite::fast_zero());
+        let mut world = SimWorld::new(testbed::lan());
+        for i in 0..8u64 {
+            let mut m = SecureMember::new(ProtocolKind::Tgdh, Rc::clone(&suite), i, Some(2));
+            m.set_key_confirmation(confirm);
+            world.add_client(Box::new(m));
+        }
+        world.install_initial_view();
+        world.run_until_quiescent();
+        let before: Vec<u64> = (0..8).map(|c| world.client::<SecureMember>(c).counts().multicast).collect();
+        world.inject_leave(3);
+        world.run_until_quiescent();
+        (0..8)
+            .filter(|&c| c != 3)
+            .map(|c| world.client::<SecureMember>(c).counts().multicast - before[c])
+            .sum()
+    };
+    let without = measure(false);
+    let with = measure(true);
+    assert_eq!(with, without + 7, "7 members each add one confirmation");
+}
+
+#[test]
+fn confirmations_survive_cascaded_events() {
+    let suite = Rc::new(CryptoSuite::fast_zero());
+    let mut world = SimWorld::new(testbed::lan());
+    for i in 0..8u64 {
+        let mut m = SecureMember::new(ProtocolKind::Str, Rc::clone(&suite), i, Some(4));
+        m.set_key_confirmation(true);
+        world.add_client(Box::new(m));
+    }
+    world.install_initial_view_of((0..6).collect());
+    world.run_until_quiescent();
+    world.inject_join(6);
+    world.inject_join(7);
+    world.inject_leave(0);
+    world.run_until_quiescent();
+    let epoch = world.view().unwrap().id;
+    let members = world.view().unwrap().members.clone();
+    for &c in &members {
+        let m = world.client::<SecureMember>(c);
+        assert!(m.protocol_error().is_none(), "member {c}: {:?}", m.protocol_error());
+        assert_eq!(m.confirmations(epoch), members.len() - 1, "member {c}");
+    }
+}

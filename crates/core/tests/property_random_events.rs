@@ -1,0 +1,139 @@
+//! Property-based tests: any random sequence of membership events must
+//! leave every protocol with a consistent, fresh group key — the
+//! robustness property the authors' companion work ([2] in the paper)
+//! proves for cascaded events.
+
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_core::testkit::Loopback;
+use proptest::prelude::*;
+
+/// A scripted membership event.
+#[derive(Clone, Debug)]
+enum Ev {
+    Join,
+    Leave(usize),     // index into current members
+    Merge(usize),     // 2..4 fresh singletons
+    Partition(usize), // how many to drop (bounded by size-1)
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        3 => Just(Ev::Join),
+        3 => (0usize..64).prop_map(Ev::Leave),
+        1 => (2usize..4).prop_map(Ev::Merge),
+        1 => (1usize..5).prop_map(Ev::Partition),
+    ]
+}
+
+fn run_script(kind: ProtocolKind, initial: usize, script: &[Ev]) {
+    let pool = initial + script.len() * 4 + 4;
+    let ids: Vec<usize> = (0..pool).collect();
+    let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+    lb.bootstrap(&ids[..initial], 77);
+    let mut next_fresh = initial;
+    let mut keys = vec![lb.common_secret()];
+
+    for ev in script {
+        let members = lb.view().to_vec();
+        match ev {
+            Ev::Join => {
+                let j = next_fresh;
+                next_fresh += 1;
+                let mut new_members = members.clone();
+                new_members.push(j);
+                lb.install_view(new_members, vec![j], vec![]);
+            }
+            Ev::Leave(i) => {
+                if members.len() < 2 {
+                    continue;
+                }
+                let leaver = members[i % members.len()];
+                let remaining: Vec<usize> =
+                    members.iter().copied().filter(|&c| c != leaver).collect();
+                lb.install_view(remaining, vec![], vec![leaver]);
+            }
+            Ev::Merge(m) => {
+                let joiners: Vec<usize> = (next_fresh..next_fresh + m).collect();
+                next_fresh += m;
+                let mut new_members = members.clone();
+                new_members.extend_from_slice(&joiners);
+                lb.install_view(new_members, joiners, vec![]);
+            }
+            Ev::Partition(p) => {
+                let p = (*p).min(members.len().saturating_sub(1));
+                if p == 0 {
+                    continue;
+                }
+                // Drop every k-th member.
+                let leaving: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % (members.len() / p).max(1) == 0)
+                    .map(|(_, c)| c)
+                    .take(p)
+                    .collect();
+                if leaving.len() == members.len() {
+                    continue;
+                }
+                let remaining: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|c| !leaving.contains(c))
+                    .collect();
+                lb.install_view(remaining, vec![], leaving);
+            }
+        }
+        let key = lb.common_secret(); // panics on divergence
+        assert!(
+            !keys.contains(&key),
+            "{kind}: group key repeated after {ev:?}"
+        );
+        keys.push(key);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gdh_survives_random_event_sequences(
+        initial in 2usize..8,
+        script in proptest::collection::vec(event_strategy(), 1..8),
+    ) {
+        run_script(ProtocolKind::Gdh, initial, &script);
+    }
+
+    #[test]
+    fn tgdh_survives_random_event_sequences(
+        initial in 2usize..8,
+        script in proptest::collection::vec(event_strategy(), 1..8),
+    ) {
+        run_script(ProtocolKind::Tgdh, initial, &script);
+    }
+
+    #[test]
+    fn str_survives_random_event_sequences(
+        initial in 2usize..8,
+        script in proptest::collection::vec(event_strategy(), 1..8),
+    ) {
+        run_script(ProtocolKind::Str, initial, &script);
+    }
+
+    #[test]
+    fn bd_survives_random_event_sequences(
+        initial in 2usize..8,
+        script in proptest::collection::vec(event_strategy(), 1..8),
+    ) {
+        run_script(ProtocolKind::Bd, initial, &script);
+    }
+
+    #[test]
+    fn ckd_survives_random_event_sequences(
+        initial in 2usize..8,
+        script in proptest::collection::vec(event_strategy(), 1..8),
+    ) {
+        run_script(ProtocolKind::Ckd, initial, &script);
+    }
+}

@@ -1,0 +1,100 @@
+//! Real initial key agreement (IKA): groups formed by running the
+//! actual protocols from scratch — no transparent bootstrap. The
+//! experiments in the paper measure join/leave on established groups;
+//! IKA is the "group forms" case its §2.1 dismisses as rare but which
+//! the protocols must still handle.
+
+use std::rc::Rc;
+
+use gkap_core::member::SecureMember;
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_gcs::{testbed, SimWorld};
+
+fn form_real(kind: ProtocolKind, n: usize) -> SimWorld {
+    let suite = Rc::new(CryptoSuite::fast_zero());
+    let mut world = SimWorld::new(testbed::lan());
+    for i in 0..n as u64 {
+        // initial_seed: None => the initial view runs the real
+        // protocol (an n-way formation).
+        world.add_client(Box::new(SecureMember::new(kind, Rc::clone(&suite), 70 + i, None)));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    world
+}
+
+#[test]
+fn real_ika_all_protocols_all_sizes() {
+    for kind in ProtocolKind::all() {
+        for n in [1usize, 2, 3, 5, 8, 13, 20] {
+            let world = form_real(kind, n);
+            let mut secret = None;
+            for c in 0..n {
+                let m = world.client::<SecureMember>(c);
+                assert!(
+                    m.protocol_error().is_none(),
+                    "{kind} n={n} member {c}: {:?}",
+                    m.protocol_error()
+                );
+                let s = m
+                    .secret(1)
+                    .unwrap_or_else(|| panic!("{kind} n={n}: member {c} never keyed"));
+                match &secret {
+                    None => secret = Some(s.clone()),
+                    Some(prev) => assert_eq!(prev, s, "{kind} n={n} member {c} diverges"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn real_ika_then_join_and_leave() {
+    // A group formed for real behaves identically afterwards.
+    for kind in ProtocolKind::all() {
+        let suite = Rc::new(CryptoSuite::fast_zero());
+        let mut world = SimWorld::new(testbed::lan());
+        for i in 0..7u64 {
+            world.add_client(Box::new(SecureMember::new(kind, Rc::clone(&suite), i, None)));
+        }
+        world.install_initial_view_of((0..6).collect());
+        world.run_until_quiescent();
+        let k1 = world.client::<SecureMember>(0).secret(1).unwrap().clone();
+
+        world.inject_join(6);
+        world.run_until_quiescent();
+        let k2 = world.client::<SecureMember>(6).secret(2).unwrap().clone();
+        assert_ne!(k1, k2, "{kind}");
+
+        world.inject_leave(3);
+        world.run_until_quiescent();
+        let k3 = world.client::<SecureMember>(0).secret(3).unwrap().clone();
+        assert_ne!(k2, k3, "{kind}");
+        for c in [0usize, 1, 2, 4, 5, 6] {
+            assert_eq!(world.client::<SecureMember>(c).secret(3), Some(&k3), "{kind}");
+        }
+    }
+}
+
+#[test]
+fn real_ika_differs_across_runs_with_different_seeds() {
+    // Contributory keys depend on every member's fresh randomness.
+    let a = form_real(ProtocolKind::Tgdh, 5);
+    let suite = Rc::new(CryptoSuite::fast_zero());
+    let mut world = SimWorld::new(testbed::lan());
+    for i in 0..5u64 {
+        world.add_client(Box::new(SecureMember::new(
+            ProtocolKind::Tgdh,
+            Rc::clone(&suite),
+            5000 + i,
+            None,
+        )));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    assert_ne!(
+        a.client::<SecureMember>(0).secret(1),
+        world.client::<SecureMember>(0).secret(1)
+    );
+}

@@ -1,0 +1,144 @@
+//! Round/message structure of the multi-round operations in Table 1:
+//! TGDH's partition protocol (up to h rounds of sponsor broadcasts),
+//! GDH's merge (m chain unicasts), and CKD's controller-leave case.
+
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_core::testkit::Loopback;
+
+fn partition_counts(kind: ProtocolKind, n: usize, leaving: &[usize]) -> gkap_core::cost::OpCounts {
+    let ids: Vec<usize> = (0..n).collect();
+    let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+    lb.bootstrap(&ids, 5);
+    let before = lb.total_counts();
+    let remaining: Vec<usize> = ids.iter().copied().filter(|c| !leaving.contains(c)).collect();
+    lb.install_view(remaining, vec![], leaving.to_vec());
+    lb.total_counts().since(&before)
+}
+
+#[test]
+fn tgdh_partition_is_multi_round_but_bounded_by_height() {
+    // Partitions with scattered leavers need several sponsor
+    // broadcasts; Table 1 bounds the rounds by the tree height h.
+    for n in [16usize, 32] {
+        let h = (n as f64).log2().ceil() as u64 + 1;
+        // Scattered leavers (every 5th member) force multiple wounds.
+        let leaving: Vec<usize> = (0..n).filter(|i| i % 5 == 1).collect();
+        let d = partition_counts(ProtocolKind::Tgdh, n, &leaving);
+        assert!(
+            d.multicast >= 1,
+            "TGDH partition needs at least the refresher broadcast"
+        );
+        assert!(
+            d.multicast <= 2 * h,
+            "TGDH partition used {} broadcasts; Table 1 bounds rounds by h = {h} (n={n})",
+            d.multicast
+        );
+    }
+}
+
+#[test]
+fn tgdh_scattered_partition_needs_more_broadcasts_than_single_leave() {
+    let n = 32;
+    let single = partition_counts(ProtocolKind::Tgdh, n, &[n / 2]);
+    let leaving: Vec<usize> = (0..n).filter(|i| i % 4 == 1).collect();
+    let scattered = partition_counts(ProtocolKind::Tgdh, n, &leaving);
+    assert_eq!(single.multicast, 1, "single leave is one broadcast");
+    assert!(
+        scattered.multicast >= single.multicast,
+        "scattered partition ({}) vs single leave ({})",
+        scattered.multicast,
+        single.multicast
+    );
+}
+
+#[test]
+fn str_partition_stays_single_round() {
+    // STR's partition is one broadcast regardless of the leaver
+    // pattern (Table 1: leave/partition = 1 round, 1 message).
+    for n in [12usize, 24] {
+        let leaving: Vec<usize> = (0..n).filter(|i| i % 4 == 2).collect();
+        let d = partition_counts(ProtocolKind::Str, n, &leaving);
+        assert_eq!(d.multicast, 1, "STR partition broadcasts (n={n})");
+        assert_eq!(d.unicast, 0);
+    }
+}
+
+#[test]
+fn gdh_merge_message_structure() {
+    // Merge of m members into n: m chain unicasts… wait — 1 controller
+    // unicast + (m-1) chain + (n+m-1) factor-outs, 2 broadcasts
+    // (Table 1: n + 2m + 1 messages total).
+    for (n, m) in [(6usize, 2usize), (8, 4), (10, 5)] {
+        let total = n + m;
+        let ids: Vec<usize> = (0..total).collect();
+        let mut lb = Loopback::new(ProtocolKind::Gdh, CryptoSuite::fast_zero(), &ids);
+        lb.bootstrap(&ids[..n], 5);
+        let before = lb.total_counts();
+        let joiners: Vec<usize> = (n..total).collect();
+        lb.install_view(ids.clone(), joiners, vec![]);
+        let d = lb.total_counts().since(&before);
+        assert_eq!(d.multicast, 2, "GDH merge broadcasts (n={n}, m={m})");
+        assert_eq!(
+            d.unicast,
+            (m + total - 1) as u64,
+            "GDH merge unicasts (n={n}, m={m})"
+        );
+        assert_eq!(d.messages(), (total + m + 1) as u64, "Table 1: n+2m+1");
+    }
+}
+
+#[test]
+fn ckd_controller_leave_costs_reinvitation() {
+    // When the controller leaves, the new controller re-invites
+    // everyone: 1 broadcast invite + (n-2) responses + 1 key dist.
+    let n = 10usize;
+    let ids: Vec<usize> = (0..n).collect();
+    let mut lb = Loopback::new(ProtocolKind::Ckd, CryptoSuite::fast_zero(), &ids);
+    lb.bootstrap(&ids, 5);
+    let before = lb.total_counts();
+    let remaining: Vec<usize> = ids[1..].to_vec(); // member 0 = controller leaves
+    lb.install_view(remaining, vec![], vec![0]);
+    let d = lb.total_counts().since(&before);
+    let nn = (n - 1) as u64;
+    assert_eq!(d.multicast, 2, "invite broadcast + key distribution");
+    assert_eq!(d.unicast, nn - 1, "every member responds");
+    // Exps: controller 1 (pub) + (nn-1) pairwise; members 1 (response)
+    // + 1 (pairwise) each.
+    assert_eq!(d.exp, 1 + (nn - 1) + 2 * (nn - 1));
+    // Versus the cheap non-controller leave:
+    let mut lb2 = Loopback::new(ProtocolKind::Ckd, CryptoSuite::fast_zero(), &ids);
+    lb2.bootstrap(&ids, 5);
+    let before2 = lb2.total_counts();
+    let remaining2: Vec<usize> = ids.iter().copied().filter(|&c| c != 5).collect();
+    lb2.install_view(remaining2, vec![], vec![5]);
+    let cheap = lb2.total_counts().since(&before2);
+    assert_eq!(cheap.multicast, 1, "plain leave is one broadcast");
+    assert!(d.exp > cheap.exp, "controller leave must cost more");
+    assert!(d.messages() > cheap.messages());
+}
+
+#[test]
+fn bd_structure_is_event_independent() {
+    // "The protocol for all membership changes is identical" (§4.5):
+    // identical resulting sizes give identical counts, whatever the
+    // event.
+    let join = {
+        let ids: Vec<usize> = (0..12).collect();
+        let mut lb = Loopback::new(ProtocolKind::Bd, CryptoSuite::fast_zero(), &ids);
+        lb.bootstrap(&ids[..11], 5);
+        let before = lb.total_counts();
+        lb.install_view(ids.clone(), vec![11], vec![]);
+        lb.total_counts().since(&before)
+    };
+    let leave = {
+        let ids: Vec<usize> = (0..13).collect();
+        let mut lb = Loopback::new(ProtocolKind::Bd, CryptoSuite::fast_zero(), &ids);
+        lb.bootstrap(&ids, 5);
+        let before = lb.total_counts();
+        let remaining: Vec<usize> = ids.iter().copied().filter(|&c| c != 6).collect();
+        lb.install_view(remaining, vec![], vec![6]);
+        lb.total_counts().since(&before)
+    };
+    assert_eq!(join, leave, "BD join into 12 == BD leave to 12");
+}

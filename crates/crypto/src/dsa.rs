@@ -1,0 +1,234 @@
+//! DSA signatures over the workspace's safe-prime groups.
+//!
+//! The paper signs with RSA (e = 3) precisely because verification is
+//! cheap and every protocol message is verified by *all* receivers;
+//! §6.1.1 remarks that "expensive signature verification (e.g., as in
+//! DSA) noticeably degrades performance". This module provides that
+//! alternative so the trade-off can be measured (see the `ablate-sig`
+//! reproduction target).
+//!
+//! The safe-prime groups `(p, q = (p-1)/2, g)` of [`crate::dh`] are
+//! valid DSA domains: `g` generates the order-`q` subgroup.
+
+use gkap_bignum::{RandomSource, Ubig};
+
+use crate::dh::DhGroup;
+use crate::sha::{Digest, Sha256};
+use crate::CryptoError;
+
+/// A DSA key pair over a [`DhGroup`].
+pub struct DsaKeyPair {
+    group: DhGroup,
+    /// Secret exponent `x ∈ [1, q)`.
+    x: Ubig,
+    /// Public value `y = g^x mod p`.
+    y: Ubig,
+}
+
+impl std::fmt::Debug for DsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsaKeyPair")
+            .field("group", &self.group.name())
+            .field("x", &"<redacted>")
+            .finish()
+    }
+}
+
+/// A DSA signature `(r, s)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsaSignature {
+    /// `(g^k mod p) mod q`.
+    pub r: Ubig,
+    /// `k^{-1} (H(m) + x r) mod q`.
+    pub s: Ubig,
+}
+
+impl DsaSignature {
+    /// Serializes as two length-prefixed big-endian integers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let rb = self.r.to_be_bytes();
+        let sb = self.s.to_be_bytes();
+        let mut out = Vec::with_capacity(rb.len() + sb.len() + 8);
+        out.extend_from_slice(&(rb.len() as u32).to_be_bytes());
+        out.extend_from_slice(&rb);
+        out.extend_from_slice(&(sb.len() as u32).to_be_bytes());
+        out.extend_from_slice(&sb);
+        out
+    }
+
+    /// Parses the serialization of [`DsaSignature::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] on malformed input.
+    pub fn from_bytes(wire: &[u8]) -> Result<Self, CryptoError> {
+        let take = |wire: &[u8]| -> Option<(Ubig, usize)> {
+            if wire.len() < 4 {
+                return None;
+            }
+            let len = u32::from_be_bytes(wire[..4].try_into().ok()?) as usize;
+            if wire.len() < 4 + len {
+                return None;
+            }
+            Some((Ubig::from_be_bytes(&wire[4..4 + len]), 4 + len))
+        };
+        let (r, used) = take(wire).ok_or(CryptoError::BadSignature)?;
+        let (s, used2) = take(&wire[used..]).ok_or(CryptoError::BadSignature)?;
+        if used + used2 != wire.len() {
+            return Err(CryptoError::BadSignature);
+        }
+        Ok(DsaSignature { r, s })
+    }
+}
+
+/// `H(m)` reduced into `[0, q)`.
+fn hash_to_q(message: &[u8], q: &Ubig) -> Ubig {
+    Ubig::from_be_bytes(&Sha256::digest(message)).rem(q)
+}
+
+impl DsaKeyPair {
+    /// Generates a key pair over `group`.
+    pub fn generate<R: RandomSource + ?Sized>(group: DhGroup, rng: &mut R) -> Self {
+        let x = group.random_exponent(rng);
+        let y = group.exp_g(&x);
+        DsaKeyPair { group, x, y }
+    }
+
+    /// The public value `y`.
+    pub fn public(&self) -> &Ubig {
+        &self.y
+    }
+
+    /// The domain parameters.
+    pub fn group(&self) -> &DhGroup {
+        &self.group
+    }
+
+    /// Signs `message`. Costs one full exponentiation (`g^k`).
+    pub fn sign<R: RandomSource + ?Sized>(&self, message: &[u8], rng: &mut R) -> DsaSignature {
+        let q = self.group.order();
+        let h = hash_to_q(message, q);
+        loop {
+            let k = self.group.random_exponent(rng);
+            let r = self.group.exp_g(&k).rem(q);
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.mod_inverse(q).expect("prime order");
+            let s = k_inv.modmul(&h.modadd(&self.x.modmul(&r, q), q), q);
+            if s.is_zero() {
+                continue;
+            }
+            return DsaSignature { r, s };
+        }
+    }
+}
+
+/// Verifies a DSA signature against a public value `y` in `group`.
+/// Costs **two** full exponentiations (`g^{u1} · y^{u2}`) — the
+/// expensive-verification regime the paper contrasts with RSA e = 3.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadSignature`] if verification fails.
+pub fn verify(
+    group: &DhGroup,
+    y: &Ubig,
+    message: &[u8],
+    sig: &DsaSignature,
+) -> Result<(), CryptoError> {
+    let q = group.order();
+    if sig.r.is_zero() || &sig.r >= q || sig.s.is_zero() || &sig.s >= q {
+        return Err(CryptoError::BadSignature);
+    }
+    let w = sig.s.mod_inverse(q).ok_or(CryptoError::BadSignature)?;
+    let h = hash_to_q(message, q);
+    let u1 = h.modmul(&w, q);
+    let u2 = sig.r.modmul(&w, q);
+    let p = group.modulus();
+    let v = group.exp_g(&u1).modmul(&group.exp(y, &u2), p).rem(q);
+    if v == sig.r {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkap_bignum::SplitMix64;
+
+    fn keypair(seed: u64) -> DsaKeyPair {
+        DsaKeyPair::generate(DhGroup::test_256(), &mut SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(1);
+        let mut rng = SplitMix64::new(2);
+        let sig = kp.sign(b"protocol message", &mut rng);
+        verify(kp.group(), kp.public(), b"protocol message", &sig).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message_and_key() {
+        let kp = keypair(3);
+        let other = keypair(4);
+        let mut rng = SplitMix64::new(5);
+        let sig = kp.sign(b"m1", &mut rng);
+        assert!(verify(kp.group(), kp.public(), b"m2", &sig).is_err());
+        assert!(verify(kp.group(), other.public(), b"m1", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_mangled_signature() {
+        let kp = keypair(6);
+        let mut rng = SplitMix64::new(7);
+        let mut sig = kp.sign(b"m", &mut rng);
+        sig.r = sig.r.modadd(&Ubig::one(), kp.group().order());
+        assert!(verify(kp.group(), kp.public(), b"m", &sig).is_err());
+        // Degenerate values rejected outright.
+        let zero = DsaSignature { r: Ubig::zero(), s: Ubig::one() };
+        assert!(verify(kp.group(), kp.public(), b"m", &zero).is_err());
+        let oversize = DsaSignature {
+            r: kp.group().order().clone(),
+            s: Ubig::one(),
+        };
+        assert!(verify(kp.group(), kp.public(), b"m", &oversize).is_err());
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let kp = keypair(8);
+        let mut rng = SplitMix64::new(9);
+        let a = kp.sign(b"m", &mut rng);
+        let b = kp.sign(b"m", &mut rng);
+        assert_ne!(a, b, "fresh k per signature");
+        verify(kp.group(), kp.public(), b"m", &a).unwrap();
+        verify(kp.group(), kp.public(), b"m", &b).unwrap();
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let kp = keypair(10);
+        let mut rng = SplitMix64::new(11);
+        let sig = kp.sign(b"m", &mut rng);
+        let wire = sig.to_bytes();
+        let back = DsaSignature::from_bytes(&wire).unwrap();
+        assert_eq!(back, sig);
+        assert!(DsaSignature::from_bytes(&wire[..wire.len() - 1]).is_err());
+        assert!(DsaSignature::from_bytes(&[1, 2]).is_err());
+        let mut trailing = wire;
+        trailing.push(0);
+        assert!(DsaSignature::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn works_on_512_bit_group() {
+        let kp = DsaKeyPair::generate(DhGroup::modp_512(), &mut SplitMix64::new(12));
+        let mut rng = SplitMix64::new(13);
+        let sig = kp.sign(b"x", &mut rng);
+        verify(kp.group(), kp.public(), b"x", &sig).unwrap();
+    }
+}

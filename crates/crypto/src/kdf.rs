@@ -1,0 +1,113 @@
+//! Key derivation: turning Diffie–Hellman group secrets into symmetric
+//! keys.
+//!
+//! Every protocol in the paper ends with all members holding the same
+//! group secret (an element of the DH group). The session layer derives
+//! fixed-length symmetric keys from it with a simple counter-mode KDF
+//! over SHA-256 (the 2002 system used a similar hash-then-split
+//! construction).
+
+use gkap_bignum::Ubig;
+
+use crate::sha::{Digest, Sha256};
+
+/// Derives `len` bytes of key material from a group secret and a
+/// domain-separation label.
+///
+/// ```
+/// use gkap_crypto::kdf::derive;
+/// use gkap_bignum::Ubig;
+/// let secret = Ubig::from(123456u64);
+/// let enc = derive(&secret, b"enc", 16);
+/// let mac = derive(&secret, b"mac", 32);
+/// assert_eq!(enc.len(), 16);
+/// assert_ne!(&enc[..16], &mac[..16]);
+/// ```
+pub fn derive(group_secret: &Ubig, label: &[u8], len: usize) -> Vec<u8> {
+    let secret_bytes = group_secret.to_be_bytes();
+    let mut out = Vec::with_capacity(len);
+    let mut counter: u32 = 0;
+    while out.len() < len {
+        let mut h = Sha256::new();
+        h.update(&counter.to_be_bytes());
+        h.update(&(label.len() as u32).to_be_bytes());
+        h.update(label);
+        h.update(&secret_bytes);
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// The symmetric keys a secure group session needs, derived from one
+/// group secret.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// AES-128 encryption key.
+    pub enc_key: [u8; 16],
+    /// HMAC-SHA-256 authentication key.
+    pub mac_key: [u8; 32],
+    /// Short key identifier for debugging/epoch checks (not secret).
+    pub key_id: [u8; 8],
+}
+
+impl std::fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SessionKeys {{ key_id: {:02x?}, .. }}", self.key_id)
+    }
+}
+
+impl SessionKeys {
+    /// Derives the full key set from a group secret.
+    pub fn from_group_secret(secret: &Ubig) -> Self {
+        let enc = derive(secret, b"secure-spread:enc", 16);
+        let mac = derive(secret, b"secure-spread:mac", 32);
+        let kid = derive(secret, b"secure-spread:kid", 8);
+        SessionKeys {
+            enc_key: enc.try_into().expect("16 bytes"),
+            mac_key: mac.try_into().expect("32 bytes"),
+            key_id: kid.try_into().expect("8 bytes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_label_separated() {
+        let s = Ubig::from(0xdeadbeefu64);
+        assert_eq!(derive(&s, b"a", 32), derive(&s, b"a", 32));
+        assert_ne!(derive(&s, b"a", 32), derive(&s, b"b", 32));
+        assert_ne!(derive(&s, b"a", 32), derive(&Ubig::from(1u64), b"a", 32));
+    }
+
+    #[test]
+    fn arbitrary_lengths() {
+        let s = Ubig::from(7u64);
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(derive(&s, b"x", len).len(), len);
+        }
+        // Prefix property: longer output extends shorter one.
+        assert_eq!(derive(&s, b"x", 16), derive(&s, b"x", 48)[..16]);
+    }
+
+    #[test]
+    fn session_keys_distinct() {
+        let keys = SessionKeys::from_group_secret(&Ubig::from(99u64));
+        assert_ne!(&keys.enc_key[..], &keys.mac_key[..16]);
+        let other = SessionKeys::from_group_secret(&Ubig::from(100u64));
+        assert_ne!(keys.key_id, other.key_id);
+        assert_eq!(keys, SessionKeys::from_group_secret(&Ubig::from(99u64)));
+    }
+
+    #[test]
+    fn debug_shows_only_key_id() {
+        let keys = SessionKeys::from_group_secret(&Ubig::from(1u64));
+        let s = format!("{keys:?}");
+        assert!(s.contains("key_id"));
+        assert!(!s.contains(&format!("{:02x?}", keys.enc_key)));
+    }
+}

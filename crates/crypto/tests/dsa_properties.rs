@@ -1,0 +1,68 @@
+//! Property-based tests for the DSA implementation.
+
+use gkap_bignum::{RandomSource, SplitMix64, Ubig};
+use gkap_crypto::dh::DhGroup;
+use gkap_crypto::dsa::{verify, DsaKeyPair, DsaSignature};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sign_verify_roundtrip_random_messages(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = DsaKeyPair::generate(DhGroup::test_256(), &mut rng);
+        let sig = kp.sign(&msg, &mut rng);
+        prop_assert!(verify(kp.group(), kp.public(), &msg, &sig).is_ok());
+        // Wire roundtrip preserves validity.
+        let back = DsaSignature::from_bytes(&sig.to_bytes()).unwrap();
+        prop_assert!(verify(kp.group(), kp.public(), &msg, &back).is_ok());
+    }
+
+    #[test]
+    fn any_message_perturbation_fails(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..100),
+        flip in any::<usize>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = DsaKeyPair::generate(DhGroup::test_256(), &mut rng);
+        let sig = kp.sign(&msg, &mut rng);
+        let mut tampered = msg.clone();
+        tampered[flip % msg.len()] ^= 0x01;
+        prop_assert!(verify(kp.group(), kp.public(), &tampered, &sig).is_err());
+    }
+
+    #[test]
+    fn signature_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let _ = DsaSignature::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn random_rs_pairs_do_not_verify(
+        seed in any::<u64>(),
+        r in any::<u64>(),
+        s_ in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = DsaKeyPair::generate(DhGroup::test_256(), &mut rng);
+        let forged = DsaSignature { r: Ubig::from(r | 1), s: Ubig::from(s_ | 1) };
+        prop_assert!(verify(kp.group(), kp.public(), b"target message", &forged).is_err());
+    }
+
+    #[test]
+    fn keys_are_domain_consistent(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = DsaKeyPair::generate(DhGroup::test_256(), &mut rng);
+        // y = g^x is in the subgroup: y^q == 1.
+        let y_q = kp.group().exp(kp.public(), kp.group().order());
+        prop_assert!(y_q.is_one());
+        // Fresh exponent stays below q.
+        let e = kp.group().random_exponent(&mut rng);
+        prop_assert!(&e < kp.group().order());
+        let _ = rng.next_u64();
+    }
+}

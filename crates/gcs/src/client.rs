@@ -1,0 +1,180 @@
+//! The client abstraction: what a group-member process looks like to
+//! the group communication system.
+
+use bytes::Bytes;
+use gkap_sim::{Duration, SimTime};
+
+use crate::message::{Delivery, Dest, Service, View};
+use crate::ClientId;
+
+/// A group member process (in the reproduction: a key agreement
+/// protocol engine).
+///
+/// Handlers run in virtual time. Any CPU the handler consumes must be
+/// charged through [`ClientCtx::charge_cpu`]; sends are collected and
+/// take effect when the charged CPU completes on the member's machine.
+pub trait Client: std::any::Any {
+    /// A new view was installed (membership change completed).
+    fn on_view(&mut self, ctx: &mut ClientCtx<'_>, view: &View);
+
+    /// A message addressed to this client was delivered.
+    fn on_message(&mut self, ctx: &mut ClientCtx<'_>, msg: &Delivery);
+
+    /// Called after each handler's charged CPU has been scheduled on
+    /// the member's machine, with the true completion instant (which
+    /// includes core contention). Default: ignored.
+    fn on_cpu_complete(&mut self, end: SimTime) {
+        let _ = end;
+    }
+}
+
+/// Handler context: lets a client read the clock, charge CPU and send
+/// messages.
+#[derive(Debug)]
+pub struct ClientCtx<'a> {
+    pub(crate) id: ClientId,
+    pub(crate) now: SimTime,
+    pub(crate) view_id: u64,
+    pub(crate) charged: Duration,
+    pub(crate) outgoing: Vec<Outgoing>,
+    pub(crate) speed: f64,
+    _lifetime: std::marker::PhantomData<&'a ()>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Outgoing {
+    pub service: Service,
+    pub dest: Dest,
+    pub payload: Bytes,
+    /// The view the sender was in when it sent (view-synchrony tag).
+    pub view_id: u64,
+}
+
+impl ClientCtx<'_> {
+    pub(crate) fn new(id: ClientId, now: SimTime, view_id: u64, speed: f64) -> Self {
+        ClientCtx {
+            id,
+            now,
+            view_id,
+            charged: Duration::ZERO,
+            outgoing: Vec::new(),
+            speed,
+            _lifetime: std::marker::PhantomData,
+        }
+    }
+
+    /// This client's identifier.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Current virtual time (start of this handler invocation).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Identifier of the view this handler runs in.
+    pub fn view_id(&self) -> u64 {
+        self.view_id
+    }
+
+    /// Charges `cost` of CPU time (at the paper's baseline machine
+    /// speed) to this member. The machine's speed factor and core
+    /// contention are applied by the engine.
+    pub fn charge_cpu(&mut self, cost: Duration) {
+        let scaled = Duration::from_millis_f64(cost.as_millis_f64() / self.speed);
+        self.charged += scaled;
+    }
+
+    /// Total CPU charged so far in this handler.
+    pub fn charged(&self) -> Duration {
+        self.charged
+    }
+
+    /// Sends a totally-ordered multicast to the whole view.
+    pub fn multicast_agreed(&mut self, payload: impl Into<Bytes>) {
+        self.outgoing.push(Outgoing {
+            service: Service::Agreed,
+            dest: Dest::All,
+            payload: payload.into(),
+            view_id: self.view_id,
+        });
+    }
+
+    /// Sends a totally-ordered message addressed to one member. Costs
+    /// as much as a broadcast (it traverses the token ring) — see
+    /// §6.2.2 of the paper.
+    pub fn unicast_agreed(&mut self, to: ClientId, payload: impl Into<Bytes>) {
+        self.outgoing.push(Outgoing {
+            service: Service::Agreed,
+            dest: Dest::One(to),
+            payload: payload.into(),
+            view_id: self.view_id,
+        });
+    }
+
+    /// Sends a cheap FIFO point-to-point message that bypasses the
+    /// token ring (CKD's pairwise channels).
+    pub fn unicast_fifo(&mut self, to: ClientId, payload: impl Into<Bytes>) {
+        self.outgoing.push(Outgoing {
+            service: Service::Fifo,
+            dest: Dest::One(to),
+            payload: payload.into(),
+            view_id: self.view_id,
+        });
+    }
+
+    /// Sends a FIFO multicast (unordered relative to Agreed traffic).
+    pub fn multicast_fifo(&mut self, payload: impl Into<Bytes>) {
+        self.outgoing.push(Outgoing {
+            service: Service::Fifo,
+            dest: Dest::All,
+            payload: payload.into(),
+            view_id: self.view_id,
+        });
+    }
+
+    /// Sends a causally-ordered multicast: receivers deliver it only
+    /// after everything the sender had seen when it sent (vector-clock
+    /// causality), without the token ring's total-order cost.
+    pub fn multicast_causal(&mut self, payload: impl Into<Bytes>) {
+        self.outgoing.push(Outgoing {
+            service: Service::Causal,
+            dest: Dest::All,
+            payload: payload.into(),
+            view_id: self.view_id,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_scales_with_machine_speed() {
+        let mut ctx = ClientCtx::new(0, SimTime::ZERO, 1, 2.0);
+        ctx.charge_cpu(Duration::from_millis(10));
+        assert_eq!(ctx.charged(), Duration::from_millis(5));
+        let mut slow = ClientCtx::new(0, SimTime::ZERO, 1, 0.5);
+        slow.charge_cpu(Duration::from_millis(10));
+        assert_eq!(slow.charged(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn sends_accumulate_in_order() {
+        let mut ctx = ClientCtx::new(7, SimTime::ZERO, 2, 1.0);
+        ctx.multicast_agreed(vec![1]);
+        ctx.unicast_fifo(3, vec![2]);
+        ctx.unicast_agreed(4, vec![3]);
+        ctx.multicast_fifo(vec![4]);
+        assert_eq!(ctx.outgoing.len(), 4);
+        assert_eq!(ctx.outgoing[0].service, Service::Agreed);
+        assert_eq!(ctx.outgoing[0].dest, Dest::All);
+        assert_eq!(ctx.outgoing[1].service, Service::Fifo);
+        assert_eq!(ctx.outgoing[1].dest, Dest::One(3));
+        assert_eq!(ctx.outgoing[2].dest, Dest::One(4));
+        assert_eq!(ctx.id(), 7);
+        assert_eq!(ctx.view_id(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Group-communication configuration: topology plus protocol constants.
+
+use gkap_sim::Duration;
+
+use crate::topology::Topology;
+
+/// Full configuration of a simulated group communication system.
+///
+/// The defaults (via [`crate::testbed::lan`] / [`crate::testbed::wan`])
+/// are calibrated so that the micro-benchmarks of §6.1.1 and §6.2.1 of
+/// the paper come out of the simulation, rather than being charged
+/// directly; see DESIGN.md §5.
+#[derive(Clone, Debug)]
+pub struct GcsConfig {
+    /// Physical testbed.
+    pub topology: Topology,
+    /// Daemon processing time per token visit (independent of traffic).
+    pub token_processing: Duration,
+    /// Daemon processing time per message sent or received.
+    pub per_message_processing: Duration,
+    /// Wire time per kilobyte of payload on any hop.
+    pub per_kb: Duration,
+    /// One-way latency between a client and its local daemon.
+    pub client_daemon_delay: Duration,
+    /// Maximum Agreed messages a daemon may send per token visit
+    /// (Spread-style flow control).
+    pub flow_control_max_msgs: usize,
+    /// Token rotations a membership change needs before the new view
+    /// can be installed (gather + agree + install).
+    pub membership_rounds: u32,
+    /// Additional per-member view-installation processing at each
+    /// daemon.
+    pub membership_per_member: Duration,
+    /// Probability that any single daemon-to-daemon copy of an Agreed
+    /// message is lost in transit (0.0 = reliable links, the paper's
+    /// testbeds). Lost copies are recovered by token-driven
+    /// retransmission from the originating daemon.
+    pub loss_rate: f64,
+    /// Seed for the deterministic loss process.
+    pub loss_seed: u64,
+}
+
+impl GcsConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow control is zero or membership rounds is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.flow_control_max_msgs > 0,
+            "flow control must allow at least one message per visit"
+        );
+        assert!(self.membership_rounds > 0, "membership needs at least one round");
+        assert!(
+            (0.0..1.0).contains(&self.loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testbed;
+
+    #[test]
+    fn presets_validate() {
+        testbed::lan().validate();
+        testbed::wan().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control")]
+    fn zero_flow_control_rejected() {
+        let mut cfg = testbed::lan();
+        cfg.flow_control_max_msgs = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn full_loss_rejected() {
+        let mut cfg = testbed::lan();
+        cfg.loss_rate = 1.0;
+        cfg.validate();
+    }
+}

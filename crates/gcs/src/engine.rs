@@ -1,0 +1,1114 @@
+//! The discrete-event engine: daemons, the token ring, membership, and
+//! client scheduling.
+//!
+//! ## Total order (Agreed service)
+//!
+//! Daemons form a logical ring ordered by site. A token circulates
+//! permanently. On each visit a daemon:
+//!
+//! 1. sequences and broadcasts up to `flow_control_max_msgs` of its
+//!    clients' pending Agreed messages,
+//! 2. delivers to its local clients every message proven *stable* —
+//!    sequence numbers at or below the all-received-up-to (aru) bound
+//!    the token carries from the previous full rotation,
+//! 3. folds its own contiguously-received high-water mark into the
+//!    token's running minimum, and
+//! 4. forwards the token.
+//!
+//! A message therefore becomes deliverable roughly one-and-a-half token
+//! rotations after submission — about 1.3 ms on the paper's LAN and
+//! about 310 ms on its WAN, matching §6.1.1/§6.2.1. A sender that just
+//! misses the token waits a full rotation (footnote 10 of the paper).
+//!
+//! ## Membership
+//!
+//! A membership change (join/leave/partition/merge) runs for
+//! `membership_rounds` full token rotations (gathering + agreement);
+//! during the following rotation each daemon installs the new view as
+//! the token passes it and notifies its local clients. Changes queue
+//! FIFO if injected while another is in progress.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use gkap_sim::{CpuScheduler, Duration, EventQueue, SimTime};
+use gkap_sim::{RandomSource, SplitMix64};
+
+use crate::client::{Client, ClientCtx, Outgoing};
+use crate::config::GcsConfig;
+use crate::message::{Delivery, Dest, Service, View, ViewId};
+use crate::{ClientId, DaemonId, MachineId};
+
+/// Counters the engine accumulates across a run.
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    /// Agreed messages sequenced through the token ring.
+    pub agreed_messages: u64,
+    /// FIFO messages sent outside the ring.
+    pub fifo_messages: u64,
+    /// Completed token rotations.
+    pub token_rotations: u64,
+    /// Views installed (cluster-wide installs, not per daemon).
+    pub views_installed: u64,
+    /// Total payload bytes submitted.
+    pub payload_bytes: u64,
+    /// Daemon-to-daemon message copies lost in transit.
+    pub messages_lost: u64,
+    /// Retransmissions performed to recover losses.
+    pub retransmissions: u64,
+}
+
+/// One observability record (enabled via [`SimWorld::enable_trace`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A daemon sequenced an Agreed message.
+    Sequenced {
+        /// Global sequence number.
+        seq: u64,
+        /// Sending client.
+        sender: ClientId,
+        /// Instant of sequencing.
+        at: SimTime,
+    },
+    /// A message was handed to a client.
+    Delivered {
+        /// Receiving client.
+        client: ClientId,
+        /// Sending client.
+        sender: ClientId,
+        /// Service class.
+        service: Service,
+        /// Instant of delivery.
+        at: SimTime,
+    },
+    /// A daemon installed a view.
+    ViewInstalled {
+        /// Installing daemon.
+        daemon: DaemonId,
+        /// The view id.
+        view_id: ViewId,
+        /// Instant of installation.
+        at: SimTime,
+    },
+}
+
+/// A sequenced Agreed message in flight between daemons.
+#[derive(Debug)]
+struct WireMsg {
+    seq: u64,
+    sender: ClientId,
+    dest: Dest,
+    view_id: ViewId,
+    payload: Bytes,
+    /// The daemon that sequenced the message (retransmission source).
+    origin: DaemonId,
+}
+
+/// A causally-stamped multicast in flight.
+#[derive(Clone, Debug)]
+struct CausalMsg {
+    sender: ClientId,
+    view_id: ViewId,
+    payload: Bytes,
+    /// The sender's vector clock at send time (own entry already
+    /// incremented).
+    vc: Vec<u64>,
+}
+
+/// A client submission waiting at its daemon for the token.
+#[derive(Debug)]
+struct Submission {
+    sender: ClientId,
+    dest: Dest,
+    view_id: ViewId,
+    payload: Bytes,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// The token arrives at `ring_idx`.
+    Token { ring_idx: usize },
+    /// A sequenced Agreed message reaches a daemon.
+    DaemonRecv { daemon: DaemonId, msg: Rc<WireMsg> },
+    /// A client's send reaches its local daemon.
+    ClientSubmit { client: ClientId, out: Outgoing },
+    /// A FIFO message reaches the destination daemon, ready for local
+    /// delivery.
+    FifoArrive { daemon: DaemonId, delivery: Delivery },
+    /// A message is handed to a client.
+    ClientDeliver { client: ClientId, delivery: Delivery },
+    /// A view change is handed to a client.
+    ViewDeliver { client: ClientId, view: Rc<View> },
+    /// A retransmission request for `seq` reaches the daemon holding
+    /// the message, which re-sends it to `to`.
+    Retransmit { seq: u64, to: DaemonId },
+    /// A causal multicast arrives at a client's daemon for causal
+    /// delivery filtering.
+    CausalArrive { client: ClientId, msg: CausalMsg },
+}
+
+struct DaemonState {
+    machine: MachineId,
+    pending: VecDeque<Submission>,
+    received: BTreeMap<u64, Rc<WireMsg>>,
+    /// Highest seq such that this daemon holds all messages `1..=seq`.
+    contiguous: u64,
+    /// `contiguous` as of this daemon's most recent token visit (the
+    /// value it last reported into the token's aru computation).
+    reported: u64,
+    /// Highest seq delivered to local clients.
+    delivered: u64,
+    /// Last view id this daemon has installed.
+    installed_view: ViewId,
+}
+
+struct ClientSlot {
+    machine: MachineId,
+    handler: Option<Box<dyn Client>>,
+    busy_until: SimTime,
+    alive: bool,
+    /// Vector clock over causal messages (index = sending client).
+    vclock: Vec<u64>,
+    /// How many causal messages this client has sent (its own clock
+    /// entry advances on *delivery*, including the loop-back copy).
+    causal_sent: u64,
+    /// Causal messages awaiting their happens-before predecessors.
+    causal_buffer: Vec<CausalMsg>,
+}
+
+struct PendingChange {
+    joined: Vec<ClientId>,
+    left: Vec<ClientId>,
+}
+
+struct ActiveMembership {
+    new_view: Rc<View>,
+    /// Ring-head passes remaining before daemons may install.
+    rounds_left: u32,
+    /// Set once `rounds_left` hits zero: daemons install on token visit.
+    installing: bool,
+    installed: Vec<bool>,
+}
+
+/// The simulated world: topology, daemons, clients, token and clock.
+pub struct SimWorld {
+    cfg: GcsConfig,
+    queue: EventQueue<Ev>,
+    daemons: Vec<DaemonState>,
+    machines: Vec<CpuScheduler>,
+    clients: Vec<ClientSlot>,
+    ring: Vec<DaemonId>,
+    next_seq: u64,
+    /// aru carried by the token: the minimum, over all daemons, of the
+    /// contiguous high-water mark each reported at its latest token
+    /// visit. Messages at or below it are held by every daemon.
+    token_aru: u64,
+    current_view: Option<Rc<View>>,
+    view_history: HashMap<ViewId, Rc<View>>,
+    next_view_id: ViewId,
+    pending_changes: VecDeque<PendingChange>,
+    active: Option<ActiveMembership>,
+    /// Non-token events in flight (quiescence detection).
+    outstanding: u64,
+    stats: WorldStats,
+    token_started: bool,
+    /// Every sequenced message (the origin daemons' retransmission
+    /// buffers, kept globally for simulation convenience).
+    sent_msgs: HashMap<u64, Rc<WireMsg>>,
+    /// Deterministic loss process.
+    loss_rng: SplitMix64,
+    /// Observability log (None = disabled).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("now", &self.now())
+            .field("clients", &self.clients.len())
+            .field("daemons", &self.daemons.len())
+            .field("view", &self.current_view.as_ref().map(|v| v.id))
+            .finish()
+    }
+}
+
+impl SimWorld {
+    /// Creates a world over the given configuration with no clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`GcsConfig::validate`]).
+    pub fn new(cfg: GcsConfig) -> Self {
+        cfg.validate();
+        let machine_count = cfg.topology.machine_count();
+        let daemons = (0..machine_count)
+            .map(|m| DaemonState {
+                machine: m,
+                pending: VecDeque::new(),
+                received: BTreeMap::new(),
+                contiguous: 0,
+                reported: 0,
+                delivered: 0,
+                installed_view: 0,
+            })
+            .collect();
+        let machines = (0..machine_count)
+            .map(|m| CpuScheduler::new(cfg.topology.machine(m).cores))
+            .collect();
+        SimWorld {
+            ring: (0..machine_count).collect(),
+            queue: EventQueue::new(),
+            daemons,
+            machines,
+            clients: Vec::new(),
+            next_seq: 1,
+            token_aru: 0,
+            current_view: None,
+            view_history: HashMap::new(),
+            next_view_id: 1,
+            pending_changes: VecDeque::new(),
+            active: None,
+            outstanding: 0,
+            stats: WorldStats::default(),
+            token_started: false,
+            sent_msgs: HashMap::new(),
+            loss_rng: SplitMix64::new(cfg.loss_seed),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Turns on event tracing; records are retrievable via
+    /// [`SimWorld::trace`].
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace (empty when tracing is disabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn trace_push(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Setup and injection API
+    // ------------------------------------------------------------------
+
+    /// Adds a client process, assigning it to a machine round-robin
+    /// (the paper distributes members uniformly over the 13 machines).
+    /// The client is not yet a member of any view.
+    pub fn add_client(&mut self, handler: Box<dyn Client>) -> ClientId {
+        let machine = self.clients.len() % self.cfg.topology.machine_count();
+        self.add_client_on(handler, machine)
+    }
+
+    /// Adds a client on a specific machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range.
+    pub fn add_client_on(&mut self, handler: Box<dyn Client>, machine: MachineId) -> ClientId {
+        assert!(machine < self.cfg.topology.machine_count(), "unknown machine");
+        let id = self.clients.len();
+        self.clients.push(ClientSlot {
+            machine,
+            handler: Some(handler),
+            busy_until: SimTime::ZERO,
+            alive: true,
+            vclock: Vec::new(),
+            causal_sent: 0,
+            causal_buffer: Vec::new(),
+        });
+        id
+    }
+
+    /// Installs the initial view containing every added client, at the
+    /// current instant and free of membership cost (the group's
+    /// bootstrap, which no experiment measures), and starts the token.
+    pub fn install_initial_view(&mut self) {
+        let members: Vec<ClientId> = (0..self.clients.len()).collect();
+        self.install_initial_view_of(members);
+    }
+
+    /// Installs an initial view over a subset of clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a view is already installed or `members` is empty.
+    pub fn install_initial_view_of(&mut self, members: Vec<ClientId>) {
+        assert!(self.current_view.is_none(), "initial view already installed");
+        assert!(!members.is_empty(), "initial view cannot be empty");
+        let view = Rc::new(View {
+            id: self.next_view_id,
+            joined: members.clone(),
+            members,
+            left: Vec::new(),
+        });
+        self.next_view_id += 1;
+        self.adopt_view(&view);
+        for &c in &view.members {
+            self.schedule(
+                self.cfg.client_daemon_delay,
+                Ev::ViewDeliver {
+                    client: c,
+                    view: Rc::clone(&view),
+                },
+            );
+        }
+        self.start_token_if_needed();
+    }
+
+    /// Injects a membership change: `joined` clients enter the view,
+    /// `left` members leave it. The new view installs after the
+    /// membership protocol completes (several token rotations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no initial view exists, a joining client is unknown or
+    /// already a member, or a leaving client is not a member.
+    pub fn inject_change(&mut self, joined: Vec<ClientId>, left: Vec<ClientId>) {
+        // Validate against the membership as it will stand once every
+        // queued change has installed.
+        let mut members: Vec<ClientId> = match &self.active {
+            Some(active) => active.new_view.members.clone(),
+            None => self
+                .current_view
+                .as_ref()
+                .expect("no initial view installed")
+                .members
+                .clone(),
+        };
+        for ch in &self.pending_changes {
+            members.retain(|m| !ch.left.contains(m));
+            members.extend_from_slice(&ch.joined);
+        }
+        for &j in &joined {
+            assert!(j < self.clients.len(), "unknown client {j}");
+            assert!(!members.contains(&j), "client {j} already a member");
+        }
+        for &l in &left {
+            assert!(members.contains(&l), "client {l} is not a member");
+        }
+        self.pending_changes.push_back(PendingChange { joined, left });
+        self.maybe_start_membership();
+    }
+
+    /// Convenience: one client joins.
+    pub fn inject_join(&mut self, client: ClientId) {
+        self.inject_change(vec![client], vec![]);
+    }
+
+    /// Convenience: one member leaves.
+    pub fn inject_leave(&mut self, client: ClientId) {
+        self.inject_change(vec![], vec![client]);
+    }
+
+    /// Convenience: a partition removes several members at once.
+    pub fn inject_partition(&mut self, leaving: Vec<ClientId>) {
+        self.inject_change(vec![], leaving);
+    }
+
+    /// Convenience: a merge adds several members at once.
+    pub fn inject_merge(&mut self, joining: Vec<ClientId>) {
+        self.inject_change(joining, vec![]);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The currently installed view, if any.
+    pub fn view(&self) -> Option<&View> {
+        self.current_view.as_deref()
+    }
+
+    /// Whether a membership change is in progress or queued.
+    pub fn membership_busy(&self) -> bool {
+        self.active.is_some() || !self.pending_changes.is_empty()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    /// The machine a client runs on.
+    pub fn client_machine(&self, c: ClientId) -> MachineId {
+        self.clients[c].machine
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GcsConfig {
+        &self.cfg
+    }
+
+    /// Borrows a client handler, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the type does not match.
+    pub fn client<T: Client>(&self, id: ClientId) -> &T {
+        let handler = self.clients[id]
+            .handler
+            .as_ref()
+            .expect("client handler taken (re-entrant access?)");
+        (handler.as_ref() as &dyn std::any::Any)
+            .downcast_ref::<T>()
+            .expect("client type mismatch")
+    }
+
+    /// Mutably borrows a client handler, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the type does not match.
+    pub fn client_mut<T: Client>(&mut self, id: ClientId) -> &mut T {
+        let handler = self.clients[id]
+            .handler
+            .as_mut()
+            .expect("client handler taken (re-entrant access?)");
+        (handler.as_mut() as &mut dyn std::any::Any)
+            .downcast_mut::<T>()
+            .expect("client type mismatch")
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Processes one event. Returns `false` when the world is
+    /// quiescent (only the idle token remains).
+    pub fn step(&mut self) -> bool {
+        if self.quiescent() {
+            return false;
+        }
+        let Some((_, ev)) = self.queue.pop() else {
+            return false;
+        };
+        if !matches!(ev, Ev::Token { .. }) {
+            self.outstanding -= 1;
+        }
+        self.dispatch(ev);
+        true
+    }
+
+    /// Runs until no work remains (the token keeps circulating but
+    /// nothing else is pending).
+    pub fn run_until_quiescent(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs while `pred` returns `true` and work remains. Returns
+    /// `true` if the run stopped because the predicate turned false
+    /// (as opposed to quiescence).
+    pub fn run_while(&mut self, mut pred: impl FnMut(&SimWorld) -> bool) -> bool {
+        loop {
+            if !pred(self) {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+
+    /// `true` when nothing but the idle token remains.
+    pub fn quiescent(&self) -> bool {
+        self.outstanding == 0
+            && self.active.is_none()
+            && self.pending_changes.is_empty()
+            && self
+                .daemons
+                .iter()
+                .all(|d| d.pending.is_empty() && d.delivered == self.next_seq - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, delay: Duration, ev: Ev) {
+        if !matches!(ev, Ev::Token { .. }) {
+            self.outstanding += 1;
+        }
+        self.queue.schedule(delay, ev);
+    }
+
+    fn start_token_if_needed(&mut self) {
+        if !self.token_started {
+            self.token_started = true;
+            self.queue.schedule(Duration::ZERO, Ev::Token { ring_idx: 0 });
+        }
+    }
+
+    fn adopt_view(&mut self, view: &Rc<View>) {
+        self.current_view = Some(Rc::clone(view));
+        self.view_history.insert(view.id, Rc::clone(view));
+        self.stats.views_installed += 1;
+    }
+
+    fn maybe_start_membership(&mut self) {
+        if self.active.is_some() {
+            return;
+        }
+        let Some(change) = self.pending_changes.pop_front() else {
+            return;
+        };
+        let view = self.current_view.as_ref().expect("view installed");
+        let mut members: Vec<ClientId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !change.left.contains(m))
+            .collect();
+        members.extend_from_slice(&change.joined);
+        let new_view = Rc::new(View {
+            id: self.next_view_id,
+            members,
+            joined: change.joined,
+            left: change.left,
+        });
+        self.next_view_id += 1;
+        self.view_history.insert(new_view.id, Rc::clone(&new_view));
+        self.active = Some(ActiveMembership {
+            new_view,
+            rounds_left: self.cfg.membership_rounds,
+            installing: false,
+            installed: vec![false; self.daemons.len()],
+        });
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Token { ring_idx } => self.on_token(ring_idx),
+            Ev::DaemonRecv { daemon, msg } => self.on_daemon_recv(daemon, msg),
+            Ev::ClientSubmit { client, out } => self.on_client_submit(client, out),
+            Ev::FifoArrive { daemon, delivery } => self.on_fifo_arrive(daemon, delivery),
+            Ev::ClientDeliver { client, delivery } => self.deliver_to_client(client, delivery),
+            Ev::ViewDeliver { client, view } => self.deliver_view_to_client(client, &view),
+            Ev::Retransmit { seq, to } => self.on_retransmit(seq, to),
+            Ev::CausalArrive { client, msg } => self.on_causal_arrive(client, msg),
+        }
+    }
+
+    fn on_token(&mut self, ring_idx: usize) {
+        let daemon_id = self.ring[ring_idx];
+
+        // Rotation boundary bookkeeping at the ring head.
+        if ring_idx == 0 {
+            self.stats.token_rotations += 1;
+            // View-synchrony flush: the new view may only install once
+            // every message sent in the old view has been delivered
+            // everywhere (Spread flushes before installing a view).
+            // Without this, a message of epoch E could arrive after a
+            // member entered epoch E+1 and be discarded — breaking
+            // cascaded membership changes.
+            let flushed = self.outstanding == 0
+                && self
+                    .daemons
+                    .iter()
+                    .all(|d| d.pending.is_empty() && d.delivered == self.next_seq - 1);
+            if let Some(active) = &mut self.active {
+                if !active.installing {
+                    if active.rounds_left > 0 {
+                        active.rounds_left -= 1;
+                    }
+                    if active.rounds_left == 0 && flushed {
+                        active.installing = true;
+                    }
+                }
+            }
+        }
+
+        // 1. Sequence and broadcast pending submissions (flow control).
+        let mut sent = 0usize;
+        while sent < self.cfg.flow_control_max_msgs {
+            let Some(sub) = self.daemons[daemon_id].pending.pop_front() else {
+                break;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let msg = Rc::new(WireMsg {
+                seq,
+                sender: sub.sender,
+                dest: sub.dest,
+                view_id: sub.view_id,
+                payload: sub.payload,
+                origin: daemon_id,
+            });
+            self.stats.agreed_messages += 1;
+            let at = self.queue.now();
+            self.trace_push(TraceEvent::Sequenced { seq, sender: msg.sender, at });
+            self.sent_msgs.insert(seq, Rc::clone(&msg));
+            // The sender's daemon holds its own message instantly.
+            self.store_at_daemon(daemon_id, Rc::clone(&msg));
+            let size_cost = self.payload_cost(&msg.payload);
+            for peer in 0..self.daemons.len() {
+                if peer == daemon_id {
+                    continue;
+                }
+                if self.lose_copy() {
+                    self.stats.messages_lost += 1;
+                    continue;
+                }
+                let latency = self
+                    .cfg
+                    .topology
+                    .machine_latency(self.daemons[daemon_id].machine, self.daemons[peer].machine);
+                let delay = latency + size_cost + self.cfg.per_message_processing;
+                self.schedule(delay, Ev::DaemonRecv { daemon: peer, msg: Rc::clone(&msg) });
+            }
+            sent += 1;
+        }
+
+        // 1b. Request retransmission of any gap this daemon observes
+        //     (the token reveals that higher sequence numbers exist —
+        //     Totem-style negative acknowledgement).
+        if self.cfg.loss_rate > 0.0 {
+            self.request_missing(daemon_id);
+        }
+
+        // 2. Report our contiguous mark and recompute the aru (the
+        //    minimum over every daemon's latest report).
+        self.daemons[daemon_id].reported = self.daemons[daemon_id].contiguous;
+        self.token_aru = self
+            .daemons
+            .iter()
+            .map(|d| d.reported)
+            .min()
+            .expect("at least one daemon");
+
+        // 3. Deliver stable messages to local clients.
+        self.deliver_stable(daemon_id);
+
+        // 4. Install a pending view if the membership protocol is done.
+        let mut install: Option<Rc<View>> = None;
+        if let Some(active) = &mut self.active {
+            if active.installing && !active.installed[daemon_id] {
+                active.installed[daemon_id] = true;
+                install = Some(Rc::clone(&active.new_view));
+            }
+        }
+        if let Some(view) = install {
+            self.install_view_at_daemon(daemon_id, &view);
+        }
+
+        // 5. Forward the token.
+        let next_idx = (ring_idx + 1) % self.ring.len();
+        let hop = self.cfg.topology.machine_latency(
+            self.daemons[daemon_id].machine,
+            self.daemons[self.ring[next_idx]].machine,
+        );
+        let hold = self.cfg.token_processing
+            + self.cfg.per_message_processing.mul(sent as u64);
+        self.queue
+            .schedule(hop + hold, Ev::Token { ring_idx: next_idx });
+    }
+
+    /// Deterministic Bernoulli draw for one message copy.
+    fn lose_copy(&mut self) -> bool {
+        if self.cfg.loss_rate <= 0.0 {
+            return false;
+        }
+        let x = (self.loss_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < self.cfg.loss_rate
+    }
+
+    /// Ask origins to re-send every message this daemon is missing
+    /// below the global high-water mark.
+    fn request_missing(&mut self, daemon: DaemonId) {
+        let have_upto = self.daemons[daemon].contiguous;
+        let missing: Vec<u64> = ((have_upto + 1)..self.next_seq)
+            .filter(|seq| !self.daemons[daemon].received.contains_key(seq))
+            .take(32)
+            .collect();
+        for seq in missing {
+            let Some(msg) = self.sent_msgs.get(&seq) else {
+                continue;
+            };
+            let origin = msg.origin;
+            if origin == daemon {
+                continue;
+            }
+            // Request travels to the origin; it re-sends from there.
+            let latency = self
+                .cfg
+                .topology
+                .machine_latency(self.daemons[daemon].machine, self.daemons[origin].machine);
+            self.schedule(
+                latency + self.cfg.per_message_processing,
+                Ev::Retransmit { seq, to: daemon },
+            );
+        }
+    }
+
+    fn on_retransmit(&mut self, seq: u64, to: DaemonId) {
+        if self.daemons[to].received.contains_key(&seq) {
+            return; // already recovered meanwhile
+        }
+        let Some(msg) = self.sent_msgs.get(&seq).cloned() else {
+            return;
+        };
+        self.stats.retransmissions += 1;
+        // The re-sent copy can be lost as well; the next token visit
+        // re-requests it.
+        if self.lose_copy() {
+            self.stats.messages_lost += 1;
+            return;
+        }
+        let latency = self
+            .cfg
+            .topology
+            .machine_latency(self.daemons[msg.origin].machine, self.daemons[to].machine);
+        let size_cost = self.payload_cost(&msg.payload);
+        self.schedule(
+            latency + size_cost + self.cfg.per_message_processing,
+            Ev::DaemonRecv { daemon: to, msg },
+        );
+    }
+
+    fn payload_cost(&self, payload: &Bytes) -> Duration {
+        // Cost proportional to size, in whole-KB granularity rounded up.
+        let kb = (payload.len() as u64).div_ceil(1024);
+        self.cfg.per_kb.mul(kb)
+    }
+
+    fn store_at_daemon(&mut self, daemon: DaemonId, msg: Rc<WireMsg>) {
+        let d = &mut self.daemons[daemon];
+        d.received.insert(msg.seq, msg);
+        while d.received.contains_key(&(d.contiguous + 1)) {
+            d.contiguous += 1;
+        }
+    }
+
+    fn on_daemon_recv(&mut self, daemon: DaemonId, msg: Rc<WireMsg>) {
+        self.store_at_daemon(daemon, msg);
+    }
+
+    /// Delivers every received message with `seq <= token_aru` to this
+    /// daemon's local clients.
+    fn deliver_stable(&mut self, daemon: DaemonId) {
+        let upto = self.token_aru.min(self.daemons[daemon].contiguous);
+        while self.daemons[daemon].delivered < upto {
+            let seq = self.daemons[daemon].delivered + 1;
+            let msg = self.daemons[daemon]
+                .received
+                .remove(&seq)
+                .expect("stable message must be present");
+            self.daemons[daemon].delivered = seq;
+            self.deliver_wire_msg(daemon, &msg);
+        }
+    }
+
+    fn deliver_wire_msg(&mut self, daemon: DaemonId, msg: &WireMsg) {
+        let Some(view) = self.view_history.get(&msg.view_id) else {
+            return;
+        };
+        let members = view.members.clone();
+        let machine = self.daemons[daemon].machine;
+        let targets: Vec<ClientId> = members
+            .into_iter()
+            .filter(|&c| self.clients[c].machine == machine && self.clients[c].alive)
+            .filter(|&c| match msg.dest {
+                Dest::All => true,
+                Dest::One(t) => t == c,
+            })
+            .collect();
+        for c in targets {
+            let delivery = Delivery {
+                sender: msg.sender,
+                service: Service::Agreed,
+                dest: msg.dest,
+                view_id: msg.view_id,
+                payload: msg.payload.clone(),
+            };
+            self.schedule(self.cfg.client_daemon_delay, Ev::ClientDeliver { client: c, delivery });
+        }
+    }
+
+    fn on_client_submit(&mut self, client: ClientId, out: Outgoing) {
+        let machine = self.clients[client].machine;
+        // View-synchrony: the message belongs to the view its sender
+        // had installed at send time (not the engine's global view,
+        // which flips only once every daemon has installed).
+        let view_id = out.view_id;
+        self.stats.payload_bytes += out.payload.len() as u64;
+        match out.service {
+            Service::Agreed => {
+                self.daemons[machine].pending.push_back(Submission {
+                    sender: client,
+                    dest: out.dest,
+                    view_id,
+                    payload: out.payload,
+                });
+            }
+            Service::Causal => {
+                self.stats.fifo_messages += 1;
+                // Stamp with the sender's vector clock; the own entry
+                // carries the per-sender send sequence (the clock
+                // itself advances when the loop-back copy delivers).
+                self.grow_vclock(client);
+                let seq = self.clients[client].causal_sent + 1;
+                self.clients[client].causal_sent = seq;
+                let mut vc = self.clients[client].vclock.clone();
+                vc[client] = seq;
+                let msg = CausalMsg {
+                    sender: client,
+                    view_id,
+                    payload: out.payload,
+                    vc,
+                };
+                let size_cost = self.payload_cost(&msg.payload);
+                let members = self
+                    .view_history
+                    .get(&view_id)
+                    .map(|v| v.members.clone())
+                    .unwrap_or_default();
+                for target in members {
+                    if target == client {
+                        // Local delivery is immediate (own messages are
+                        // already in causal order).
+                        self.on_causal_arrive(client, msg.clone());
+                        continue;
+                    }
+                    let latency = self
+                        .cfg
+                        .topology
+                        .machine_latency(machine, self.clients[target].machine)
+                        + size_cost
+                        + self.cfg.per_message_processing
+                        + self.cfg.client_daemon_delay;
+                    self.schedule(latency, Ev::CausalArrive { client: target, msg: msg.clone() });
+                }
+            }
+            Service::Fifo => {
+                self.stats.fifo_messages += 1;
+                let size_cost = self.payload_cost(&out.payload);
+                let delivery = Delivery {
+                    sender: client,
+                    service: Service::Fifo,
+                    dest: out.dest,
+                    view_id,
+                    payload: out.payload,
+                };
+                match out.dest {
+                    Dest::One(target) => {
+                        let td = self.clients[target].machine;
+                        let latency = self.cfg.topology.machine_latency(machine, td)
+                            + size_cost
+                            + self.cfg.per_message_processing;
+                        self.schedule(latency, Ev::FifoArrive { daemon: td, delivery });
+                    }
+                    Dest::All => {
+                        for td in 0..self.daemons.len() {
+                            let latency = self.cfg.topology.machine_latency(machine, td)
+                                + size_cost
+                                + self.cfg.per_message_processing;
+                            self.schedule(
+                                latency,
+                                Ev::FifoArrive { daemon: td, delivery: delivery.clone() },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fifo_arrive(&mut self, daemon: DaemonId, delivery: Delivery) {
+        let machine = self.daemons[daemon].machine;
+        let targets: Vec<ClientId> = match delivery.dest {
+            Dest::One(t) => vec![t],
+            Dest::All => self
+                .view_history
+                .get(&delivery.view_id)
+                .map(|v| v.members.clone())
+                .unwrap_or_default(),
+        };
+        for c in targets {
+            if c < self.clients.len()
+                && self.clients[c].machine == machine
+                && self.clients[c].alive
+            {
+                self.schedule(
+                    self.cfg.client_daemon_delay,
+                    Ev::ClientDeliver { client: c, delivery: delivery.clone() },
+                );
+            }
+        }
+    }
+
+    fn install_view_at_daemon(&mut self, daemon: DaemonId, view: &Rc<View>) {
+        self.daemons[daemon].installed_view = view.id;
+        self.trace_push(TraceEvent::ViewInstalled {
+            daemon,
+            view_id: view.id,
+            at: self.queue.now(),
+        });
+        // Per-member installation processing at the daemon.
+        let install_cost = self.cfg.membership_per_member.mul(view.members.len() as u64);
+        let machine = self.daemons[daemon].machine;
+        // Members on this machine receive the view.
+        let locals: Vec<ClientId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|&c| self.clients[c].machine == machine)
+            .collect();
+        for c in locals {
+            self.clients[c].alive = true;
+            self.schedule(
+                install_cost + self.cfg.client_daemon_delay,
+                Ev::ViewDeliver { client: c, view: Rc::clone(view) },
+            );
+        }
+        // Members that left and live on this machine go silent.
+        for &l in &view.left {
+            if self.clients[l].machine == machine {
+                self.clients[l].alive = false;
+            }
+        }
+        // Cluster-wide completion: when every daemon has installed.
+        let done = self
+            .active
+            .as_ref()
+            .map(|a| a.installed.iter().all(|&i| i))
+            .unwrap_or(false);
+        if done {
+            let new_view = self.active.take().expect("active membership").new_view;
+            self.adopt_view(&new_view);
+            self.maybe_start_membership();
+        }
+    }
+
+    fn grow_vclock(&mut self, client: ClientId) {
+        let n = self.clients.len();
+        if self.clients[client].vclock.len() < n {
+            self.clients[client].vclock.resize(n, 0);
+        }
+    }
+
+    /// True if `msg` is the next causal message from its sender and
+    /// every message it causally depends on has been delivered here.
+    fn causally_deliverable(&self, client: ClientId, msg: &CausalMsg) -> bool {
+        let vc = &self.clients[client].vclock;
+        let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        for k in 0..msg.vc.len() {
+            if k == msg.sender {
+                continue;
+            }
+            if get(vc, k) < msg.vc[k] {
+                return false; // a causal predecessor is still missing
+            }
+        }
+        // Exactly the next message from this sender.
+        get(vc, msg.sender) + 1 == msg.vc[msg.sender]
+    }
+
+    fn on_causal_arrive(&mut self, client: ClientId, msg: CausalMsg) {
+        if !self.clients[client].alive {
+            return;
+        }
+        self.grow_vclock(client);
+        self.clients[client].causal_buffer.push(msg);
+        // Deliver everything that has become deliverable, repeatedly
+        // (one delivery can unblock others).
+        loop {
+            let idx = {
+                let slot = &self.clients[client];
+                slot.causal_buffer
+                    .iter()
+                    .position(|m| self.causally_deliverable(client, m))
+            };
+            let Some(i) = idx else { break };
+            let msg = self.clients[client].causal_buffer.remove(i);
+            // Merge the clock.
+            self.grow_vclock(client);
+            let slot = &mut self.clients[client];
+            if slot.vclock.len() < msg.vc.len() {
+                slot.vclock.resize(msg.vc.len(), 0);
+            }
+            for k in 0..msg.vc.len() {
+                slot.vclock[k] = slot.vclock[k].max(msg.vc[k]);
+            }
+            let delivery = Delivery {
+                sender: msg.sender,
+                service: Service::Causal,
+                dest: Dest::All,
+                view_id: msg.view_id,
+                payload: msg.payload,
+            };
+            self.deliver_to_client(client, delivery);
+        }
+    }
+
+    fn deliver_view_to_client(&mut self, client: ClientId, view: &Rc<View>) {
+        if !self.clients[client].alive {
+            return;
+        }
+        let mut handler = self.clients[client]
+            .handler
+            .take()
+            .expect("re-entrant client handler");
+        let start = self.queue.now().max(self.clients[client].busy_until);
+        let speed = self.cfg.topology.machine(self.clients[client].machine).speed;
+        let mut ctx = ClientCtx::new(client, start, view.id, speed);
+        handler.on_view(&mut ctx, view);
+        self.finish_handler(client, handler, start, ctx);
+    }
+
+    fn deliver_to_client(&mut self, client: ClientId, delivery: Delivery) {
+        if !self.clients[client].alive {
+            return;
+        }
+        self.trace_push(TraceEvent::Delivered {
+            client,
+            sender: delivery.sender,
+            service: delivery.service,
+            at: self.queue.now(),
+        });
+        let mut handler = self.clients[client]
+            .handler
+            .take()
+            .expect("re-entrant client handler");
+        let start = self.queue.now().max(self.clients[client].busy_until);
+        let speed = self.cfg.topology.machine(self.clients[client].machine).speed;
+        let mut ctx = ClientCtx::new(client, start, delivery.view_id, speed);
+        handler.on_message(&mut ctx, &delivery);
+        self.finish_handler(client, handler, start, ctx);
+    }
+
+    /// Applies a handler's CPU charge, reports the true completion
+    /// instant back to the client, and schedules its sends.
+    fn finish_handler(
+        &mut self,
+        client: ClientId,
+        mut handler: Box<dyn Client>,
+        start: SimTime,
+        ctx: ClientCtx<'_>,
+    ) {
+        let machine = self.clients[client].machine;
+        let end = self.machines[machine].run(start, ctx.charged);
+        self.clients[client].busy_until = end;
+        handler.on_cpu_complete(end);
+        self.clients[client].handler = Some(handler);
+        let submit_delay = end.since(self.queue.now()) + self.cfg.client_daemon_delay;
+        for out in ctx.outgoing {
+            self.schedule(submit_delay, Ev::ClientSubmit { client, out });
+        }
+    }
+}

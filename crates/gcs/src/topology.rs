@@ -1,0 +1,211 @@
+//! Physical topology: sites, machines, and inter-site latencies.
+
+use gkap_sim::Duration;
+
+use crate::{MachineId, SiteId};
+
+/// A network site (one location of the testbed, e.g. "JHU").
+#[derive(Clone, Debug)]
+pub struct SiteCfg {
+    /// Human-readable site name.
+    pub name: String,
+}
+
+/// A machine: lives at a site, hosts one daemon and any number of
+/// client processes, and has a fixed number of CPU cores.
+#[derive(Clone, Debug)]
+pub struct MachineCfg {
+    /// The site this machine is located at.
+    pub site: SiteId,
+    /// Number of processor cores (the paper's cluster machines are
+    /// dual-processor).
+    pub cores: usize,
+    /// Relative CPU speed (1.0 = the paper's 666 MHz PIII baseline;
+    /// cryptographic costs are divided by this factor).
+    pub speed: f64,
+}
+
+/// The physical testbed: sites, machines and a one-way latency matrix.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    sites: Vec<SiteCfg>,
+    machines: Vec<MachineCfg>,
+    /// One-way latency between sites, `latency[a][b]`.
+    latency: Vec<Vec<Duration>>,
+    /// One-way latency between two machines at the same site.
+    intra_site: Duration,
+}
+
+impl Topology {
+    /// Builds a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency matrix is not square of dimension
+    /// `sites.len()`, if any machine references an unknown site, if
+    /// there are no machines, or if any machine has zero cores or a
+    /// non-positive speed.
+    pub fn new(
+        sites: Vec<SiteCfg>,
+        machines: Vec<MachineCfg>,
+        latency: Vec<Vec<Duration>>,
+        intra_site: Duration,
+    ) -> Self {
+        assert!(!machines.is_empty(), "topology needs at least one machine");
+        assert_eq!(latency.len(), sites.len(), "latency matrix rows");
+        for row in &latency {
+            assert_eq!(row.len(), sites.len(), "latency matrix columns");
+        }
+        for m in &machines {
+            assert!(m.site < sites.len(), "machine references unknown site");
+            assert!(m.cores > 0, "machine must have at least one core");
+            assert!(m.speed > 0.0, "machine speed must be positive");
+        }
+        Topology {
+            sites,
+            machines,
+            latency,
+            intra_site,
+        }
+    }
+
+    /// Single-site topology with `n` identical machines.
+    pub fn single_site(n: usize, cores: usize, intra_site: Duration) -> Self {
+        Topology::new(
+            vec![SiteCfg {
+                name: "site0".into(),
+            }],
+            (0..n)
+                .map(|_| MachineCfg {
+                    site: 0,
+                    cores,
+                    speed: 1.0,
+                })
+                .collect(),
+            vec![vec![Duration::ZERO]],
+            intra_site,
+        )
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Machine configuration.
+    pub fn machine(&self, m: MachineId) -> &MachineCfg {
+        &self.machines[m]
+    }
+
+    /// Site name.
+    pub fn site_name(&self, s: SiteId) -> &str {
+        &self.sites[s].name
+    }
+
+    /// One-way latency between two machines (by their sites; machines
+    /// at the same site use the intra-site latency; a machine to itself
+    /// is free).
+    pub fn machine_latency(&self, a: MachineId, b: MachineId) -> Duration {
+        if a == b {
+            return Duration::ZERO;
+        }
+        let (sa, sb) = (self.machines[a].site, self.machines[b].site);
+        if sa == sb {
+            self.intra_site
+        } else {
+            self.latency[sa][sb]
+        }
+    }
+
+    /// One-way latency between two sites.
+    pub fn site_latency(&self, a: SiteId, b: SiteId) -> Duration {
+        if a == b {
+            self.intra_site
+        } else {
+            self.latency[a][b]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn two_site() -> Topology {
+        Topology::new(
+            vec![SiteCfg { name: "A".into() }, SiteCfg { name: "B".into() }],
+            vec![
+                MachineCfg { site: 0, cores: 2, speed: 1.0 },
+                MachineCfg { site: 0, cores: 2, speed: 1.0 },
+                MachineCfg { site: 1, cores: 1, speed: 0.5 },
+            ],
+            vec![vec![ms(0), ms(10)], vec![ms(10), ms(0)]],
+            Duration::from_micros(50),
+        )
+    }
+
+    #[test]
+    fn latencies_resolve_by_site() {
+        let t = two_site();
+        assert_eq!(t.machine_latency(0, 0), Duration::ZERO);
+        assert_eq!(t.machine_latency(0, 1), Duration::from_micros(50));
+        assert_eq!(t.machine_latency(0, 2), ms(10));
+        assert_eq!(t.machine_latency(2, 1), ms(10));
+        assert_eq!(t.site_latency(0, 1), ms(10));
+        assert_eq!(t.site_latency(1, 1), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = two_site();
+        assert_eq!(t.machine_count(), 3);
+        assert_eq!(t.site_count(), 2);
+        assert_eq!(t.site_name(1), "B");
+        assert_eq!(t.machine(2).cores, 1);
+    }
+
+    #[test]
+    fn single_site_shape() {
+        let t = Topology::single_site(13, 2, Duration::from_micros(60));
+        assert_eq!(t.machine_count(), 13);
+        assert_eq!(t.site_count(), 1);
+        assert_eq!(t.machine_latency(3, 7), Duration::from_micros(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_topology_rejected() {
+        Topology::single_site(0, 2, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency matrix")]
+    fn bad_matrix_rejected() {
+        Topology::new(
+            vec![SiteCfg { name: "A".into() }, SiteCfg { name: "B".into() }],
+            vec![MachineCfg { site: 0, cores: 1, speed: 1.0 }],
+            vec![vec![Duration::ZERO]],
+            Duration::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn bad_site_reference_rejected() {
+        Topology::new(
+            vec![SiteCfg { name: "A".into() }],
+            vec![MachineCfg { site: 5, cores: 1, speed: 1.0 }],
+            vec![vec![Duration::ZERO]],
+            Duration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Message loss and token-driven retransmission: total order and
+//! delivery completeness must survive lossy daemon links.
+
+use gkap_gcs::{testbed, Client, ClientCtx, Delivery, SimWorld, View};
+
+#[derive(Default)]
+struct Chatty {
+    got: Vec<(usize, u8)>,
+    send_count: u8,
+}
+
+impl Client for Chatty {
+    fn on_view(&mut self, ctx: &mut ClientCtx<'_>, _view: &View) {
+        for i in 0..self.send_count {
+            ctx.multicast_agreed(vec![i]);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut ClientCtx<'_>, msg: &Delivery) {
+        self.got
+            .push((msg.sender, msg.payload.first().copied().unwrap_or(0)));
+    }
+}
+
+fn run_lossy(loss: f64, seed: u64, members: usize, per_member: u8) -> SimWorld {
+    let mut cfg = testbed::lan();
+    cfg.loss_rate = loss;
+    cfg.loss_seed = seed;
+    let mut world = SimWorld::new(cfg);
+    for _ in 0..members {
+        world.add_client(Box::new(Chatty {
+            send_count: per_member,
+            ..Default::default()
+        }));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    world
+}
+
+#[test]
+fn all_messages_delivered_despite_heavy_loss() {
+    for loss in [0.05, 0.2, 0.4] {
+        let world = run_lossy(loss, 7, 8, 3);
+        let expected = 8 * 3;
+        for i in 0..8 {
+            assert_eq!(
+                world.client::<Chatty>(i).got.len(),
+                expected,
+                "member {i} at loss {loss}"
+            );
+        }
+        assert!(
+            world.stats().messages_lost > 0,
+            "loss {loss} should actually drop something"
+        );
+        assert!(
+            world.stats().retransmissions >= 1,
+            "losses must be recovered by retransmission"
+        );
+    }
+}
+
+#[test]
+fn total_order_holds_under_loss() {
+    let world = run_lossy(0.3, 99, 10, 2);
+    let reference = &world.client::<Chatty>(0).got;
+    for i in 1..10 {
+        assert_eq!(
+            &world.client::<Chatty>(i).got, reference,
+            "member {i} sees a different order"
+        );
+    }
+}
+
+#[test]
+fn lossy_runs_are_deterministic() {
+    let a = run_lossy(0.25, 5, 6, 2);
+    let b = run_lossy(0.25, 5, 6, 2);
+    assert_eq!(a.stats().messages_lost, b.stats().messages_lost);
+    assert_eq!(a.stats().retransmissions, b.stats().retransmissions);
+    assert_eq!(a.now(), b.now());
+    // A different seed gives a different loss pattern.
+    let c = run_lossy(0.25, 6, 6, 2);
+    assert!(
+        c.stats().messages_lost != a.stats().messages_lost || c.now() != a.now(),
+        "loss process should depend on the seed"
+    );
+}
+
+#[test]
+fn loss_delays_delivery() {
+    let clean = run_lossy(0.0, 1, 8, 3);
+    let lossy = run_lossy(0.35, 1, 8, 3);
+    assert!(
+        lossy.now() > clean.now(),
+        "recovering losses must take extra time ({} vs {})",
+        lossy.now(),
+        clean.now()
+    );
+    assert_eq!(clean.stats().messages_lost, 0);
+    assert_eq!(clean.stats().retransmissions, 0);
+}
+
+#[test]
+fn membership_survives_loss() {
+    let mut cfg = testbed::lan();
+    cfg.loss_rate = 0.3;
+    let mut world = SimWorld::new(cfg);
+    for _ in 0..6 {
+        world.add_client(Box::new(Chatty { send_count: 1, ..Default::default() }));
+    }
+    world.install_initial_view_of((0..5).collect());
+    world.run_until_quiescent();
+    world.inject_join(5);
+    world.run_until_quiescent();
+    assert_eq!(world.view().unwrap().members.len(), 6);
+    // The joiner's view triggered its own send; everyone got it.
+    for i in 0..6 {
+        assert!(
+            !world.client::<Chatty>(i).got.is_empty(),
+            "member {i} starved"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The observability trace: sequencing, deliveries and view installs
+//! appear in causally sensible order with monotone timestamps.
+
+use gkap_gcs::{testbed, Client, ClientCtx, Delivery, Service, SimWorld, TraceEvent, View};
+
+struct Echo;
+impl Client for Echo {
+    fn on_view(&mut self, ctx: &mut ClientCtx<'_>, view: &View) {
+        if view.members.first() == Some(&ctx.id()) {
+            ctx.multicast_agreed(vec![1]);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut ClientCtx<'_>, _msg: &Delivery) {}
+}
+
+#[test]
+fn trace_records_lifecycle_in_order() {
+    let mut world = SimWorld::new(testbed::lan());
+    world.enable_trace();
+    for _ in 0..6 {
+        world.add_client(Box::new(Echo));
+    }
+    world.install_initial_view_of((0..5).collect());
+    world.run_until_quiescent();
+    world.inject_join(5);
+    world.run_until_quiescent();
+
+    let trace = world.trace();
+    assert!(!trace.is_empty(), "trace must record something");
+
+    // Timestamps are monotone.
+    let mut last = gkap_sim::SimTime::ZERO;
+    for ev in trace {
+        let at = match ev {
+            TraceEvent::Sequenced { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::ViewInstalled { at, .. } => *at,
+        };
+        assert!(at >= last, "trace timestamps must be monotone");
+        last = at;
+    }
+
+    // Two Agreed messages were sequenced (member 0 sends on both its
+    // views) and the first was delivered to all 5 initial members.
+    let sequenced = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Sequenced { .. }))
+        .count();
+    assert_eq!(sequenced, 2);
+    let delivered = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Delivered { service: Service::Agreed, .. }))
+        .count();
+    assert_eq!(delivered, 5 + 6, "first view: 5 receivers; second: 6");
+
+    // Sequencing precedes the first delivery.
+    let seq_pos = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Sequenced { .. }))
+        .unwrap();
+    let first_del = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Delivered { service: Service::Agreed, .. }))
+        .unwrap();
+    assert!(seq_pos < first_del);
+
+    // The join's membership change installs at all 13 daemons (the
+    // free initial bootstrap does not go through daemon installs).
+    let installs = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ViewInstalled { .. }))
+        .count();
+    assert_eq!(installs, 13, "the join view installs at every daemon");
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let mut world = SimWorld::new(testbed::lan());
+    for _ in 0..3 {
+        world.add_client(Box::new(Echo));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    assert!(world.trace().is_empty());
+}

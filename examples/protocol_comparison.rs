@@ -1,0 +1,68 @@
+//! Live reproduction of the paper's Table 1: runs each protocol's
+//! join and leave on a real message exchange (loopback harness) and
+//! prints the *measured* aggregate operation counts next to each
+//! other, followed by the paper's serial-cost table.
+//!
+//! Run with: `cargo run --example protocol_comparison`
+
+use secure_spread_repro::core::costs_table::render_table1;
+use secure_spread_repro::core::suite::CryptoSuite;
+use secure_spread_repro::core::testkit::Loopback;
+use secure_spread_repro::ProtocolKind;
+
+fn main() {
+    let n = 16usize;
+    println!("measured aggregate costs for one JOIN into a group of {n}");
+    println!(
+        "{:<6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "proto", "exps", "small-exp", "signs", "verifs", "mcasts", "ucasts"
+    );
+    for kind in ProtocolKind::all() {
+        let ids: Vec<usize> = (0..n + 1).collect();
+        let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+        lb.bootstrap(&ids[..n], 9);
+        let before = lb.total_counts();
+        lb.install_view(ids.clone(), vec![n], vec![]);
+        let d = lb.total_counts().since(&before);
+        println!(
+            "{:<6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            kind.name(),
+            d.exp,
+            d.small_exp,
+            d.sign,
+            d.verify,
+            d.multicast,
+            d.unicast
+        );
+    }
+    println!();
+    println!("measured aggregate costs for one LEAVE from a group of {n}");
+    println!(
+        "{:<6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "proto", "exps", "small-exp", "signs", "verifs", "mcasts", "ucasts"
+    );
+    for kind in ProtocolKind::all() {
+        let ids: Vec<usize> = (0..n).collect();
+        let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+        lb.bootstrap(&ids, 9);
+        let before = lb.total_counts();
+        let leaver = n / 2;
+        let members: Vec<usize> = ids.iter().copied().filter(|&c| c != leaver).collect();
+        lb.install_view(members, vec![], vec![leaver]);
+        let d = lb.total_counts().since(&before);
+        println!(
+            "{:<6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            kind.name(),
+            d.exp,
+            d.small_exp,
+            d.sign,
+            d.verify,
+            d.multicast,
+            d.unicast
+        );
+    }
+    println!();
+    println!("{}", render_table1(n, 4, 4));
+    println!("(the rendered table shows the paper's serial formulas; the");
+    println!("measured numbers above are aggregates over all members)");
+}
