@@ -32,7 +32,9 @@ fn bench_rsa(c: &mut Criterion) {
     let key = RsaPrivateKey::generate(1024, 3, &mut rng);
     let msg = b"group key agreement protocol message";
     let sig = key.sign(msg);
-    c.bench_function("rsa1024_sign_crt", |b| b.iter(|| std::hint::black_box(key.sign(msg))));
+    c.bench_function("rsa1024_sign_crt", |b| {
+        b.iter(|| std::hint::black_box(key.sign(msg)))
+    });
     c.bench_function("rsa1024_verify_e3", |b| {
         b.iter(|| key.public_key().verify(msg, &sig).expect("verifies"))
     });
@@ -40,8 +42,12 @@ fn bench_rsa(c: &mut Criterion) {
 
 fn bench_hashes(c: &mut Criterion) {
     let data = vec![0xa5u8; 4096];
-    c.bench_function("sha256_4k", |b| b.iter(|| std::hint::black_box(Sha256::digest(&data))));
-    c.bench_function("sha1_4k", |b| b.iter(|| std::hint::black_box(Sha1::digest(&data))));
+    c.bench_function("sha256_4k", |b| {
+        b.iter(|| std::hint::black_box(Sha256::digest(&data)))
+    });
+    c.bench_function("sha1_4k", |b| {
+        b.iter(|| std::hint::black_box(Sha1::digest(&data)))
+    });
     c.bench_function("hmac_sha256_4k", |b| {
         b.iter(|| std::hint::black_box(hmac_sha256(b"key", &data)))
     });

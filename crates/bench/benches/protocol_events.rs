@@ -45,8 +45,7 @@ fn bench_leave(c: &mut Criterion) {
                     },
                     |mut lb| {
                         let leaver = n / 2;
-                        let members: Vec<usize> =
-                            (0..n).filter(|&c| c != leaver).collect();
+                        let members: Vec<usize> = (0..n).filter(|&c| c != leaver).collect();
                         lb.install_view(members, vec![], vec![leaver]);
                         std::hint::black_box(lb.common_secret());
                     },

@@ -4,13 +4,18 @@
 //! ```text
 //! cargo run --release -p gkap-bench --bin repro -- all
 //! cargo run --release -p gkap-bench --bin repro -- fig11
+//! cargo run --release -p gkap-bench --bin repro -- trace-summary fig14
 //! ```
 //!
-//! Output: aligned tables on stdout and CSV files under `results/`.
+//! Output: aligned tables on stdout and CSV files under `results/`;
+//! `--quiet` silences the tables (files are still written). The
+//! `trace`/`trace-summary` commands additionally export per-run
+//! telemetry: a latency-breakdown table + CSV, and (for `trace`) one
+//! JSONL event log per protocol × event.
 
 use std::path::PathBuf;
 
-use gkap_bench::{emit, figure_sizes, figures, micro, wan_sizes};
+use gkap_bench::{emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
 use gkap_core::costs_table::render_table1;
 use gkap_core::experiment::SuiteKind;
 use gkap_gcs::testbed;
@@ -19,45 +24,49 @@ fn out_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
-fn cmd_table1() {
+fn cmd_table1(con: &mut Console) {
     for (n, m, p) in [(20usize, 5usize, 5usize), (50, 10, 10)] {
-        println!("{}", render_table1(n, m, p));
+        con.say(render_table1(n, m, p));
     }
     std::fs::create_dir_all(out_dir()).expect("results dir");
     std::fs::write(out_dir().join("table1.txt"), render_table1(50, 10, 10)).expect("write");
-    println!("[written: results/table1.txt]");
+    con.say("[written: results/table1.txt]");
 }
 
-fn cmd_testbed() {
+fn cmd_testbed(con: &mut Console) {
     let wan = testbed::wan();
-    println!("# Figure 13 — WAN testbed");
+    con.say("# Figure 13 — WAN testbed");
     for s in 0..wan.topology.site_count() {
         let machines = (0..wan.topology.machine_count())
             .filter(|&m| wan.topology.machine(m).site == s)
             .count();
-        println!("site {} = {:>4}: {machines} machines", s, wan.topology.site_name(s));
+        con.say(format!(
+            "site {} = {:>4}: {machines} machines",
+            s,
+            wan.topology.site_name(s)
+        ));
     }
     for (a, b) in [(0usize, 1usize), (1, 2), (2, 0)] {
-        println!(
+        con.say(format!(
             "RTT {} – {}: {:.0} ms",
             wan.topology.site_name(a),
             wan.topology.site_name(b),
             wan.topology.site_latency(a, b).as_millis_f64() * 2.0
-        );
+        ));
     }
 }
 
-fn cmd_microlan() {
-    println!("# §6.1.1 micro-parameters (LAN)");
-    println!("{}", micro::render(&micro::lan_micro()));
+fn cmd_microlan(con: &mut Console) {
+    con.say("# §6.1.1 micro-parameters (LAN)");
+    con.say(micro::render(&micro::lan_micro()));
 }
 
-fn cmd_microwan() {
-    println!("# §6.2.1 micro-parameters (WAN)");
-    println!("{}", micro::render(&micro::wan_micro()));
+fn cmd_microwan(con: &mut Console) {
+    con.say("# §6.2.1 micro-parameters (WAN)");
+    con.say(micro::render(&micro::wan_micro()));
 }
 
-fn cmd_fig11(reps: u32) {
+fn cmd_fig11(reps: u32, con: &mut Console) {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
         let fig = figures::fig11_join_lan(suite, &sizes, reps);
@@ -65,11 +74,11 @@ fn cmd_fig11(reps: u32) {
             SuiteKind::Sim512 => "fig11_join_lan_512",
             _ => "fig11_join_lan_1024",
         };
-        emit(&fig, &out_dir(), stem);
+        emit(&fig, &out_dir(), stem, con);
     }
 }
 
-fn cmd_fig12(reps: u32) {
+fn cmd_fig12(reps: u32, con: &mut Console) {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
         let fig = figures::fig12_leave_lan(suite, &sizes, reps);
@@ -77,160 +86,320 @@ fn cmd_fig12(reps: u32) {
             SuiteKind::Sim512 => "fig12_leave_lan_512",
             _ => "fig12_leave_lan_1024",
         };
-        emit(&fig, &out_dir(), stem);
+        emit(&fig, &out_dir(), stem, con);
     }
 }
 
-fn cmd_fig14(reps: u32) {
+fn cmd_fig14(reps: u32, con: &mut Console) {
     let sizes = wan_sizes();
-    emit(&figures::fig14_join_wan(&sizes, reps), &out_dir(), "fig14_join_wan_512");
-    emit(&figures::fig14_leave_wan(&sizes, reps), &out_dir(), "fig14_leave_wan_512");
-}
-
-fn cmd_partition_merge(reps: u32) {
-    let sizes: Vec<usize> = vec![4, 8, 12, 20, 30, 40, 50];
     emit(
-        &figures::partition_figure(&testbed::lan(), "Extension — Partition (half the group), LAN, DH 512", &sizes, reps),
+        &figures::fig14_join_wan(&sizes, reps),
         &out_dir(),
-        "ext_partition_lan_512",
+        "fig14_join_wan_512",
+        con,
     );
     emit(
-        &figures::merge_figure(&testbed::lan(), "Extension — Merge (two halves), LAN, DH 512", &sizes, reps),
+        &figures::fig14_leave_wan(&sizes, reps),
+        &out_dir(),
+        "fig14_leave_wan_512",
+        con,
+    );
+}
+
+fn cmd_partition_merge(reps: u32, con: &mut Console) {
+    let sizes: Vec<usize> = vec![4, 8, 12, 20, 30, 40, 50];
+    emit(
+        &figures::partition_figure(
+            &testbed::lan(),
+            "Extension — Partition (half the group), LAN, DH 512",
+            &sizes,
+            reps,
+        ),
+        &out_dir(),
+        "ext_partition_lan_512",
+        con,
+    );
+    emit(
+        &figures::merge_figure(
+            &testbed::lan(),
+            "Extension — Merge (two halves), LAN, DH 512",
+            &sizes,
+            reps,
+        ),
         &out_dir(),
         "ext_merge_lan_512",
+        con,
     );
     let wan_sizes: Vec<usize> = vec![4, 8, 14, 26, 40];
     emit(
-        &figures::partition_figure(&testbed::wan(), "Extension — Partition (half the group), WAN, DH 512", &wan_sizes, reps),
+        &figures::partition_figure(
+            &testbed::wan(),
+            "Extension — Partition (half the group), WAN, DH 512",
+            &wan_sizes,
+            reps,
+        ),
         &out_dir(),
         "ext_partition_wan_512",
+        con,
     );
     emit(
-        &figures::merge_figure(&testbed::wan(), "Extension — Merge (two halves), WAN, DH 512", &wan_sizes, reps),
+        &figures::merge_figure(
+            &testbed::wan(),
+            "Extension — Merge (two halves), WAN, DH 512",
+            &wan_sizes,
+            reps,
+        ),
         &out_dir(),
         "ext_merge_wan_512",
+        con,
     );
 }
 
-fn cmd_crossover(reps: u32) {
+fn cmd_crossover(reps: u32, con: &mut Console) {
     let delays: Vec<u64> = vec![0, 5, 10, 20, 35, 50, 75, 100, 150, 200];
-    emit(&figures::crossover_figure(20, &delays, reps), &out_dir(), "ext_crossover_join_n20");
+    emit(
+        &figures::crossover_figure(20, &delays, reps),
+        &out_dir(),
+        "ext_crossover_join_n20",
+        con,
+    );
 }
 
-fn cmd_ablate_flow(reps: u32) {
+fn cmd_ablate_flow(reps: u32, con: &mut Console) {
     let budgets: Vec<usize> = vec![1, 2, 5, 10, 20, 50];
-    emit(&figures::flow_control_ablation(50, &budgets, reps), &out_dir(), "ablate_flow_bd_wan_n50");
+    emit(
+        &figures::flow_control_ablation(50, &budgets, reps),
+        &out_dir(),
+        "ablate_flow_bd_wan_n50",
+        con,
+    );
 }
 
-fn cmd_ablate_sponsor() {
-    emit(&figures::sponsor_location_ablation(26), &out_dir(), "ablate_sponsor_wan_n26");
+fn cmd_ablate_sponsor(con: &mut Console) {
+    emit(
+        &figures::sponsor_location_ablation(26),
+        &out_dir(),
+        "ablate_sponsor_wan_n26",
+        con,
+    );
 }
 
-fn cmd_ablate_tree() {
-    emit(&figures::tree_shape_ablation(24, 30), &out_dir(), "ablate_tree_shape_n24");
+fn cmd_ablate_tree(con: &mut Console) {
+    emit(
+        &figures::tree_shape_ablation(24, 30),
+        &out_dir(),
+        "ablate_tree_shape_n24",
+        con,
+    );
 }
 
-fn cmd_ablate_sig(reps: u32) {
-    emit(&figures::signature_scheme_ablation(26, reps), &out_dir(), "ablate_sig_join_n26");
+fn cmd_ablate_sig(reps: u32, con: &mut Console) {
+    emit(
+        &figures::signature_scheme_ablation(26, reps),
+        &out_dir(),
+        "ablate_sig_join_n26",
+        con,
+    );
 }
 
-fn cmd_ablate_confirm(reps: u32) {
-    emit(&figures::key_confirmation_ablation(20, reps), &out_dir(), "ablate_confirm_join_n20");
+fn cmd_ablate_confirm(reps: u32, con: &mut Console) {
+    emit(
+        &figures::key_confirmation_ablation(20, reps),
+        &out_dir(),
+        "ablate_confirm_join_n20",
+        con,
+    );
 }
 
-fn cmd_ablate_avl() {
-    emit(&figures::avl_policy_ablation(20, 25), &out_dir(), "ablate_avl_policy_n20");
+fn cmd_ablate_avl(con: &mut Console) {
+    emit(
+        &figures::avl_policy_ablation(20, 25),
+        &out_dir(),
+        "ablate_avl_policy_n20",
+        con,
+    );
 }
 
-fn cmd_ablate_hetero(reps: u32) {
-    emit(&figures::hetero_machine_ablation(26, reps), &out_dir(), "ablate_hetero_join_n26");
+fn cmd_ablate_hetero(reps: u32, con: &mut Console) {
+    emit(
+        &figures::hetero_machine_ablation(26, reps),
+        &out_dir(),
+        "ablate_hetero_join_n26",
+        con,
+    );
 }
 
-fn cmd_ika(reps: u32) {
+fn cmd_ika(reps: u32, con: &mut Console) {
     let sizes: Vec<usize> = vec![2, 4, 8, 13, 20, 30, 40, 50];
     emit(
-        &figures::ika_figure(&testbed::lan(), "Extension — real initial key agreement, LAN, DH 512", &sizes, reps),
+        &figures::ika_figure(
+            &testbed::lan(),
+            "Extension — real initial key agreement, LAN, DH 512",
+            &sizes,
+            reps,
+        ),
         &out_dir(),
         "ext_ika_lan_512",
+        con,
     );
     let wan_sizes: Vec<usize> = vec![2, 4, 8, 14, 26];
     emit(
-        &figures::ika_figure(&testbed::wan(), "Extension — real initial key agreement, WAN, DH 512", &wan_sizes, reps),
+        &figures::ika_figure(
+            &testbed::wan(),
+            "Extension — real initial key agreement, WAN, DH 512",
+            &wan_sizes,
+            reps,
+        ),
         &out_dir(),
         "ext_ika_wan_512",
+        con,
     );
 }
 
-fn cmd_scale(reps: u32) {
+fn cmd_scale(reps: u32, con: &mut Console) {
     let sizes: Vec<usize> = vec![10, 25, 50, 75, 100];
-    emit(&figures::scale_figure(&sizes, reps), &out_dir(), "ext_scale_join_lan_512");
+    emit(
+        &figures::scale_figure(&sizes, reps),
+        &out_dir(),
+        "ext_scale_join_lan_512",
+        con,
+    );
 }
 
-fn cmd_lossy(reps: u32) {
+fn cmd_lossy(reps: u32, con: &mut Console) {
     let pcts: Vec<u32> = vec![0, 1, 2, 5, 10, 20];
-    emit(&figures::lossy_links_figure(20, &pcts, reps), &out_dir(), "ext_lossy_wan_join_n20");
+    emit(
+        &figures::lossy_links_figure(20, &pcts, reps),
+        &out_dir(),
+        "ext_lossy_wan_join_n20",
+        con,
+    );
+}
+
+/// `trace <figure>` / `trace-summary <figure>`: traced runs with the
+/// per-protocol latency breakdown. `full` additionally writes one
+/// JSONL event log per protocol × event.
+fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
+    let n = 50;
+    let Some(rows) = trace::trace_figure(figure, n) else {
+        con.note(format!(
+            "unknown figure for trace: {figure} (expected fig11, fig12 or fig14)"
+        ));
+        std::process::exit(2);
+    };
+    std::fs::create_dir_all(out_dir()).expect("results dir");
+    if full {
+        for row in &rows {
+            let path = out_dir().join(format!(
+                "trace_{figure}_{}_{}.jsonl",
+                row.protocol.to_lowercase(),
+                row.event
+            ));
+            let jsonl = gkap_telemetry::jsonl::render_events(&row.run.events);
+            std::fs::write(&path, jsonl).expect("write jsonl");
+            con.say(format!(
+                "[written: {} ({} events)]",
+                path.display(),
+                row.run.events.len()
+            ));
+        }
+    }
+    con.say(trace::summary_table(figure, &rows));
+    let csv_path = out_dir().join(format!("trace_summary_{figure}.csv"));
+    std::fs::write(&csv_path, trace::summary_csv(figure, &rows)).expect("write csv");
+    con.say(format!("[written: {}]", csv_path.display()));
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
     let reps: u32 = args
         .iter()
         .position(|a| a == "--reps")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    // Positionals may be interleaved with flags (`--quiet trace fig11`
+    // and `trace fig11 --quiet` are both fine); `--reps` consumes its
+    // value.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--reps" {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") && args[i] != "-q" {
+            positional.push(&args[i]);
+        }
+        i += 1;
+    }
+    let cmd = positional.first().map(|s| s.as_str()).unwrap_or("all");
+    let mut con = if quiet {
+        Console::quiet()
+    } else {
+        Console::stdio()
+    };
+    let con = &mut con;
 
     let t0 = std::time::Instant::now();
     match cmd {
-        "table1" => cmd_table1(),
-        "testbed" => cmd_testbed(),
-        "microlan" => cmd_microlan(),
-        "microwan" => cmd_microwan(),
-        "fig11" => cmd_fig11(reps),
-        "fig12" => cmd_fig12(reps),
-        "fig14" => cmd_fig14(reps),
-        "partition-merge" => cmd_partition_merge(reps),
-        "crossover" => cmd_crossover(reps),
-        "ablate-flow" => cmd_ablate_flow(reps),
-        "ablate-sponsor" => cmd_ablate_sponsor(),
-        "ablate-tree" => cmd_ablate_tree(),
-        "ablate-sig" => cmd_ablate_sig(reps),
-        "ablate-avl" => cmd_ablate_avl(),
-        "ablate-confirm" => cmd_ablate_confirm(reps),
-        "lossy" => cmd_lossy(reps),
-        "ika" => cmd_ika(reps),
-        "scale" => cmd_scale(reps),
-        "ablate-hetero" => cmd_ablate_hetero(reps),
+        "table1" => cmd_table1(con),
+        "testbed" => cmd_testbed(con),
+        "microlan" => cmd_microlan(con),
+        "microwan" => cmd_microwan(con),
+        "fig11" => cmd_fig11(reps, con),
+        "fig12" => cmd_fig12(reps, con),
+        "fig14" => cmd_fig14(reps, con),
+        "partition-merge" => cmd_partition_merge(reps, con),
+        "crossover" => cmd_crossover(reps, con),
+        "ablate-flow" => cmd_ablate_flow(reps, con),
+        "ablate-sponsor" => cmd_ablate_sponsor(con),
+        "ablate-tree" => cmd_ablate_tree(con),
+        "ablate-sig" => cmd_ablate_sig(reps, con),
+        "ablate-avl" => cmd_ablate_avl(con),
+        "ablate-confirm" => cmd_ablate_confirm(reps, con),
+        "lossy" => cmd_lossy(reps, con),
+        "ika" => cmd_ika(reps, con),
+        "scale" => cmd_scale(reps, con),
+        "ablate-hetero" => cmd_ablate_hetero(reps, con),
+        "trace" | "trace-summary" => {
+            let figure = positional.get(1).map(|s| s.as_str()).unwrap_or("fig14");
+            cmd_trace(figure, cmd == "trace", con);
+        }
         "all" => {
-            cmd_table1();
-            cmd_testbed();
-            cmd_microlan();
-            cmd_microwan();
-            cmd_fig11(reps);
-            cmd_fig12(reps);
-            cmd_fig14(reps);
-            cmd_partition_merge(reps);
-            cmd_crossover(reps);
-            cmd_ablate_flow(reps);
-            cmd_ablate_sponsor();
-            cmd_ablate_tree();
-            cmd_ablate_sig(reps);
-            cmd_ablate_avl();
-            cmd_lossy(reps);
-            cmd_ablate_hetero(reps);
-            cmd_ablate_confirm(reps);
-            cmd_ika(reps);
-            cmd_scale(reps);
+            cmd_table1(con);
+            cmd_testbed(con);
+            cmd_microlan(con);
+            cmd_microwan(con);
+            cmd_fig11(reps, con);
+            cmd_fig12(reps, con);
+            cmd_fig14(reps, con);
+            cmd_partition_merge(reps, con);
+            cmd_crossover(reps, con);
+            cmd_ablate_flow(reps, con);
+            cmd_ablate_sponsor(con);
+            cmd_ablate_tree(con);
+            cmd_ablate_sig(reps, con);
+            cmd_ablate_avl(con);
+            cmd_lossy(reps, con);
+            cmd_ablate_hetero(reps, con);
+            cmd_ablate_confirm(reps, con);
+            cmd_ika(reps, con);
+            cmd_scale(reps, con);
         }
         other => {
-            eprintln!("unknown command: {other}");
-            eprintln!(
+            con.note(format!("unknown command: {other}"));
+            con.note(
                 "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
-                 partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl ablate-hetero ablate-confirm lossy ika scale [--reps N]"
+                 partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl ablate-hetero ablate-confirm lossy ika scale \
+                 trace <figure> trace-summary <figure> [--reps N] [--quiet]",
             );
             std::process::exit(2);
         }
     }
-    eprintln!("[repro {cmd} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    con.note(format!(
+        "[repro {cmd} done in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    ));
 }

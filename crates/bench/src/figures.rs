@@ -18,7 +18,7 @@ pub fn fig11_join_lan(suite: SuiteKind, sizes: &[usize], reps: u32) -> Figure {
         suite,
         sizes,
         reps,
-        |cfg, n| run_join(cfg, n),
+        run_join,
     )
 }
 
@@ -30,7 +30,7 @@ pub fn fig12_leave_lan(suite: SuiteKind, sizes: &[usize], reps: u32) -> Figure {
         suite,
         sizes,
         reps,
-        |cfg, n| run_leave_weighted(cfg, n),
+        run_leave_weighted,
     )
 }
 
@@ -42,7 +42,7 @@ pub fn fig14_join_wan(sizes: &[usize], reps: u32) -> Figure {
         SuiteKind::Sim512,
         sizes,
         reps,
-        |cfg, n| run_join(cfg, n),
+        run_join,
     )
 }
 
@@ -54,7 +54,7 @@ pub fn fig14_leave_wan(sizes: &[usize], reps: u32) -> Figure {
         SuiteKind::Sim512,
         sizes,
         reps,
-        |cfg, n| run_leave_weighted(cfg, n),
+        run_leave_weighted,
     )
 }
 
@@ -84,6 +84,7 @@ pub fn scale_figure(sizes: &[usize], reps: u32) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 20) ^ n as u64,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = run_join(&cfg, n);
                 assert!(outcome.ok, "{kind} scale join n={n}");
@@ -130,6 +131,7 @@ pub fn crossover_figure(n: usize, delays_ms: &[u64], reps: u32) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 24) ^ d,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = run_join(&cfg, n);
                 assert!(outcome.ok, "{kind} crossover join at delay {d}");
@@ -160,6 +162,7 @@ pub fn flow_control_ablation(n: usize, budgets: &[usize], reps: u32) -> Figure {
                 suite: SuiteKind::Sim512,
                 seed: 0x5eed ^ ((rep as u64 + 1) << 16) ^ b as u64,
                 confirm_keys: false,
+                telemetry: false,
             };
             let outcome = run_join(&cfg, n);
             assert!(outcome.ok);
@@ -189,6 +192,7 @@ pub fn sponsor_location_ablation(n: usize) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0x5eed ^ (seed_extra << 8) ^ pos_pct as u64,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = leave_at_position(&cfg, n, pos_pct);
                 summary.add(outcome);
@@ -233,6 +237,7 @@ pub fn signature_scheme_ablation(n: usize, reps: u32) -> Figure {
                     suite,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 40),
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = run_join(&cfg, n);
                 assert!(outcome.ok, "{kind} signature ablation");
@@ -270,6 +275,7 @@ pub fn avl_policy_ablation(n: usize, churn: usize) -> Figure {
             suite: SuiteKind::Sim512,
             seed: 0x471_5eed,
             confirm_keys: false,
+            telemetry: false,
         };
         let (outcome, height) = run_churned_with_factory(&cfg, &factory, n, churn);
         assert!(outcome.ok, "TGDH {label} policy");
@@ -308,6 +314,7 @@ pub fn lossy_links_figure(n: usize, loss_pcts: &[u32], reps: u32) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 48),
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = run_join(&cfg, n);
                 assert!(outcome.ok, "{kind} lossy join at {pct}%");
@@ -346,7 +353,9 @@ pub fn hetero_machine_ablation(n: usize, reps: u32) -> Figure {
                     machines.push(cfgm);
                 }
                 gcs.topology = gkap_gcs::Topology::new(
-                    vec![gkap_gcs::SiteCfg { name: "site0".into() }],
+                    vec![gkap_gcs::SiteCfg {
+                        name: "site0".into(),
+                    }],
                     machines,
                     vec![vec![Duration::ZERO]],
                     Duration::from_micros(40),
@@ -357,6 +366,7 @@ pub fn hetero_machine_ablation(n: usize, reps: u32) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 56) ^ pct,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = run_join(&cfg, n);
                 assert!(outcome.ok, "{kind} hetero join at {pct}%");
@@ -387,6 +397,7 @@ pub fn key_confirmation_ablation(n: usize, reps: u32) -> Figure {
                         suite: SuiteKind::Sim512,
                         seed: 0x5eed ^ ((rep as u64 + 1) << 12),
                         confirm_keys: confirm,
+                        telemetry: false,
                     };
                     let outcome = run_join(&cfg, n);
                     assert!(outcome.ok, "{kind} confirmation ablation");
@@ -417,6 +428,7 @@ pub fn tree_shape_ablation(n: usize, churn: usize) -> Figure {
                     suite: SuiteKind::Sim512,
                     seed: 0xab5eed,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = match (is_join, churned) {
                     (true, false) => run_join(&cfg, n),

@@ -6,13 +6,89 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod micro;
 pub mod figures;
+pub mod micro;
+pub mod trace;
 
 use std::io::Write;
 use std::path::Path;
 
 use gkap_sim::stats::Figure;
+
+/// Where harness narration (tables, progress notes) goes. Replaces
+/// scattered `println!`/`eprintln!` so output can be silenced
+/// (`--quiet`) or captured in tests.
+#[derive(Debug)]
+pub struct Console {
+    sink: Sink,
+}
+
+#[derive(Debug)]
+enum Sink {
+    /// Tables to stdout, notes to stderr (the default CLI behaviour).
+    Stdio,
+    /// Swallow everything (`--quiet`: CSV files are the only output).
+    Quiet,
+    /// Capture everything in order (tests).
+    Buffer(String),
+}
+
+impl Console {
+    /// Console writing tables to stdout and notes to stderr.
+    pub fn stdio() -> Self {
+        Console { sink: Sink::Stdio }
+    }
+
+    /// Console that discards all narration.
+    pub fn quiet() -> Self {
+        Console { sink: Sink::Quiet }
+    }
+
+    /// Console that captures all narration in memory.
+    pub fn buffered() -> Self {
+        Console {
+            sink: Sink::Buffer(String::new()),
+        }
+    }
+
+    /// Emits one line of primary output (a table row, a result path).
+    pub fn say(&mut self, line: impl AsRef<str>) {
+        match &mut self.sink {
+            Sink::Stdio => {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(out, "{}", line.as_ref());
+            }
+            Sink::Quiet => {}
+            Sink::Buffer(buf) => {
+                buf.push_str(line.as_ref());
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Emits one line of side-channel narration (progress, timing).
+    pub fn note(&mut self, line: impl AsRef<str>) {
+        match &mut self.sink {
+            Sink::Stdio => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{}", line.as_ref());
+            }
+            Sink::Quiet => {}
+            Sink::Buffer(buf) => {
+                buf.push_str(line.as_ref());
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Everything captured so far (buffered consoles only).
+    pub fn captured(&self) -> Option<&str> {
+        match &self.sink {
+            Sink::Buffer(buf) => Some(buf.as_str()),
+            _ => None,
+        }
+    }
+}
 
 /// Writes a figure as CSV + prints its table; returns the rendered
 /// table text.
@@ -20,14 +96,14 @@ use gkap_sim::stats::Figure;
 /// # Panics
 ///
 /// Panics if the output directory cannot be written.
-pub fn emit(fig: &Figure, out_dir: &Path, stem: &str) -> String {
+pub fn emit(fig: &Figure, out_dir: &Path, stem: &str, con: &mut Console) -> String {
     std::fs::create_dir_all(out_dir).expect("create results dir");
     let csv_path = out_dir.join(format!("{stem}.csv"));
     let mut f = std::fs::File::create(&csv_path).expect("create csv");
     f.write_all(fig.to_csv().as_bytes()).expect("write csv");
     let table = fig.to_table();
-    println!("{table}");
-    println!("[written: {}]", csv_path.display());
+    con.say(&table);
+    con.say(format!("[written: {}]", csv_path.display()));
     table
 }
 
@@ -41,4 +117,24 @@ pub fn figure_sizes() -> Vec<usize> {
 /// Smaller sample for the slower WAN figures.
 pub fn wan_sizes() -> Vec<usize> {
     vec![2, 5, 8, 11, 14, 20, 26, 32, 40, 50]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_console_captures_in_order() {
+        let mut con = Console::buffered();
+        con.say("table row");
+        con.note("[progress]");
+        assert_eq!(con.captured(), Some("table row\n[progress]\n"));
+    }
+
+    #[test]
+    fn quiet_console_discards() {
+        let mut con = Console::quiet();
+        con.say("nothing");
+        assert_eq!(con.captured(), None);
+    }
 }

@@ -1,0 +1,167 @@
+//! Traced runs: per-protocol latency breakdowns for the paper's
+//! figures, exported as an aligned table, a CSV, and per-run JSONL
+//! event logs (`repro trace` / `repro trace-summary`).
+//!
+//! Each breakdown row decomposes one membership event's total elapsed
+//! time into the §6 cost categories — membership service, protocol
+//! rounds (non-crypto processing), cryptographic compute, and network
+//! wait — such that the four columns sum to the elapsed time exactly.
+
+use gkap_core::experiment::{
+    run_join_traced, run_leave_traced, ExperimentConfig, LeaveTarget, SuiteKind, TraceRun,
+};
+use gkap_core::protocols::ProtocolKind;
+use gkap_gcs::{testbed, GcsConfig};
+
+/// One traced measurement: a protocol × event cell of the breakdown.
+#[derive(Debug)]
+pub struct TraceRow {
+    /// Protocol name (`"GDH"`, …).
+    pub protocol: &'static str,
+    /// `"join"` or `"leave"`.
+    pub event: &'static str,
+    /// Group size after the event.
+    pub n: usize,
+    /// The full traced run (outcome, events, breakdown).
+    pub run: TraceRun,
+}
+
+/// The figure a trace command reproduces: which testbed and events.
+fn figure_spec(figure: &str) -> Option<(GcsConfig, &'static [&'static str])> {
+    match figure {
+        "fig11" => Some((testbed::lan(), &["join"])),
+        "fig12" => Some((testbed::lan(), &["leave"])),
+        "fig14" => Some((testbed::wan(), &["join", "leave"])),
+        _ => None,
+    }
+}
+
+/// Runs every protocol through the figure's events at group size `n`
+/// with telemetry on. Returns `None` for an unknown figure name.
+///
+/// # Panics
+///
+/// Panics if any protocol fails to complete the event (a protocol
+/// deadlock — the same invariant the figure builders assert).
+pub fn trace_figure(figure: &str, n: usize) -> Option<Vec<TraceRow>> {
+    let (gcs, events) = figure_spec(figure)?;
+    let mut rows = Vec::new();
+    for kind in ProtocolKind::all() {
+        for &event in events {
+            let cfg = ExperimentConfig {
+                protocol: kind,
+                gcs: gcs.clone(),
+                suite: SuiteKind::Sim512,
+                seed: 0x5eed,
+                confirm_keys: false,
+                telemetry: true,
+            };
+            let run = match event {
+                "join" => run_join_traced(&cfg, n),
+                _ => run_leave_traced(&cfg, n, LeaveTarget::Middle),
+            };
+            assert!(run.outcome.ok, "{kind} failed traced {event} at n={n}");
+            rows.push(TraceRow {
+                protocol: kind.name(),
+                event,
+                n,
+                run,
+            });
+        }
+    }
+    Some(rows)
+}
+
+/// Renders the aligned per-protocol breakdown table.
+pub fn summary_table(figure: &str, rows: &[TraceRow]) -> String {
+    let n = rows.first().map(|r| r.n).unwrap_or(0);
+    let mut s = format!(
+        "# Latency breakdown — {figure}, n={n}, DH 512 bits (virtual ms)\n\
+         {:<8} {:<6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+        "protocol", "event", "elapsed", "membership", "rounds", "crypto", "network", "sum"
+    );
+    for r in rows {
+        let b = &r.run.breakdown;
+        s.push_str(&format!(
+            "{:<8} {:<6} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+            r.protocol,
+            r.event,
+            b.elapsed_ms,
+            b.membership_ms,
+            b.rounds_ms,
+            b.crypto_ms,
+            b.network_ms,
+            b.total_ms(),
+        ));
+    }
+    s
+}
+
+/// Renders the breakdown as CSV (same columns as the table).
+pub fn summary_csv(figure: &str, rows: &[TraceRow]) -> String {
+    let mut s = String::from(
+        "figure,protocol,event,n,elapsed_ms,membership_ms,rounds_ms,crypto_ms,network_ms,sum_ms\n",
+    );
+    for r in rows {
+        let b = &r.run.breakdown;
+        s.push_str(&format!(
+            "{figure},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            r.protocol,
+            r.event,
+            r.n,
+            b.elapsed_ms,
+            b.membership_ms,
+            b.rounds_ms,
+            b.crypto_ms,
+            b.network_ms,
+            b.total_ms(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figure_is_none() {
+        assert!(trace_figure("fig99", 8).is_none());
+    }
+
+    #[test]
+    fn breakdown_columns_sum_to_elapsed() {
+        // Small LAN group keeps the test fast; the invariant is
+        // structural, not size-dependent.
+        let rows = trace_figure("fig11", 6).expect("known figure");
+        assert_eq!(rows.len(), 5); // one join row per protocol
+        for r in &rows {
+            let b = &r.run.breakdown;
+            assert!(b.elapsed_ms > 0.0, "{} elapsed", r.protocol);
+            let sum = b.total_ms();
+            assert!(
+                (sum - b.elapsed_ms).abs() <= 0.01 * b.elapsed_ms.max(1e-9),
+                "{}: sum {sum} vs elapsed {}",
+                r.protocol,
+                b.elapsed_ms
+            );
+            for (name, v) in [
+                ("membership", b.membership_ms),
+                ("rounds", b.rounds_ms),
+                ("crypto", b.crypto_ms),
+                ("network", b.network_ms),
+            ] {
+                assert!(v >= 0.0, "{} {name} negative: {v}", r.protocol);
+            }
+            assert!(
+                !r.run.events.is_empty(),
+                "{} captured no events",
+                r.protocol
+            );
+        }
+        let table = summary_table("fig11", &rows);
+        assert!(table.contains("GDH") && table.contains("membership"));
+        let csv = summary_csv("fig11", &rows);
+        assert_eq!(csv.lines().count(), 6); // header + 5 rows
+    }
+}

@@ -12,7 +12,11 @@ fn main() {
         // g = 2 is a generator of the order-q subgroup iff 2^q == 1 mod p
         // for safe prime p; otherwise use 4 (always a QR).
         let two = Ubig::from(2u64);
-        let g = if two.modexp(&q, &p).is_one() { 2u64 } else { 4u64 };
+        let g = if two.modexp(&q, &p).is_one() {
+            2u64
+        } else {
+            4u64
+        };
         println!("// {bits}-bit safe prime (p = 2q+1), generator g = {g}");
         println!("p = {}", p.to_hex());
         println!("q = {}", q.to_hex());

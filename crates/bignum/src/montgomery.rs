@@ -80,9 +80,8 @@ impl Montgomery {
         let n = self.n;
         let m = &self.modulus.limbs;
         let mut t = vec![0u64; n + 2];
-        for i in 0..n {
-            // t += a * b[i]
-            let bi = b[i];
+        for &bi in b.iter().take(n) {
+            // t += a * bi
             let mut carry: u64 = 0;
             for j in 0..n {
                 let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry as u128;
@@ -124,8 +123,9 @@ impl Montgomery {
         out
     }
 
-    /// Converts out of Montgomery form and normalizes to `Ubig`.
-    fn from_mont(&self, a: &[u64]) -> Ubig {
+    /// Montgomery reduction: converts out of Montgomery form and
+    /// normalizes to `Ubig`.
+    fn redc(&self, a: &[u64]) -> Ubig {
         let one = pad(&Ubig::one(), self.n);
         let mut out = Vec::with_capacity(self.n);
         self.mont_mul(a, &one, &mut out);
@@ -140,7 +140,7 @@ impl Montgomery {
         let bm = self.to_mont(&b.rem(&self.modulus));
         let mut prod = Vec::with_capacity(self.n);
         self.mont_mul(&am, &bm, &mut prod);
-        self.from_mont(&prod)
+        self.redc(&prod)
     }
 
     /// Windowed modular exponentiation: `base^exp mod m`.
@@ -199,7 +199,7 @@ impl Montgomery {
             std::mem::swap(&mut acc, &mut scratch);
             i = j as isize - 1;
         }
-        self.from_mont(&acc)
+        self.redc(&acc)
     }
 }
 
@@ -295,7 +295,10 @@ mod tests {
             Ubig::from(1024u64 % 1009)
         );
         assert_eq!(Ubig::zero().modexp(&Ubig::from(5u64), &p), Ubig::zero());
-        assert_eq!(Ubig::from(5u64).modexp(&Ubig::from(3u64), &Ubig::one()), Ubig::zero());
+        assert_eq!(
+            Ubig::from(5u64).modexp(&Ubig::from(3u64), &Ubig::one()),
+            Ubig::zero()
+        );
     }
 
     #[test]

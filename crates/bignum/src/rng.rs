@@ -58,7 +58,10 @@ pub trait RandomSource {
     ///
     /// Panics if `bound <= 1`.
     fn next_ubig_in_range(&mut self, bound: &Ubig) -> Ubig {
-        assert!(bound > &Ubig::one(), "range must contain at least one value");
+        assert!(
+            bound > &Ubig::one(),
+            "range must contain at least one value"
+        );
         let bits = bound.bit_len();
         loop {
             let v = self.next_ubig_below_bits(bits);
@@ -160,7 +163,7 @@ mod tests {
         for _ in 0..500 {
             let v = r.next_ubig_in_range(&bound);
             let x = v.to_u64().unwrap() as usize;
-            assert!(x >= 1 && x < 17);
+            assert!((1..17).contains(&x));
             seen[x] = true;
         }
         assert!(seen[1..17].iter().all(|&s| s), "all residues hit");

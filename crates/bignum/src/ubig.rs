@@ -43,7 +43,11 @@ pub struct ParseUbigError {
 
 impl fmt::Display for ParseUbigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid digit {:?} in big-integer literal", self.offending)
+        write!(
+            f,
+            "invalid digit {:?} in big-integer literal",
+            self.offending
+        )
     }
 }
 
@@ -91,7 +95,7 @@ impl Ubig {
 
     /// Returns `true` if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if the value is odd.
@@ -116,7 +120,7 @@ impl Ubig {
     /// Returns bit `i` (little-endian indexing; out-of-range bits are 0).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`, growing the limb vector as needed.
@@ -372,7 +376,7 @@ mod tests {
         assert_eq!(v.bit_len(), 64);
         assert!(v.bit(63));
         assert!(!v.bit(62));
-        assert!(!v.bit(064 + 1));
+        assert!(!v.bit(64 + 1));
         let w = Ubig::from_hex("10000000000000000").unwrap();
         assert_eq!(w.bit_len(), 65);
         assert!(w.bit(64));

@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn add_sub_roundtrip(a in ubig(), b in ubig()) {
-        prop_assert_eq!((&(&a + &b)).checked_sub(&b), Some(a));
+        prop_assert_eq!((&a + &b).checked_sub(&b), Some(a));
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub fn rank_by_measurement(gcs: &GcsConfig, workload: &Workload) -> Vec<Score> {
                 suite: SuiteKind::Sim512,
                 seed: 0xadu64 << 32 | n as u64,
                 confirm_keys: false,
+                telemetry: false,
             };
             let join = run_join(&cfg, n);
             let leave = run_leave_weighted(&cfg, n);
@@ -179,6 +180,9 @@ mod tests {
             .iter()
             .position(|s| s.protocol == ProtocolKind::Gdh)
             .expect("present");
-        assert!(gdh_pos >= 3, "GDH's m-round merge must rank poorly on the WAN");
+        assert!(
+            gdh_pos >= 3,
+            "GDH's m-round merge must rank poorly on the WAN"
+        );
     }
 }

@@ -22,7 +22,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed protocol message while reading {}", self.context)
+        write!(
+            f,
+            "malformed protocol message while reading {}",
+            self.context
+        )
     }
 }
 
@@ -108,12 +112,16 @@ impl<'a> Dec<'a> {
 
     /// Reads a big-endian u32.
     pub fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4, context)?.try_into().expect("4")))
+        Ok(u32::from_be_bytes(
+            self.take(4, context)?.try_into().expect("4"),
+        ))
     }
 
     /// Reads a big-endian u64.
     pub fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8, context)?.try_into().expect("8")))
+        Ok(u64::from_be_bytes(
+            self.take(8, context)?.try_into().expect("8"),
+        ))
     }
 
     /// Reads a length-prefixed byte string.
@@ -132,7 +140,9 @@ impl<'a> Dec<'a> {
         if self.buf.is_empty() {
             Ok(())
         } else {
-            Err(DecodeError { context: "trailing garbage" })
+            Err(DecodeError {
+                context: "trailing garbage",
+            })
         }
     }
 
@@ -150,7 +160,12 @@ mod tests {
     fn roundtrip_all_types() {
         let big = Ubig::from_hex("deadbeefcafebabe0123456789").unwrap();
         let mut e = Enc::new();
-        e.u8(7).u32(0xAABBCCDD).u64(42).bytes(b"hello").ubig(&big).ubig(&Ubig::zero());
+        e.u8(7)
+            .u32(0xAABBCCDD)
+            .u64(42)
+            .bytes(b"hello")
+            .ubig(&big)
+            .ubig(&Ubig::zero());
         let wire = e.finish();
         let mut d = Dec::new(&wire);
         assert_eq!(d.u8("a").unwrap(), 7);

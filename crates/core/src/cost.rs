@@ -96,7 +96,7 @@ impl CostModel {
     /// step 3): `~1.5 * bit_len(e)` modular multiplications.
     pub fn small_exp(&self, e: u64) -> Duration {
         let bits = 64 - e.leading_zeros() as u64;
-        self.modmul.mul(bits + bits / 2)
+        self.modmul * (bits + bits / 2)
     }
 }
 
@@ -183,7 +183,10 @@ mod tests {
     fn small_exp_cost_tracks_exponent_size() {
         let m = CostModel::paper_512();
         assert!(m.small_exp(50) > m.small_exp(2));
-        assert!(m.small_exp(50) < m.exp, "small exponent is far below a full exp");
+        assert!(
+            m.small_exp(50) < m.exp,
+            "small exponent is far below a full exp"
+        );
         assert_eq!(m.small_exp(0), Duration::ZERO);
         // Paper: "373 1024-bit modular multiplications" for ~n=50 and
         // 1024-bit modulus; our per-exp accounting gives n * ~1.5*6
@@ -195,23 +198,41 @@ mod tests {
 
     #[test]
     fn counts_diff_and_sum() {
-        let mut a = OpCounts { exp: 5, sign: 2, ..Default::default() };
-        let b = OpCounts { exp: 2, sign: 1, ..Default::default() };
+        let mut a = OpCounts {
+            exp: 5,
+            sign: 2,
+            ..Default::default()
+        };
+        let b = OpCounts {
+            exp: 2,
+            sign: 1,
+            ..Default::default()
+        };
         let d = a.since(&b);
         assert_eq!(d.exp, 3);
         assert_eq!(d.sign, 1);
         a.add(&b);
         assert_eq!(a.exp, 7);
         assert_eq!(a.messages(), 0);
-        let m = OpCounts { multicast: 2, unicast: 3, ..Default::default() };
+        let m = OpCounts {
+            multicast: 2,
+            unicast: 3,
+            ..Default::default()
+        };
         assert_eq!(m.messages(), 5);
     }
 
     #[test]
     #[should_panic]
     fn since_panics_on_regression() {
-        let a = OpCounts { exp: 1, ..Default::default() };
-        let b = OpCounts { exp: 2, ..Default::default() };
+        let a = OpCounts {
+            exp: 1,
+            ..Default::default()
+        };
+        let b = OpCounts {
+            exp: 2,
+            ..Default::default()
+        };
         let _ = a.since(&b);
     }
 }

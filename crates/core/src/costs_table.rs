@@ -325,11 +325,7 @@ pub fn paper_rows(n: usize, m: usize, p: usize) -> Vec<TableRow> {
 /// members) for the protocols whose counts are independent of tree
 /// shape. `n` is the group size before the event. Returns `None` for
 /// TGDH/STR (tree-shape dependent; the tests bound those instead).
-pub fn expected_aggregate(
-    kind: ProtocolKind,
-    event: GroupEvent,
-    n: usize,
-) -> Option<OpCounts> {
+pub fn expected_aggregate(kind: ProtocolKind, event: GroupEvent, n: usize) -> Option<OpCounts> {
     let after = event.size_after(n) as u64;
     match (kind, event) {
         (ProtocolKind::Gdh, GroupEvent::Join) | (ProtocolKind::Gdh, GroupEvent::Merge(_)) => {
@@ -493,7 +489,12 @@ mod tests {
         };
         // BD is the most expensive in messages for every event.
         for e in ["join", "leave", "merge", "partition"] {
-            for k in [ProtocolKind::Gdh, ProtocolKind::Tgdh, ProtocolKind::Str, ProtocolKind::Ckd] {
+            for k in [
+                ProtocolKind::Gdh,
+                ProtocolKind::Tgdh,
+                ProtocolKind::Str,
+                ProtocolKind::Ckd,
+            ] {
                 assert!(
                     get(ProtocolKind::Bd, e).messages >= get(k, e).messages,
                     "BD vs {k} on {e}"
@@ -503,12 +504,23 @@ mod tests {
         // GDH merge needs the most rounds.
         assert!(get(ProtocolKind::Gdh, "merge").rounds > get(ProtocolKind::Tgdh, "merge").rounds);
         // TGDH leave beats GDH/CKD/STR in exponentiations.
-        assert!(get(ProtocolKind::Tgdh, "leave").serial_exps < get(ProtocolKind::Gdh, "leave").serial_exps);
-        assert!(get(ProtocolKind::Tgdh, "leave").serial_exps < get(ProtocolKind::Str, "leave").serial_exps);
+        assert!(
+            get(ProtocolKind::Tgdh, "leave").serial_exps
+                < get(ProtocolKind::Gdh, "leave").serial_exps
+        );
+        assert!(
+            get(ProtocolKind::Tgdh, "leave").serial_exps
+                < get(ProtocolKind::Str, "leave").serial_exps
+        );
         // STR join is constant and small.
         assert_eq!(get(ProtocolKind::Str, "join").serial_exps, 7);
         // Leave in GDH/STR/CKD/TGDH is one message.
-        for k in [ProtocolKind::Gdh, ProtocolKind::Str, ProtocolKind::Ckd, ProtocolKind::Tgdh] {
+        for k in [
+            ProtocolKind::Gdh,
+            ProtocolKind::Str,
+            ProtocolKind::Ckd,
+            ProtocolKind::Tgdh,
+        ] {
             assert_eq!(get(k, "leave").messages, 1, "{k}");
         }
     }

@@ -55,7 +55,12 @@ impl Envelope {
     /// Creates and signs an envelope.
     pub fn seal(suite: &CryptoSuite, sender: ClientId, epoch: u64, body: Bytes) -> Self {
         let sig = suite.sign(&signed_region(sender, epoch, &body));
-        Envelope { sender, epoch, body, sig }
+        Envelope {
+            sender,
+            epoch,
+            body,
+            sig,
+        }
     }
 
     /// Serializes to wire bytes.
@@ -80,7 +85,12 @@ impl Envelope {
             let epoch = d.u64("epoch")?;
             let body = Bytes::copy_from_slice(d.bytes("body")?);
             let sig = d.bytes("sig")?.to_vec();
-            Ok(Envelope { sender, epoch, body, sig })
+            Ok(Envelope {
+                sender,
+                epoch,
+                body,
+                sig,
+            })
         })();
         let env = parse.map_err(EnvelopeError::Malformed)?;
         d.finish().map_err(EnvelopeError::Malformed)?;
@@ -94,7 +104,10 @@ impl Envelope {
     /// Returns [`EnvelopeError::BadSignature`] on mismatch.
     pub fn verify(&self, suite: &CryptoSuite) -> Result<(), EnvelopeError> {
         suite
-            .verify(&signed_region(self.sender, self.epoch, &self.body), &self.sig)
+            .verify(
+                &signed_region(self.sender, self.epoch, &self.body),
+                &self.sig,
+            )
             .map_err(|_| EnvelopeError::BadSignature)
     }
 }
@@ -119,7 +132,10 @@ mod tests {
         let env = Envelope::seal(&suite, 3, 7, Bytes::from_static(b"body"));
         let mut wrong_sender = env.clone();
         wrong_sender.sender = 4;
-        assert_eq!(wrong_sender.verify(&suite), Err(EnvelopeError::BadSignature));
+        assert_eq!(
+            wrong_sender.verify(&suite),
+            Err(EnvelopeError::BadSignature)
+        );
         let mut wrong_epoch = env.clone();
         wrong_epoch.epoch = 8;
         assert_eq!(wrong_epoch.verify(&suite), Err(EnvelopeError::BadSignature));

@@ -12,6 +12,7 @@ use std::rc::Rc;
 use gkap_gcs::{ClientId, GcsConfig, SimWorld};
 use gkap_sim::stats::{Figure, Series, Summary};
 use gkap_sim::SimTime;
+use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
 
 use crate::cost::OpCounts;
 use crate::member::SecureMember;
@@ -66,6 +67,10 @@ pub struct ExperimentConfig {
     /// Whether members broadcast key-confirmation digests after each
     /// event (§5; off in the paper's measured configuration).
     pub confirm_keys: bool,
+    /// Whether to capture a cross-layer telemetry trace of the run.
+    /// Off by default: recording is keyed by virtual time and never
+    /// perturbs results, but the event log costs real memory.
+    pub telemetry: bool,
 }
 
 impl ExperimentConfig {
@@ -77,6 +82,7 @@ impl ExperimentConfig {
             suite: SuiteKind::FastZero,
             seed: 0x5eed,
             confirm_keys: false,
+            telemetry: false,
         }
     }
 
@@ -88,6 +94,7 @@ impl ExperimentConfig {
             suite,
             seed: 0x5eed,
             confirm_keys: false,
+            telemetry: false,
         }
     }
 
@@ -99,6 +106,7 @@ impl ExperimentConfig {
             suite,
             seed: 0x5eed,
             confirm_keys: false,
+            telemetry: false,
         }
     }
 }
@@ -140,9 +148,19 @@ pub enum LeaveTarget {
     Newest,
 }
 
-fn build_world(cfg: &ExperimentConfig, initial: usize, extra: usize) -> (SimWorld, Rc<CryptoSuite>) {
+fn build_world(
+    cfg: &ExperimentConfig,
+    initial: usize,
+    extra: usize,
+) -> (SimWorld, Rc<CryptoSuite>) {
     let suite = Rc::new(cfg.suite.build());
     let mut world = SimWorld::new(cfg.gcs.clone());
+    let telemetry = if cfg.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    world.set_telemetry(telemetry.clone());
     for i in 0..(initial + extra) {
         let mut member = SecureMember::new(
             cfg.protocol,
@@ -151,6 +169,7 @@ fn build_world(cfg: &ExperimentConfig, initial: usize, extra: usize) -> (SimWorl
             Some(cfg.seed),
         );
         member.set_key_confirmation(cfg.confirm_keys);
+        member.set_telemetry(telemetry.clone());
         world.add_client(Box::new(member));
     }
     world.install_initial_view_of((0..initial).collect());
@@ -164,22 +183,49 @@ fn snapshot_counts(world: &SimWorld, ids: &[ClientId]) -> Vec<OpCounts> {
         .collect()
 }
 
+/// Timing skeleton of one measured event, kept alongside the
+/// [`EventOutcome`] so traced runs can decompose the latency.
+#[derive(Clone, Copy, Debug)]
+struct EventTiming {
+    /// When the membership change was injected.
+    inject: SimTime,
+    /// Last member's view delivery.
+    last_view: SimTime,
+    /// Last member's key completion.
+    last_key: SimTime,
+    /// The *critical member*: the one whose key completed last (its
+    /// activity is the run's critical path).
+    critical: ClientId,
+}
+
 /// Runs the event measurement: injects a view change and waits for all
 /// `wait_for` members to complete epoch 2.
-fn measure_event(
+fn measure_event_timed(
     world: &mut SimWorld,
     joined: Vec<ClientId>,
     left: Vec<ClientId>,
     wait_for: Vec<ClientId>,
-) -> EventOutcome {
+) -> (EventOutcome, EventTiming) {
     let target_epoch = world.view().expect("initial view installed").id + 1;
     let before = snapshot_counts(world, &wait_for);
     let inject = world.now();
+    let group_size = wait_for.len();
+    world.telemetry().record(|| Event {
+        at: inject,
+        dur: gkap_sim::Duration::ZERO,
+        actor: Actor::World,
+        kind: EventKind::MembershipEvent {
+            action: "inject",
+            group_size,
+        },
+    });
     world.inject_change(joined, left);
     let complete = |w: &SimWorld| {
-        wait_for
-            .iter()
-            .all(|&c| w.client::<SecureMember>(c).completion(target_epoch).is_some())
+        wait_for.iter().all(|&c| {
+            w.client::<SecureMember>(c)
+                .completion(target_epoch)
+                .is_some()
+        })
     };
     // Run until everyone has the key (or the world goes quiescent —
     // a protocol deadlock).
@@ -192,6 +238,7 @@ fn measure_event(
     }
     let mut last_key = SimTime::ZERO;
     let mut last_view = SimTime::ZERO;
+    let mut critical = wait_for.first().copied().unwrap_or(0);
     let mut agree = done;
     let mut secret: Option<gkap_bignum::Ubig> = None;
     for &c in &wait_for {
@@ -200,6 +247,9 @@ fn measure_event(
             agree = false;
         }
         if let Some(t) = m.completion(target_epoch) {
+            if t > last_key {
+                critical = c;
+            }
             last_key = last_key.max(t);
         }
         if let Some(t) = m.view_time(target_epoch) {
@@ -212,13 +262,41 @@ fn measure_event(
             _ => {}
         }
     }
-    EventOutcome {
+    world.telemetry().record(|| Event {
+        at: last_key,
+        dur: gkap_sim::Duration::ZERO,
+        actor: Actor::World,
+        kind: EventKind::MembershipEvent {
+            action: "key_established",
+            group_size,
+        },
+    });
+    let outcome = EventOutcome {
         ok: agree,
         elapsed_ms: last_key.as_millis_f64() - inject.as_millis_f64(),
         membership_ms: last_view.as_millis_f64() - inject.as_millis_f64(),
         counts,
         size_after: wait_for.len(),
-    }
+    };
+    (
+        outcome,
+        EventTiming {
+            inject,
+            last_view,
+            last_key,
+            critical,
+        },
+    )
+}
+
+/// [`measure_event_timed`] without the timing skeleton.
+fn measure_event(
+    world: &mut SimWorld,
+    joined: Vec<ClientId>,
+    left: Vec<ClientId>,
+    wait_for: Vec<ClientId>,
+) -> EventOutcome {
+    measure_event_timed(world, joined, left, wait_for).0
 }
 
 /// Forms a group of `n` members and verifies all keys agree.
@@ -235,7 +313,10 @@ pub fn run_formation(cfg: &ExperimentConfig, n: usize) -> FormationOutcome {
             _ => {}
         }
     }
-    FormationOutcome { all_agreed, size: n }
+    FormationOutcome {
+        all_agreed,
+        size: n,
+    }
 }
 
 /// Measures a join: a group of `n - 1` members admits one more.
@@ -288,6 +369,162 @@ pub fn run_leave_weighted(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
     }
 }
 
+/// Decomposition of one event's total latency into the paper's §6
+/// cost categories, in virtual milliseconds. The four components sum
+/// to `elapsed_ms` exactly (the network share is the remainder after
+/// accounting for the others on the critical path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    /// Inject → last key completion (the figure quantity).
+    pub elapsed_ms: f64,
+    /// Membership-service share: inject → last view delivery.
+    pub membership_ms: f64,
+    /// Critical member's charged cryptographic compute.
+    pub crypto_ms: f64,
+    /// Critical member's non-crypto protocol processing: handler CPU
+    /// time plus scheduler queueing, net of the crypto share.
+    pub rounds_ms: f64,
+    /// Time the critical path spent waiting on the network (and on
+    /// other members' compute): the remainder.
+    pub network_ms: f64,
+}
+
+impl Breakdown {
+    /// Sum of the four components (equals `elapsed_ms` by
+    /// construction, up to floating-point rounding).
+    pub fn total_ms(&self) -> f64 {
+        self.membership_ms + self.crypto_ms + self.rounds_ms + self.network_ms
+    }
+}
+
+/// A fully traced event measurement: the standard outcome, the raw
+/// event log, and the latency decomposition.
+#[derive(Clone, Debug)]
+pub struct TraceRun {
+    /// The standard measurement outcome.
+    pub outcome: EventOutcome,
+    /// Every telemetry event captured during the run (all layers).
+    pub events: Vec<Event>,
+    /// The critical-path latency decomposition.
+    pub breakdown: Breakdown,
+}
+
+/// Computes the latency decomposition from the event log and the
+/// measured timing skeleton.
+///
+/// The critical member (last key completion) defines the critical
+/// path. Within the window `[inject, last_key]`:
+/// * `crypto` is the sum of its `CryptoOp` durations;
+/// * `rounds` is its `HandlerSpan` busy + queue-wait time net of the
+///   crypto share (protocol bookkeeping, serialization, GCS handler
+///   work);
+/// * `membership` is inject → last view delivery;
+/// * `network` is the remainder, so the four always sum to `elapsed`.
+///
+/// Components are clamped to be non-negative; when the remainder
+/// would be negative (compute overlapping the membership window) the
+/// deficit is taken out of `rounds` so the sum stays exact.
+fn compute_breakdown(events: &[Event], t: &EventTiming) -> Breakdown {
+    let lo = t.inject.as_nanos() as f64;
+    let hi = t.last_key.as_nanos() as f64;
+    let overlap = |at: SimTime, dur: gkap_sim::Duration| -> f64 {
+        let a = at.as_nanos() as f64;
+        let b = a + dur.as_nanos() as f64;
+        (b.min(hi) - a.max(lo)).max(0.0)
+    };
+    let mut crypto_ns = 0.0;
+    let mut busy_ns = 0.0;
+    let mut wait_ns = 0.0;
+    for ev in events {
+        if ev.actor != Actor::Client(t.critical) {
+            continue;
+        }
+        match ev.kind {
+            EventKind::CryptoOp { .. } => crypto_ns += overlap(ev.at, ev.dur),
+            EventKind::HandlerSpan { wait } => {
+                busy_ns += overlap(ev.at, ev.dur);
+                let at = ev.at.as_nanos() as f64;
+                if at >= lo && at <= hi {
+                    wait_ns += wait.as_nanos() as f64;
+                }
+            }
+            _ => {}
+        }
+    }
+    let ms = 1.0 / 1_000_000.0;
+    let elapsed = (hi - lo) * ms;
+    let membership = (t.last_view.as_nanos() as f64 - lo).max(0.0) * ms;
+    let mut crypto = crypto_ns * ms;
+    let mut rounds = ((busy_ns + wait_ns) * ms - crypto).max(0.0);
+    let mut network = elapsed - membership - crypto - rounds;
+    if network < 0.0 {
+        // Compute overlapped the membership window: absorb the
+        // deficit so columns stay non-negative and the sum exact.
+        let mut deficit = -network;
+        network = 0.0;
+        let take = deficit.min(rounds);
+        rounds -= take;
+        deficit -= take;
+        crypto = (crypto - deficit).max(0.0);
+    }
+    Breakdown {
+        elapsed_ms: elapsed,
+        membership_ms: membership,
+        crypto_ms: crypto,
+        rounds_ms: rounds,
+        network_ms: network,
+    }
+}
+
+/// [`run_join`] with telemetry forced on: returns the outcome plus
+/// the event log and latency breakdown.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn run_join_traced(cfg: &ExperimentConfig, n: usize) -> TraceRun {
+    assert!(n >= 2, "join needs an existing group");
+    let mut cfg = cfg.clone();
+    cfg.telemetry = true;
+    let (mut world, _suite) = build_world(&cfg, n - 1, 1);
+    let joiner = n - 1;
+    let (outcome, timing) = measure_event_timed(&mut world, vec![joiner], vec![], (0..n).collect());
+    let events = world.telemetry().events();
+    let breakdown = compute_breakdown(&events, &timing);
+    TraceRun {
+        outcome,
+        events,
+        breakdown,
+    }
+}
+
+/// [`run_leave`] with telemetry forced on.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn run_leave_traced(cfg: &ExperimentConfig, n: usize, target: LeaveTarget) -> TraceRun {
+    assert!(n >= 2, "leave needs at least two members");
+    let mut cfg = cfg.clone();
+    cfg.telemetry = true;
+    let (mut world, _suite) = build_world(&cfg, n, 0);
+    let view: Vec<ClientId> = world.view().expect("view").members.clone();
+    let leaver = match target {
+        LeaveTarget::Middle => view[view.len() / 2],
+        LeaveTarget::Oldest => view[0],
+        LeaveTarget::Newest => *view.last().expect("non-empty"),
+    };
+    let remaining: Vec<ClientId> = view.into_iter().filter(|&c| c != leaver).collect();
+    let (outcome, timing) = measure_event_timed(&mut world, vec![], vec![leaver], remaining);
+    let events = world.telemetry().events();
+    let breakdown = compute_breakdown(&events, &timing);
+    TraceRun {
+        outcome,
+        events,
+        breakdown,
+    }
+}
+
 /// Measures a partition: `p` members (spread across the view) leave a
 /// group of `n` at once.
 ///
@@ -305,10 +542,7 @@ pub fn run_partition(cfg: &ExperimentConfig, n: usize, p: usize) -> EventOutcome
         .map(|i| view[((i as f64 + 0.5) * stride) as usize % n])
         .collect();
     leaving.dedup();
-    let remaining: Vec<ClientId> = view
-        .into_iter()
-        .filter(|c| !leaving.contains(c))
-        .collect();
+    let remaining: Vec<ClientId> = view.into_iter().filter(|c| !leaving.contains(c)).collect();
     measure_event(&mut world, vec![], leaving, remaining)
 }
 
@@ -332,7 +566,6 @@ pub fn run_merge(cfg: &ExperimentConfig, n: usize, m: usize) -> EventOutcome {
     }
     measure_event(&mut world, component, vec![], (0..n + m).collect())
 }
-
 
 /// Scrambles the group with `churn` random join+leave pairs before an
 /// experiment ("Secure Spread must first be run … with a random
@@ -363,9 +596,7 @@ fn next_unused_client(world: &SimWorld) -> ClientId {
     let members = &world.view().expect("view").members;
     let mut c = 0;
     loop {
-        if !members.contains(&c)
-            && world.client::<SecureMember>(c).epoch() == 0
-        {
+        if !members.contains(&c) && world.client::<SecureMember>(c).epoch() == 0 {
             return c;
         }
         c += 1;
@@ -403,13 +634,20 @@ pub fn run_leave_churned(cfg: &ExperimentConfig, n: usize, churn: usize) -> Even
 pub fn run_real_formation(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
     let suite = Rc::new(cfg.suite.build());
     let mut world = SimWorld::new(cfg.gcs.clone());
+    let telemetry = if cfg.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    world.set_telemetry(telemetry.clone());
     for i in 0..n {
-        let member = SecureMember::new(
+        let mut member = SecureMember::new(
             cfg.protocol,
             Rc::clone(&suite),
             cfg.seed ^ ((i as u64 + 1) * 0x9e37_79b9),
             None, // no bootstrap: run the protocol for real
         );
+        member.set_telemetry(telemetry.clone());
         world.add_client(Box::new(member));
     }
     let members: Vec<ClientId> = (0..n).collect();
@@ -505,7 +743,8 @@ pub fn build_figure(
 ) -> Figure {
     let mut fig = Figure::new(title);
     let mut membership = Series::new("Membership");
-    let mut membership_points: Vec<(f64, Summary)> = sizes.iter().map(|&s| (s as f64, Summary::new())).collect();
+    let mut membership_points: Vec<(f64, Summary)> =
+        sizes.iter().map(|&s| (s as f64, Summary::new())).collect();
     for kind in ProtocolKind::all() {
         let mut series = Series::new(kind.name());
         for (si, &size) in sizes.iter().enumerate() {
@@ -517,6 +756,7 @@ pub fn build_figure(
                     suite,
                     seed: 0x5eed ^ ((rep as u64 + 1) << 32) ^ size as u64,
                     confirm_keys: false,
+                    telemetry: false,
                 };
                 let outcome = measure(&cfg, size);
                 assert!(

@@ -12,6 +12,7 @@ use gkap_bignum::{SplitMix64, Ubig};
 use gkap_crypto::kdf::SessionKeys;
 use gkap_gcs::{Client, ClientCtx, ClientId, Delivery, View};
 use gkap_sim::{Duration, SimTime};
+use gkap_telemetry::{Actor, CryptoOpKind, Event, EventKind, SendClass, Telemetry};
 
 use crate::cost::OpCounts;
 use crate::envelope::Envelope;
@@ -73,6 +74,9 @@ pub struct SecureMember {
     pending_confirms: Vec<(u64, Vec<u8>)>,
     /// First protocol error, if any (experiments assert none).
     error: Option<GkaError>,
+    /// Telemetry sink (disabled by default; the experiment harness
+    /// shares the world's handle here when tracing is requested).
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for SecureMember {
@@ -124,7 +128,14 @@ impl SecureMember {
             confirmations: Vec::new(),
             pending_confirms: Vec::new(),
             error: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Shares a telemetry sink with this member (pass the `SimWorld`'s
+    /// handle so all layers record into one stream).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Enables key confirmation: after establishing each epoch's key,
@@ -269,10 +280,48 @@ impl SecureMember {
             .encode();
             self.counts.sign += 1;
             ctx.charge_cpu(self.suite.cost().sign);
+            self.note_crypto(ctx, CryptoOpKind::Sign, self.suite.cost().sign);
             let env = Envelope::seal(&self.suite, ctx.id(), epoch, body);
             self.counts.multicast += 1;
+            self.note_event(
+                ctx,
+                EventKind::MessageSend {
+                    class: SendClass::Multicast,
+                },
+            );
             ctx.multicast_agreed(env.encode());
         }
+    }
+
+    /// Records one telemetry event at the handler's virtual time with
+    /// this member as the actor (free when telemetry is disabled).
+    fn note_event(&self, ctx: &ClientCtx<'_>, kind: EventKind) {
+        self.note_span(ctx, Duration::ZERO, kind);
+    }
+
+    fn note_span(&self, ctx: &ClientCtx<'_>, dur: Duration, kind: EventKind) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let at = ctx.now();
+        let actor = Actor::Client(ctx.id());
+        self.telemetry.record(|| Event {
+            at,
+            dur,
+            actor,
+            kind,
+        });
+    }
+
+    fn note_crypto(&self, ctx: &ClientCtx<'_>, op: CryptoOpKind, cost: Duration) {
+        self.note_span(
+            ctx,
+            cost,
+            EventKind::CryptoOp {
+                op,
+                bits: self.suite.nominal_bits() as u32,
+            },
+        );
     }
 
     fn dispatch_wire(&mut self, ctx: &mut ClientCtx<'_>, env: Envelope) {
@@ -284,6 +333,12 @@ impl SecureMember {
         self.counts.verify += 1;
         ctx.charge_cpu(self.suite.cost().verify);
         ctx.charge_cpu(self.suite.cost().recv_overhead);
+        self.note_crypto(ctx, CryptoOpKind::Verify, self.suite.cost().verify);
+        self.note_crypto(
+            ctx,
+            CryptoOpKind::RecvOverhead,
+            self.suite.cost().recv_overhead,
+        );
         if env.verify(&self.suite).is_err() {
             self.record_error(GkaError::Protocol("bad signature"));
             return;
@@ -299,6 +354,7 @@ impl SecureMember {
             self.record_confirmation(env.epoch, digest);
             return;
         }
+        let now = ctx.now();
         let mut transport = GcsTransport { ctx };
         let mut gka = GkaCtx {
             transport: &mut transport,
@@ -306,6 +362,8 @@ impl SecureMember {
             counts: &mut self.counts,
             rng: &mut self.rng,
             epoch: self.epoch,
+            telemetry: self.telemetry.clone(),
+            now,
         };
         if let Err(e) = self.protocol.on_msg(&mut gka, env.sender, msg) {
             self.record_error(e);
@@ -319,6 +377,13 @@ impl Client for SecureMember {
         self.id = Some(ctx.id());
         self.epoch = view.id;
         self.view_times.push((view.id, ctx.now()));
+        self.note_event(
+            ctx,
+            EventKind::MembershipEvent {
+                action: "view_delivered",
+                group_size: view.members.len(),
+            },
+        );
 
         let is_initial = view.joined.len() == view.members.len();
         if is_initial {
@@ -333,6 +398,7 @@ impl Client for SecureMember {
             }
         }
 
+        let now = ctx.now();
         let mut transport = GcsTransport { ctx };
         let mut gka = GkaCtx {
             transport: &mut transport,
@@ -340,6 +406,8 @@ impl Client for SecureMember {
             counts: &mut self.counts,
             rng: &mut self.rng,
             epoch: self.epoch,
+            telemetry: self.telemetry.clone(),
+            now,
         };
         if let Err(e) = self.protocol.on_view(&mut gka, view) {
             self.record_error(e);
@@ -349,8 +417,9 @@ impl Client for SecureMember {
         // Drain any messages that raced ahead of this view.
         let ready: Vec<Envelope> = {
             let epoch = self.epoch;
-            let (now, later): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.pending).into_iter().partition(|e| e.epoch == epoch);
+            let (now, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+                .into_iter()
+                .partition(|e| e.epoch == epoch);
             self.pending = later;
             now
         };

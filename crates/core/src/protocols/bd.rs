@@ -68,6 +68,7 @@ impl Bd {
         if self.sent_round2 || self.z.len() < self.members.len() {
             return Ok(());
         }
+        ctx.mark_round("BD", 2);
         let me = ctx.me();
         let pos = self.position(me)?;
         let next = self.neighbour(pos, 1);
@@ -77,13 +78,15 @@ impl Bd {
         let p = ctx.suite.group().modulus().clone();
         // Group-element inversion of z_prev (extended Euclid, charged
         // as an inverse, not an exponentiation).
-        ctx.counts.inverse += 1;
-        ctx.transport.charge(ctx.suite.cost().inverse);
+        ctx.charge_inverse();
         let z_prev_inv = z_prev
             .mod_inverse(&p)
             .ok_or(GkaError::Protocol("non-invertible z value"))?;
         let ratio = ctx.modmul(&z_next, &z_prev_inv);
-        let r = self.my_r.clone().ok_or(GkaError::Protocol("no session random"))?;
+        let r = self
+            .my_r
+            .clone()
+            .ok_or(GkaError::Protocol("no session random"))?;
         let x = ctx.exp(&ratio, &r);
         self.x.insert(me, x.clone());
         self.sent_round2 = true;
@@ -100,7 +103,10 @@ impl Bd {
         let me = ctx.me();
         let pos = self.position(me)?;
         let prev = self.neighbour(pos, -1);
-        let r = self.my_r.clone().ok_or(GkaError::Protocol("no session random"))?;
+        let r = self
+            .my_r
+            .clone()
+            .ok_or(GkaError::Protocol("no session random"))?;
         let q = ctx.suite.group().order();
         // A = z_{i-1}^{n * r_i}: one full exponentiation.
         let e = r.modmul(&Ubig::from(n as u64), q);
@@ -143,6 +149,7 @@ impl GkaProtocol for Bd {
         self.x.clear();
         self.sent_round2 = false;
         self.secret = None;
+        ctx.mark_round("BD", 1);
         let r = ctx.fresh_exponent();
         let z = ctx.exp_g(&r);
         self.my_r = Some(r.clone());
@@ -203,10 +210,7 @@ impl GkaProtocol for Bd {
         }
         self.me = Some(me);
         self.members = members.to_vec();
-        self.my_r = members
-            .iter()
-            .position(|&m| m == me)
-            .map(|i| rs[i].clone());
+        self.my_r = members.iter().position(|&m| m == me).map(|i| rs[i].clone());
         self.secret = Some(suite.group().exp_g(&e));
     }
 }

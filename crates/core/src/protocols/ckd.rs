@@ -93,6 +93,7 @@ impl Ckd {
     /// Controller-side: distribute a fresh secret to all members,
     /// assuming `pubs` covers everyone.
     fn distribute(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
+        ctx.mark_round("CKD", 3);
         let me = ctx.me();
         let x = self
             .controller_exp
@@ -116,12 +117,20 @@ impl Ckd {
                 .ok_or(GkaError::Protocol("missing member public value"))?;
             let pairwise = ctx.exp(their_pub, &x);
             ctx.charge_symmetric(1);
-            let ct = ctr_xor(&blob_key(&pairwise), &blob_nonce(ctx.epoch, m), 0, secret_bytes.clone());
+            let ct = ctr_xor(
+                &blob_key(&pairwise),
+                &blob_nonce(ctx.epoch, m),
+                0,
+                secret_bytes.clone(),
+            );
             blobs.push((m, ct));
         }
         ctx.send(
             SendKind::Multicast,
-            &ProtocolMsg::CkdKeyDist { controller_pub, blobs },
+            &ProtocolMsg::CkdKeyDist {
+                controller_pub,
+                blobs,
+            },
         );
         self.secret = Some(secret);
         Ok(())
@@ -130,6 +139,7 @@ impl Ckd {
     /// Controller-side: begin a re-key, inviting any members whose
     /// public values we do not have.
     fn start_rekey(&mut self, ctx: &mut GkaCtx<'_>, invite: Vec<ClientId>) -> Result<(), GkaError> {
+        ctx.mark_round("CKD", 1);
         let x = ctx.fresh_exponent();
         self.controller_pub = Some(ctx.exp_g(&x));
         self.controller_exp = Some(x);
@@ -138,7 +148,10 @@ impl Ckd {
             return self.distribute(ctx);
         }
         let controller_pub = self.controller_pub.clone().expect("just derived");
-        let msg = ProtocolMsg::CkdInvite { controller_pub, invited: invite.clone() };
+        let msg = ProtocolMsg::CkdInvite {
+            controller_pub,
+            invited: invite.clone(),
+        };
         if invite.len() == 1 {
             ctx.send(SendKind::UnicastFifo(invite[0]), &msg);
         } else {
@@ -162,11 +175,7 @@ impl GkaProtocol for Ckd {
     fn on_view(&mut self, ctx: &mut GkaCtx<'_>, view: &View) -> Result<(), GkaError> {
         let me = ctx.me();
         self.me = Some(me);
-        let was_controller = self
-            .members
-            .first()
-            .map(|&c| c == me)
-            .unwrap_or(false);
+        let was_controller = self.members.first().map(|&c| c == me).unwrap_or(false);
         self.members = view.members.clone();
         self.secret = None;
         for l in &view.left {
@@ -210,11 +219,15 @@ impl GkaProtocol for Ckd {
                 }
                 // Refresh our pairwise contribution and respond over
                 // the direct channel.
+                ctx.mark_round("CKD", 2);
                 let x = ctx.fresh_exponent();
                 let member_pub = ctx.exp_g(&x);
                 self.my_exp = Some(x);
                 self.my_pub = Some(member_pub.clone());
-                ctx.send(SendKind::UnicastFifo(sender), &ProtocolMsg::CkdResponse { member_pub });
+                ctx.send(
+                    SendKind::UnicastFifo(sender),
+                    &ProtocolMsg::CkdResponse { member_pub },
+                );
                 Ok(())
             }
             ProtocolMsg::CkdResponse { member_pub } => {
@@ -232,9 +245,14 @@ impl GkaProtocol for Ckd {
                 }
                 Ok(())
             }
-            ProtocolMsg::CkdKeyDist { controller_pub, blobs } => {
+            ProtocolMsg::CkdKeyDist {
+                controller_pub,
+                blobs,
+            } => {
                 if sender != self.controller() {
-                    return Err(GkaError::UnexpectedMessage("key dist from a non-controller"));
+                    return Err(GkaError::UnexpectedMessage(
+                        "key dist from a non-controller",
+                    ));
                 }
                 let me = ctx.me();
                 let x = self
@@ -281,7 +299,11 @@ impl GkaProtocol for Ckd {
         // the initial group secret (derived, deterministic).
         let controller = members[0];
         let cx = bootstrap_exponent(suite, seed, controller);
-        self.controller_exp = if me == controller { Some(cx.clone()) } else { None };
+        self.controller_exp = if me == controller {
+            Some(cx.clone())
+        } else {
+            None
+        };
         let shared = group.exp_g(&cx.modmul(&cx, group.order()));
         self.secret = Some(shared);
     }

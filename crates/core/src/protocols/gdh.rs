@@ -113,6 +113,7 @@ impl Gdh {
             return Ok(());
         }
         // Controller: refresh own contribution and rescale the list.
+        ctx.mark_round("GDH", 1);
         let old_r = self
             .my_exp
             .clone()
@@ -137,9 +138,15 @@ impl Gdh {
         self.partial_keys = new_list;
         let k_me = self.partial_keys[&me].clone();
         self.secret = Some(ctx.exp(&k_me, &fresh));
-        let entries: Vec<(ClientId, Ubig)> =
-            self.partial_keys.iter().map(|(&m, k)| (m, k.clone())).collect();
-        ctx.send(SendKind::Multicast, &ProtocolMsg::GdhPartialKeys { entries });
+        let entries: Vec<(ClientId, Ubig)> = self
+            .partial_keys
+            .iter()
+            .map(|(&m, k)| (m, k.clone()))
+            .collect();
+        ctx.send(
+            SendKind::Multicast,
+            &ProtocolMsg::GdhPartialKeys { entries },
+        );
         self.stage = Stage::Idle;
         self.maybe_start_pending_merge(ctx)
     }
@@ -151,6 +158,7 @@ impl Gdh {
         let old_controller = *old.last().expect("merge needs an existing group");
         if me == old_controller {
             // Refresh contribution: token = K_me^{r'} = g^{∏ old}.
+            ctx.mark_round("GDH", 1);
             let k_me = self
                 .partial_keys
                 .get(&me)
@@ -192,6 +200,7 @@ impl Gdh {
             .broadcast_token
             .clone()
             .ok_or(GkaError::Protocol("missing broadcast token"))?;
+        ctx.mark_round("GDH", 4);
         let fresh = ctx.fresh_exponent();
         let mut entries: Vec<(ClientId, Ubig)> = Vec::with_capacity(self.members.len());
         for (&m, f) in &self.factor_outs {
@@ -204,7 +213,10 @@ impl Gdh {
         self.partial_keys = entries.iter().cloned().collect();
         self.secret = Some(ctx.exp(&token, &fresh));
         self.my_exp = Some(fresh);
-        ctx.send(SendKind::Multicast, &ProtocolMsg::GdhPartialKeys { entries });
+        ctx.send(
+            SendKind::Multicast,
+            &ProtocolMsg::GdhPartialKeys { entries },
+        );
         self.factor_outs.clear();
         self.stage = Stage::Idle;
         Ok(())
@@ -290,6 +302,7 @@ impl GkaProtocol for Gdh {
                 let last = self.new_members.len() - 1;
                 if pos < last {
                     // Add our contribution and forward.
+                    ctx.mark_round("GDH", 2);
                     let r = ctx.fresh_exponent();
                     let next_token = ctx.exp(&token, &r);
                     self.my_exp = Some(r);
@@ -301,6 +314,7 @@ impl GkaProtocol for Gdh {
                     self.stage = Stage::AwaitBroadcast;
                 } else {
                     // We are the new controller: broadcast as received.
+                    ctx.mark_round("GDH", 2);
                     self.broadcast_token = Some(token.clone());
                     ctx.send(
                         SendKind::Multicast,
@@ -319,9 +333,13 @@ impl GkaProtocol for Gdh {
                     .my_exp
                     .clone()
                     .ok_or(GkaError::Protocol("no contribution to factor out"))?;
+                ctx.mark_round("GDH", 3);
                 let r_inv = ctx.invert_exponent(&r);
                 let value = ctx.exp(&token, &r_inv);
-                ctx.send(SendKind::UnicastAgreed(sender), &ProtocolMsg::GdhFactorOut { value });
+                ctx.send(
+                    SendKind::UnicastAgreed(sender),
+                    &ProtocolMsg::GdhFactorOut { value },
+                );
                 self.stage = Stage::AwaitPartialKeys;
                 Ok(())
             }
@@ -348,7 +366,10 @@ impl GkaProtocol for Gdh {
                     .get(&me)
                     .cloned()
                     .ok_or(GkaError::Protocol("partial-key list misses me"))?;
-                let r = self.my_exp.clone().ok_or(GkaError::Protocol("no contribution"))?;
+                let r = self
+                    .my_exp
+                    .clone()
+                    .ok_or(GkaError::Protocol("no contribution"))?;
                 self.secret = Some(ctx.exp(&k_me, &r));
                 self.stage = Stage::Idle;
                 self.maybe_start_pending_merge(ctx)

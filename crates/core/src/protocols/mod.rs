@@ -19,7 +19,8 @@ mod wire;
 use bytes::Bytes;
 use gkap_bignum::{RandomSource, SplitMix64, Ubig};
 use gkap_gcs::{ClientId, View};
-use gkap_sim::Duration;
+use gkap_sim::{Duration, SimTime};
+use gkap_telemetry::{Actor, CryptoOpKind, Event, EventKind, SendClass, Telemetry};
 
 use crate::cost::OpCounts;
 use crate::suite::CryptoSuite;
@@ -140,6 +141,11 @@ pub struct GkaCtx<'a> {
     pub rng: &'a mut SplitMix64,
     /// Current epoch (view id) — stamped into envelopes.
     pub epoch: u64,
+    /// Telemetry sink (disabled handles record nothing).
+    pub telemetry: Telemetry,
+    /// Virtual time of the handler this context serves (telemetry
+    /// events are keyed to it; recording never advances the clock).
+    pub now: SimTime,
 }
 
 impl GkaCtx<'_> {
@@ -148,10 +154,45 @@ impl GkaCtx<'_> {
         self.transport.my_id()
     }
 
+    /// Records one charged primitive; colocated with the `OpCounts`
+    /// increments so telemetry tallies reconcile with Table 1 counts
+    /// by construction.
+    fn note_crypto(&mut self, op: CryptoOpKind, cost: Duration) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let at = self.now;
+        let actor = Actor::Client(self.transport.my_id());
+        let bits = self.suite.nominal_bits() as u32;
+        self.telemetry.record(|| Event {
+            at,
+            dur: cost,
+            actor,
+            kind: EventKind::CryptoOp { op, bits },
+        });
+    }
+
+    /// Marks the start of protocol round `round` at this member
+    /// (telemetry only; free when disabled).
+    pub fn mark_round(&mut self, protocol: &'static str, round: u32) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let at = self.now;
+        let actor = Actor::Client(self.transport.my_id());
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor,
+            kind: EventKind::ProtocolRound { protocol, round },
+        });
+    }
+
     /// Full modular exponentiation in the group (counted + charged).
     pub fn exp(&mut self, base: &Ubig, e: &Ubig) -> Ubig {
         self.counts.exp += 1;
         self.transport.charge(self.suite.cost().exp);
+        self.note_crypto(CryptoOpKind::Exp, self.suite.cost().exp);
         self.suite.group().exp(base, e)
     }
 
@@ -159,6 +200,7 @@ impl GkaCtx<'_> {
     pub fn exp_g(&mut self, e: &Ubig) -> Ubig {
         self.counts.exp += 1;
         self.transport.charge(self.suite.cost().exp);
+        self.note_crypto(CryptoOpKind::Exp, self.suite.cost().exp);
         self.suite.group().exp_g(e)
     }
 
@@ -167,6 +209,7 @@ impl GkaCtx<'_> {
     pub fn exp_small(&mut self, base: &Ubig, e: u64) -> Ubig {
         self.counts.small_exp += 1;
         self.transport.charge(self.suite.cost().small_exp(e));
+        self.note_crypto(CryptoOpKind::SmallExp, self.suite.cost().small_exp(e));
         self.suite.group().exp(base, &Ubig::from(e))
     }
 
@@ -174,13 +217,24 @@ impl GkaCtx<'_> {
     /// assembly; charged as one multiplication).
     pub fn modmul(&mut self, a: &Ubig, b: &Ubig) -> Ubig {
         self.transport.charge(self.suite.cost().modmul);
+        self.note_crypto(CryptoOpKind::ModMul, self.suite.cost().modmul);
         a.modmul(b, self.suite.group().modulus())
+    }
+
+    /// Counts and charges one modular inversion the caller performs
+    /// itself (BD's group-element inversion, which does not go through
+    /// [`GkaCtx::invert_exponent`]).
+    pub fn charge_inverse(&mut self) {
+        self.counts.inverse += 1;
+        self.transport.charge(self.suite.cost().inverse);
+        self.note_crypto(CryptoOpKind::Inverse, self.suite.cost().inverse);
     }
 
     /// Inverts an exponent modulo the group order (counted + charged).
     pub fn invert_exponent(&mut self, e: &Ubig) -> Ubig {
         self.counts.inverse += 1;
         self.transport.charge(self.suite.cost().inverse);
+        self.note_crypto(CryptoOpKind::Inverse, self.suite.cost().inverse);
         self.suite.invert_exponent(e)
     }
 
@@ -192,7 +246,10 @@ impl GkaCtx<'_> {
     /// Charges `n` symmetric cipher operations (CKD key blobs).
     pub fn charge_symmetric(&mut self, n: u64) {
         self.counts.symmetric += n;
-        self.transport.charge(self.suite.cost().symmetric.mul(n));
+        self.transport.charge(self.suite.cost().symmetric * n);
+        for _ in 0..n {
+            self.note_crypto(CryptoOpKind::Symmetric, self.suite.cost().symmetric);
+        }
     }
 
     /// Encodes, signs and sends a protocol message (sign is counted
@@ -201,10 +258,27 @@ impl GkaCtx<'_> {
         let body = msg.encode();
         self.counts.sign += 1;
         self.transport.charge(self.suite.cost().sign);
+        self.note_crypto(CryptoOpKind::Sign, self.suite.cost().sign);
         let env = crate::envelope::Envelope::seal(self.suite, self.me(), self.epoch, body);
-        match kind {
-            SendKind::Multicast => self.counts.multicast += 1,
-            SendKind::UnicastAgreed(_) | SendKind::UnicastFifo(_) => self.counts.unicast += 1,
+        let class = match kind {
+            SendKind::Multicast => {
+                self.counts.multicast += 1;
+                SendClass::Multicast
+            }
+            SendKind::UnicastAgreed(_) | SendKind::UnicastFifo(_) => {
+                self.counts.unicast += 1;
+                SendClass::Unicast
+            }
+        };
+        if self.telemetry.is_enabled() {
+            let at = self.now;
+            let actor = Actor::Client(self.transport.my_id());
+            self.telemetry.record(|| Event {
+                at,
+                dur: Duration::ZERO,
+                actor,
+                kind: EventKind::MessageSend { class },
+            });
         }
         self.transport.send_wire(kind, env.encode());
     }

@@ -52,7 +52,11 @@ struct Chain {
 
 impl Chain {
     fn new() -> Self {
-        Chain { order: Vec::new(), leaf_bkeys: Vec::new(), internal_bkeys: Vec::new() }
+        Chain {
+            order: Vec::new(),
+            leaf_bkeys: Vec::new(),
+            internal_bkeys: Vec::new(),
+        }
     }
 
     fn len(&self) -> usize {
@@ -111,6 +115,9 @@ pub struct Str {
     keys: Vec<Option<Ubig>>,
     /// Whether this member publishes blinded keys this event.
     publisher: bool,
+    /// Chain broadcasts this member has sent for the current
+    /// membership event (telemetry round numbering).
+    rounds_started: u32,
     components: BTreeMap<Vec<ClientId>, Chain>,
     merging: bool,
     cache: HashMap<[u8; 32], Ubig>,
@@ -127,6 +134,7 @@ impl Str {
             chain: Chain::new(),
             keys: Vec::new(),
             publisher: false,
+            rounds_started: 0,
             components: BTreeMap::new(),
             merging: false,
             cache: HashMap::new(),
@@ -166,7 +174,10 @@ impl Str {
             .chain
             .position(me)
             .ok_or(GkaError::Protocol("not in the STR chain"))?;
-        let r = self.my_r.clone().ok_or(GkaError::Protocol("no session random"))?;
+        let r = self
+            .my_r
+            .clone()
+            .ok_or(GkaError::Protocol("no session random"))?;
         let mut published = false;
 
         // Establish k at our own level.
@@ -252,7 +263,10 @@ impl Str {
         }
         let mut comps: Vec<Chain> = self.components.values().cloned().collect();
         comps.sort_by_key(|c| {
-            (std::cmp::Reverse(c.len()), *c.order.iter().min().expect("non-empty"))
+            (
+                std::cmp::Reverse(c.len()),
+                *c.order.iter().min().expect("non-empty"),
+            )
         });
         // Stack: largest at the bottom, the rest on top (their internal
         // structure dissolves into individual levels).
@@ -282,6 +296,9 @@ impl Str {
     }
 
     fn broadcast(&mut self, ctx: &mut GkaCtx<'_>) {
+        // Each chain broadcast is one round of the event's re-keying.
+        self.rounds_started += 1;
+        ctx.mark_round("STR", self.rounds_started);
         let msg = self.wire_msg();
         ctx.send(SendKind::Multicast, &msg);
     }
@@ -319,6 +336,7 @@ impl GkaProtocol for Str {
         self.view_members = view.members.clone();
         self.secret = None;
         self.publisher = false;
+        self.rounds_started = 0;
 
         if !view.left.is_empty() && self.chain.position(me).is_some() {
             let lowest = self.chain.remove_members(&view.left);
@@ -411,13 +429,22 @@ impl GkaProtocol for Str {
         _sender: ClientId,
         msg: ProtocolMsg,
     ) -> Result<(), GkaError> {
-        let ProtocolMsg::StrTree { members, leaf_bkeys, internal_bkeys } = msg else {
+        let ProtocolMsg::StrTree {
+            members,
+            leaf_bkeys,
+            internal_bkeys,
+        } = msg
+        else {
             return Err(GkaError::UnexpectedMessage("not an STR message"));
         };
         if members.len() != leaf_bkeys.len() || members.len() != internal_bkeys.len() {
             return Err(GkaError::Protocol("misaligned STR message"));
         }
-        let incoming = Chain { order: members, leaf_bkeys, internal_bkeys };
+        let incoming = Chain {
+            order: members,
+            leaf_bkeys,
+            internal_bkeys,
+        };
         let mut leafset = incoming.order.clone();
         leafset.sort_unstable();
         let mut view_sorted = self.view_members.clone();
@@ -475,11 +502,9 @@ impl GkaProtocol for Str {
         }
         // Seed the cache with every prefix key.
         self.cache.clear();
-        for i in 0..n {
-            if i > 0 {
-                let fp = chain.prefix_fingerprint(i);
-                self.cache.insert(fp, keys[i].clone().expect("key"));
-            }
+        for (i, k) in keys.iter().enumerate().skip(1) {
+            let fp = chain.prefix_fingerprint(i);
+            self.cache.insert(fp, k.clone().expect("key"));
         }
         self.me = Some(me);
         self.view_members = members.to_vec();
@@ -512,7 +537,13 @@ mod tests {
         let mut c = Chain {
             order: vec![0, 1, 2, 3, 4],
             leaf_bkeys: (0..5).map(|i| Some(Ubig::from(100 + i as u64))).collect(),
-            internal_bkeys: vec![None, Some(Ubig::from(1u64)), Some(Ubig::from(2u64)), Some(Ubig::from(3u64)), None],
+            internal_bkeys: vec![
+                None,
+                Some(Ubig::from(1u64)),
+                Some(Ubig::from(2u64)),
+                Some(Ubig::from(3u64)),
+                None,
+            ],
         };
         let lowest = c.remove_members(&[2]);
         assert_eq!(lowest, 2);

@@ -68,6 +68,9 @@ pub struct Tgdh {
     publisher: bool,
     /// Tree management policy.
     policy: TreePolicy,
+    /// Sponsor broadcasts this member has started for the current
+    /// membership event (telemetry round numbering).
+    rounds_started: u32,
     /// Subtree-fingerprint cache of previously computed keys.
     cache: HashMap<[u8; 32], CacheEntry>,
     secret: Option<Ubig>,
@@ -85,6 +88,7 @@ impl Tgdh {
             merging: false,
             publisher: false,
             policy: TreePolicy::Paper,
+            rounds_started: 0,
             cache: HashMap::new(),
             secret: None,
         }
@@ -188,7 +192,13 @@ impl Tgdh {
                     let bkey = ctx.exp_g(&key);
                     self.tree.node_mut(parent).bkey = Some(bkey.clone());
                     let fp = self.tree.fingerprint(parent);
-                    self.cache.insert(fp, CacheEntry { key, bkey: Some(bkey) });
+                    self.cache.insert(
+                        fp,
+                        CacheEntry {
+                            key,
+                            bkey: Some(bkey),
+                        },
+                    );
                     published = true;
                 }
             }
@@ -207,7 +217,12 @@ impl Tgdh {
     }
 
     fn broadcast_tree(&mut self, ctx: &mut GkaCtx<'_>) {
-        let msg = ProtocolMsg::TgdhTree { tree: self.strip_keys() };
+        // Each sponsor broadcast is one round of the event's re-keying.
+        self.rounds_started += 1;
+        ctx.mark_round("TGDH", self.rounds_started);
+        let msg = ProtocolMsg::TgdhTree {
+            tree: self.strip_keys(),
+        };
         ctx.send(SendKind::Multicast, &msg);
     }
 
@@ -236,7 +251,10 @@ impl Tgdh {
         let mut comps: Vec<KeyTree> = self.components.values().cloned().collect();
         comps.sort_by_key(|t| {
             let m = t.members();
-            (std::cmp::Reverse(m.len()), *m.iter().min().expect("non-empty"))
+            (
+                std::cmp::Reverse(m.len()),
+                *m.iter().min().expect("non-empty"),
+            )
         });
         let mut assembled = comps.remove(0);
         for c in comps {
@@ -314,6 +332,7 @@ impl GkaProtocol for Tgdh {
         self.view_members = view.members.clone();
         self.secret = None;
         self.publisher = false;
+        self.rounds_started = 0;
 
         if !view.left.is_empty() && !self.tree.is_empty() {
             self.tree.remove_members(&view.left);

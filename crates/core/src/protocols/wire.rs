@@ -118,8 +118,7 @@ impl ProtocolMsg {
         let mut e = Enc::new();
         e.u8(self.tag());
         match self {
-            ProtocolMsg::GdhChainToken { token }
-            | ProtocolMsg::GdhBroadcastToken { token } => {
+            ProtocolMsg::GdhChainToken { token } | ProtocolMsg::GdhBroadcastToken { token } => {
                 e.ubig(token);
             }
             ProtocolMsg::GdhFactorOut { value } => {
@@ -131,7 +130,10 @@ impl ProtocolMsg {
                     e.u32(*m as u32).ubig(k);
                 }
             }
-            ProtocolMsg::CkdInvite { controller_pub, invited } => {
+            ProtocolMsg::CkdInvite {
+                controller_pub,
+                invited,
+            } => {
                 e.ubig(controller_pub);
                 e.u32(invited.len() as u32);
                 for m in invited {
@@ -141,7 +143,10 @@ impl ProtocolMsg {
             ProtocolMsg::CkdResponse { member_pub } => {
                 e.ubig(member_pub);
             }
-            ProtocolMsg::CkdKeyDist { controller_pub, blobs } => {
+            ProtocolMsg::CkdKeyDist {
+                controller_pub,
+                blobs,
+            } => {
                 e.ubig(controller_pub);
                 e.u32(blobs.len() as u32);
                 for (m, blob) in blobs {
@@ -160,7 +165,11 @@ impl ProtocolMsg {
             ProtocolMsg::KeyConfirm { digest } => {
                 e.bytes(digest);
             }
-            ProtocolMsg::StrTree { members, leaf_bkeys, internal_bkeys } => {
+            ProtocolMsg::StrTree {
+                members,
+                leaf_bkeys,
+                internal_bkeys,
+            } => {
                 e.u32(members.len() as u32);
                 for m in members {
                     e.u32(*m as u32);
@@ -192,13 +201,21 @@ impl ProtocolMsg {
         let mut d = Dec::new(wire);
         let tag = d.u8("message tag")?;
         let msg = match tag {
-            1 => ProtocolMsg::GdhChainToken { token: d.ubig("token")? },
-            2 => ProtocolMsg::GdhBroadcastToken { token: d.ubig("token")? },
-            3 => ProtocolMsg::GdhFactorOut { value: d.ubig("factor-out")? },
+            1 => ProtocolMsg::GdhChainToken {
+                token: d.ubig("token")?,
+            },
+            2 => ProtocolMsg::GdhBroadcastToken {
+                token: d.ubig("token")?,
+            },
+            3 => ProtocolMsg::GdhFactorOut {
+                value: d.ubig("factor-out")?,
+            },
             4 => {
                 let n = d.u32("entry count")? as usize;
                 if n > 1_000_000 {
-                    return Err(DecodeError { context: "entry count" });
+                    return Err(DecodeError {
+                        context: "entry count",
+                    });
                 }
                 let mut entries = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -212,20 +229,29 @@ impl ProtocolMsg {
                 let controller_pub = d.ubig("controller pub")?;
                 let k = d.u32("invited count")? as usize;
                 if k > 1_000_000 {
-                    return Err(DecodeError { context: "invited count" });
+                    return Err(DecodeError {
+                        context: "invited count",
+                    });
                 }
                 let mut invited = Vec::with_capacity(k.min(1024));
                 for _ in 0..k {
                     invited.push(d.u32("invited member")? as ClientId);
                 }
-                ProtocolMsg::CkdInvite { controller_pub, invited }
+                ProtocolMsg::CkdInvite {
+                    controller_pub,
+                    invited,
+                }
             }
-            6 => ProtocolMsg::CkdResponse { member_pub: d.ubig("member pub")? },
+            6 => ProtocolMsg::CkdResponse {
+                member_pub: d.ubig("member pub")?,
+            },
             7 => {
                 let controller_pub = d.ubig("controller pub")?;
                 let n = d.u32("blob count")? as usize;
                 if n > 1_000_000 {
-                    return Err(DecodeError { context: "blob count" });
+                    return Err(DecodeError {
+                        context: "blob count",
+                    });
                 }
                 let mut blobs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -233,16 +259,25 @@ impl ProtocolMsg {
                     let b = d.bytes("blob")?.to_vec();
                     blobs.push((m, b));
                 }
-                ProtocolMsg::CkdKeyDist { controller_pub, blobs }
+                ProtocolMsg::CkdKeyDist {
+                    controller_pub,
+                    blobs,
+                }
             }
             8 => ProtocolMsg::BdRound1 { z: d.ubig("z")? },
             9 => ProtocolMsg::BdRound2 { x: d.ubig("x")? },
-            10 => ProtocolMsg::TgdhTree { tree: KeyTree::decode(&mut d)? },
-            12 => ProtocolMsg::KeyConfirm { digest: d.bytes("confirm digest")?.to_vec() },
+            10 => ProtocolMsg::TgdhTree {
+                tree: KeyTree::decode(&mut d)?,
+            },
+            12 => ProtocolMsg::KeyConfirm {
+                digest: d.bytes("confirm digest")?.to_vec(),
+            },
             11 => {
                 let n = d.u32("member count")? as usize;
                 if n > 1_000_000 {
-                    return Err(DecodeError { context: "member count" });
+                    return Err(DecodeError {
+                        context: "member count",
+                    });
                 }
                 let mut members = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -252,17 +287,31 @@ impl ProtocolMsg {
                 for list in &mut lists {
                     let len = d.u32("bkey list len")? as usize;
                     if len > 1_000_000 {
-                        return Err(DecodeError { context: "bkey list len" });
+                        return Err(DecodeError {
+                            context: "bkey list len",
+                        });
                     }
                     for _ in 0..len {
                         let flag = d.u8("bkey flag")?;
-                        list.push(if flag == 1 { Some(d.ubig("bkey")?) } else { None });
+                        list.push(if flag == 1 {
+                            Some(d.ubig("bkey")?)
+                        } else {
+                            None
+                        });
                     }
                 }
                 let [leaf_bkeys, internal_bkeys] = lists;
-                ProtocolMsg::StrTree { members, leaf_bkeys, internal_bkeys }
+                ProtocolMsg::StrTree {
+                    members,
+                    leaf_bkeys,
+                    internal_bkeys,
+                }
             }
-            _ => return Err(DecodeError { context: "message tag" }),
+            _ => {
+                return Err(DecodeError {
+                    context: "message tag",
+                })
+            }
         };
         d.finish()?;
         Ok(msg)
@@ -285,8 +334,13 @@ mod tests {
             ProtocolMsg::GdhChainToken { token: u(11) },
             ProtocolMsg::GdhBroadcastToken { token: u(12) },
             ProtocolMsg::GdhFactorOut { value: u(13) },
-            ProtocolMsg::GdhPartialKeys { entries: vec![(1, u(14)), (2, u(15))] },
-            ProtocolMsg::CkdInvite { controller_pub: u(16), invited: vec![2, 4] },
+            ProtocolMsg::GdhPartialKeys {
+                entries: vec![(1, u(14)), (2, u(15))],
+            },
+            ProtocolMsg::CkdInvite {
+                controller_pub: u(16),
+                invited: vec![2, 4],
+            },
             ProtocolMsg::CkdResponse { member_pub: u(17) },
             ProtocolMsg::CkdKeyDist {
                 controller_pub: u(18),
@@ -294,7 +348,9 @@ mod tests {
             },
             ProtocolMsg::BdRound1 { z: u(19) },
             ProtocolMsg::BdRound2 { x: u(20) },
-            ProtocolMsg::KeyConfirm { digest: vec![9; 32] },
+            ProtocolMsg::KeyConfirm {
+                digest: vec![9; 32],
+            },
             ProtocolMsg::TgdhTree { tree },
             ProtocolMsg::StrTree {
                 members: vec![5, 6, 7],

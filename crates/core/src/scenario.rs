@@ -169,7 +169,10 @@ pub fn run_scenario(cfg: &ExperimentConfig, scenario: &Scenario) -> ScenarioRepo
                     .collect();
                 leaving.dedup();
                 world.inject_partition(leaving.clone());
-                members.into_iter().filter(|c| !leaving.contains(c)).collect()
+                members
+                    .into_iter()
+                    .filter(|c| !leaving.contains(c))
+                    .collect()
             }
             Step::Merge(m) => {
                 let component: Vec<ClientId> = (next_fresh..next_fresh + m).collect();
@@ -187,9 +190,11 @@ pub fn run_scenario(cfg: &ExperimentConfig, scenario: &Scenario) -> ScenarioRepo
             }
         };
         let complete = |w: &SimWorld| {
-            wait_for
-                .iter()
-                .all(|&c| w.client::<SecureMember>(c).completion(target_epoch).is_some())
+            wait_for.iter().all(|&c| {
+                w.client::<SecureMember>(c)
+                    .completion(target_epoch)
+                    .is_some()
+            })
         };
         world.run_while(|w| !complete(w));
         if !complete(&world) {

@@ -43,7 +43,10 @@ impl std::fmt::Display for SessionError {
             SessionError::Malformed => write!(f, "malformed secure message"),
             SessionError::BadMac => write!(f, "message authentication failed"),
             SessionError::WrongEpoch { got, expected } => {
-                write!(f, "message epoch {got} does not match session epoch {expected}")
+                write!(
+                    f,
+                    "message epoch {got} does not match session epoch {expected}"
+                )
             }
             SessionError::Replayed { sender, seq } => {
                 write!(f, "replayed message (sender {sender}, seq {seq})")
@@ -146,7 +149,10 @@ impl SecureSession {
         }
         let epoch = u64::from_be_bytes(body[0..8].try_into().expect("8"));
         if epoch != self.epoch {
-            return Err(SessionError::WrongEpoch { got: epoch, expected: self.epoch });
+            return Err(SessionError::WrongEpoch {
+                got: epoch,
+                expected: self.epoch,
+            });
         }
         let seq = u64::from_be_bytes(body[8..16].try_into().expect("8"));
         let nonce = nonce_for(epoch, seq, sender);
@@ -240,7 +246,10 @@ mod tests {
         wire[20] ^= 1;
         assert_eq!(session(1).open(0, &wire), Err(SessionError::BadMac));
         // Truncation.
-        assert_eq!(session(1).open(0, &wire[..10]), Err(SessionError::Malformed));
+        assert_eq!(
+            session(1).open(0, &wire[..10]),
+            Err(SessionError::Malformed)
+        );
     }
 
     #[test]
@@ -251,7 +260,10 @@ mod tests {
         // verifies (same key), the epoch check fires.
         assert!(matches!(
             session(2).open(0, &wire),
-            Err(SessionError::WrongEpoch { got: 1, expected: 2 })
+            Err(SessionError::WrongEpoch {
+                got: 1,
+                expected: 2
+            })
         ));
         // A different group secret entirely: MAC fails.
         let other = SecureSession::new(&Ubig::from(1u64), 1);

@@ -81,12 +81,22 @@ impl CryptoSuite {
     /// configuration: real math on a fast 256-bit group, virtual time
     /// charged at 512-bit rates, modeled signatures.
     pub fn sim_512() -> Self {
-        CryptoSuite::new(DhGroup::test_256(), 512, CostModel::paper_512(), SigMode::Modeled)
+        CryptoSuite::new(
+            DhGroup::test_256(),
+            512,
+            CostModel::paper_512(),
+            SigMode::Modeled,
+        )
     }
 
     /// The simulation suite for "DH 1024 bits".
     pub fn sim_1024() -> Self {
-        CryptoSuite::new(DhGroup::test_256(), 1024, CostModel::paper_1024(), SigMode::Modeled)
+        CryptoSuite::new(
+            DhGroup::test_256(),
+            1024,
+            CostModel::paper_1024(),
+            SigMode::Modeled,
+        )
     }
 
     /// The 512-bit suite with DSA signature costs (the ablation of
@@ -102,7 +112,12 @@ impl CryptoSuite {
 
     /// A zero-cost suite for pure correctness tests.
     pub fn fast_zero() -> Self {
-        CryptoSuite::new(DhGroup::test_256(), 256, CostModel::zero(), SigMode::Modeled)
+        CryptoSuite::new(
+            DhGroup::test_256(),
+            256,
+            CostModel::zero(),
+            SigMode::Modeled,
+        )
     }
 
     /// Real DSA signatures on the fast test group (correctness tests
@@ -119,7 +134,12 @@ impl CryptoSuite {
     /// Full-fidelity suite: the real 512-bit group and real RSA
     /// signatures (slow; correctness tests and benches only).
     pub fn real_512() -> Self {
-        CryptoSuite::new(DhGroup::modp_512(), 512, CostModel::paper_512(), SigMode::Real)
+        CryptoSuite::new(
+            DhGroup::modp_512(),
+            512,
+            CostModel::paper_512(),
+            SigMode::Real,
+        )
     }
 
     /// The Diffie–Hellman group used for the actual math.
@@ -152,9 +172,14 @@ impl CryptoSuite {
                 // Deterministic per-message nonce stream derived from
                 // the message (the simulation's reproducibility trumps
                 // RFC 6979 formality; the structure is the same).
-                let mut rng =
-                    SplitMix64::new(u64::from_be_bytes(Sha256::digest(data)[..8].try_into().expect("8")));
-                self.dsa.as_ref().expect("dsa key").sign(data, &mut rng).to_bytes()
+                let mut rng = SplitMix64::new(u64::from_be_bytes(
+                    Sha256::digest(data)[..8].try_into().expect("8"),
+                ));
+                self.dsa
+                    .as_ref()
+                    .expect("dsa key")
+                    .sign(data, &mut rng)
+                    .to_bytes()
             }
             SigMode::Modeled => Sha256::digest(data),
         }

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use gkap_bignum::{SplitMix64, Ubig};
 use gkap_gcs::{ClientId, View};
 use gkap_sim::Duration;
+use gkap_telemetry::Telemetry;
 
 use crate::cost::OpCounts;
 use crate::envelope::Envelope;
@@ -54,6 +55,7 @@ pub struct Loopback {
     view: Vec<ClientId>,
     /// Messages delivered so far (diagnostics).
     pub delivered: u64,
+    telemetry: Telemetry,
 }
 
 impl Loopback {
@@ -85,7 +87,18 @@ impl Loopback {
             epoch: 0,
             view: Vec::new(),
             delivered: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Enables telemetry capture and returns the shared handle
+    /// (events are keyed at `SimTime::ZERO` — the loopback has no
+    /// clock; counters still tally every charged operation).
+    pub fn enable_telemetry(&mut self) -> Telemetry {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
+        }
+        self.telemetry.clone()
     }
 
     /// Borrows a member's protocol engine, downcast to its concrete
@@ -135,7 +148,12 @@ impl Loopback {
     ///
     /// Panics if a protocol errors or deadlocks (stops making progress
     /// before every member holds the epoch's key).
-    pub fn install_view(&mut self, members: Vec<ClientId>, joined: Vec<ClientId>, left: Vec<ClientId>) {
+    pub fn install_view(
+        &mut self,
+        members: Vec<ClientId>,
+        joined: Vec<ClientId>,
+        left: Vec<ClientId>,
+    ) {
         self.epoch += 1;
         let view = View {
             id: self.epoch,
@@ -166,11 +184,7 @@ impl Loopback {
         }
     }
 
-    fn with_ctx(
-        &mut self,
-        idx: usize,
-        f: impl FnOnce(&mut Box<dyn GkaProtocol>, &mut GkaCtx<'_>),
-    ) {
+    fn with_ctx(&mut self, idx: usize, f: impl FnOnce(&mut Box<dyn GkaProtocol>, &mut GkaCtx<'_>)) {
         let suite = Rc::clone(&self.suite);
         let epoch = self.epoch;
         let slot = &mut self.members[idx];
@@ -184,6 +198,8 @@ impl Loopback {
             counts: &mut slot.counts,
             rng: &mut slot.rng,
             epoch,
+            telemetry: self.telemetry.clone(),
+            now: gkap_sim::SimTime::ZERO,
         };
         f(&mut slot.protocol, &mut ctx);
     }
@@ -196,12 +212,7 @@ impl Loopback {
             assert!(guard < 100_000, "loopback runaway message loop");
             let env = Envelope::decode(&wire).expect("well-formed envelope");
             let targets: Vec<ClientId> = match kind {
-                SendKind::Multicast => self
-                    .view
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != sender)
-                    .collect(),
+                SendKind::Multicast => self.view.iter().copied().filter(|&m| m != sender).collect(),
                 SendKind::UnicastAgreed(t) | SendKind::UnicastFifo(t) => vec![t],
             };
             for t in targets {
@@ -215,6 +226,18 @@ impl Loopback {
                 {
                     let slot = &mut self.members[idx];
                     slot.counts.verify += 1;
+                    let actor = gkap_telemetry::Actor::Client(slot.id);
+                    let cost = suite.cost().verify;
+                    let bits = suite.nominal_bits() as u32;
+                    self.telemetry.record(|| gkap_telemetry::Event {
+                        at: gkap_sim::SimTime::ZERO,
+                        dur: cost,
+                        actor,
+                        kind: gkap_telemetry::EventKind::CryptoOp {
+                            op: gkap_telemetry::CryptoOpKind::Verify,
+                            bits,
+                        },
+                    });
                 }
                 env.verify(&suite).expect("signature verifies");
                 let msg = ProtocolMsg::decode(&env.body).expect("well-formed body");

@@ -146,7 +146,8 @@ impl KeyTree {
 
     /// Finds a member's leaf.
     pub fn leaf_of(&self, member: ClientId) -> Option<NodeIdx> {
-        self.iter_live().find(|&i| self.nodes[i].member == Some(member))
+        self.iter_live()
+            .find(|&i| self.nodes[i].member == Some(member))
     }
 
     /// Iterator over live (reachable) node indices, preorder.
@@ -327,17 +328,15 @@ impl KeyTree {
         let mut best: Option<(usize, usize, NodeIdx)> = None;
         for (pos, v) in self.iter_live().enumerate() {
             let n = &self.nodes[v];
-            if n.children.is_some() && n.bkey.is_none() {
-                let (l, r) = n.children.expect("internal");
-                if self.nodes[l].bkey.is_some() && self.nodes[r].bkey.is_some() {
-                    let d = self.depth(v);
-                    let better = match best {
-                        None => true,
-                        Some((bd, bpos, _)) => d > bd || (d == bd && pos > bpos),
-                    };
-                    if better {
-                        best = Some((d, pos, v));
-                    }
+            let Some((l, r)) = n.children else { continue };
+            if n.bkey.is_none() && self.nodes[l].bkey.is_some() && self.nodes[r].bkey.is_some() {
+                let d = self.depth(v);
+                let better = match best {
+                    None => true,
+                    Some((bd, bpos, _)) => d > bd || (d == bd && pos > bpos),
+                };
+                if better {
+                    best = Some((d, pos, v));
                 }
             }
         }
@@ -421,7 +420,9 @@ impl KeyTree {
             depth: usize,
         ) -> Result<NodeIdx, DecodeError> {
             if depth > 64 {
-                return Err(DecodeError { context: "tree too deep" });
+                return Err(DecodeError {
+                    context: "tree too deep",
+                });
             }
             match tag {
                 0 => {
@@ -458,7 +459,9 @@ impl KeyTree {
                     tree.nodes[r].parent = Some(me);
                     Ok(me)
                 }
-                _ => Err(DecodeError { context: "tree node tag" }),
+                _ => Err(DecodeError {
+                    context: "tree node tag",
+                }),
             }
         }
         let mut tree = KeyTree::new();
@@ -846,9 +849,7 @@ mod tests {
             assert!(t.node(leaf).bkey.is_some(), "leaf bkeys survive rotation");
         }
         // Parent/child links are consistent.
-        for idx in [t.root()] {
-            assert!(t.node(idx).parent.is_none());
-        }
+        assert!(t.node(t.root()).parent.is_none());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 use std::rc::Rc;
 
 use bytes::Bytes;
+use gkap_bignum::Ubig;
 use gkap_core::envelope::Envelope;
 use gkap_core::member::SecureMember;
 use gkap_core::protocols::{ProtocolKind, ProtocolMsg};
 use gkap_core::suite::CryptoSuite;
-use gkap_bignum::Ubig;
 use gkap_gcs::{testbed, Client, ClientCtx, Delivery, SimWorld, View};
 
 /// An attacker process inside the transport (not a group member in the
@@ -40,7 +40,10 @@ impl Client for Attacker {
             }
             AttackMode::ForgedProtocolMsg => {
                 let wrong = CryptoSuite::real_dsa_fast();
-                let body = ProtocolMsg::BdRound1 { z: Ubig::from(4u64) }.encode();
+                let body = ProtocolMsg::BdRound1 {
+                    z: Ubig::from(4u64),
+                }
+                .encode();
                 Envelope::seal(&wrong, ctx.id(), ctx.view_id(), body).encode()
             }
         };
@@ -94,7 +97,9 @@ fn run_survivable(mode: AttackMode) {
     // Re-key with an honest join; the attacker is outside the view and
     // its sprayed messages (from epoch 1, if any were sequenced) are
     // stale noise.
-    world.inject_join(5 /* this is the attacker's id — re-used check below */);
+    world.inject_join(
+        5, /* this is the attacker's id — re-used check below */
+    );
     // The "join" admits the attacker client slot; its first view makes
     // it spray. Honest members must reject every byte of it yet still
     // complete the epoch…
@@ -111,11 +116,17 @@ fn run_survivable(mode: AttackMode) {
     // *other* members' agreement only if the sponsor machinery does
     // not depend on it; at minimum, no honest member may accept forged
     // state and diverge.
-    assert!(agreed == 5 || secret.is_none(), "honest members diverged under attack");
+    assert!(
+        agreed == 5 || secret.is_none(),
+        "honest members diverged under attack"
+    );
     for c in 0..5 {
         let m = world.client::<SecureMember>(c);
         // The forged traffic was flagged.
-        assert!(m.protocol_error().is_some(), "member {c} missed the forgery");
+        assert!(
+            m.protocol_error().is_some(),
+            "member {c} missed the forgery"
+        );
     }
 }
 

@@ -9,8 +9,7 @@ use gkap_core::testkit::Loopback;
 
 fn churn(lb: &mut Loopback, pool_start: usize, steps: usize) {
     // Deterministic churn: leave a member, admit a fresh one.
-    let mut fresh = pool_start;
-    for step in 0..steps {
+    for (step, fresh) in (pool_start..pool_start + steps).enumerate() {
         let members = lb.view().to_vec();
         let leaver = members[(step * 7 + 3) % members.len()];
         let remaining: Vec<usize> = members.iter().copied().filter(|&c| c != leaver).collect();
@@ -18,7 +17,6 @@ fn churn(lb: &mut Loopback, pool_start: usize, steps: usize) {
         let mut grown = remaining;
         grown.push(fresh);
         lb.install_view(grown.clone(), vec![fresh], vec![]);
-        fresh += 1;
     }
 }
 

@@ -60,7 +60,9 @@ fn confirmation_costs_one_extra_broadcast_round() {
         }
         world.install_initial_view();
         world.run_until_quiescent();
-        let before: Vec<u64> = (0..8).map(|c| world.client::<SecureMember>(c).counts().multicast).collect();
+        let before: Vec<u64> = (0..8)
+            .map(|c| world.client::<SecureMember>(c).counts().multicast)
+            .collect();
         world.inject_leave(3);
         world.run_until_quiescent();
         (0..8)
@@ -92,7 +94,11 @@ fn confirmations_survive_cascaded_events() {
     let members = world.view().unwrap().members.clone();
     for &c in &members {
         let m = world.client::<SecureMember>(c);
-        assert!(m.protocol_error().is_none(), "member {c}: {:?}", m.protocol_error());
+        assert!(
+            m.protocol_error().is_none(),
+            "member {c}: {:?}",
+            m.protocol_error()
+        );
         assert_eq!(m.confirmations(epoch), members.len() - 1, "member {c}");
     }
 }

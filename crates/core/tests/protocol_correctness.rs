@@ -65,7 +65,11 @@ fn partition_reaches_fresh_common_key() {
         let old = lb.common_secret();
         // Members 1, 4, 7 drop out at once.
         let leaving = vec![1, 4, 7];
-        let remaining: Vec<usize> = ids.iter().copied().filter(|c| !leaving.contains(c)).collect();
+        let remaining: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|c| !leaving.contains(c))
+            .collect();
         lb.install_view(remaining, vec![], leaving);
         assert_ne!(old, lb.common_secret(), "{kind} partition must refresh");
     }
@@ -138,7 +142,10 @@ fn cascade_of_events_stays_consistent() {
         // every key distinct from every other
         for i in 0..seen.len() {
             for j in (i + 1)..seen.len() {
-                assert_ne!(seen[i], seen[j], "{kind}: epochs {i} and {j} repeated a key");
+                assert_ne!(
+                    seen[i], seen[j],
+                    "{kind}: epochs {i} and {j} repeated a key"
+                );
             }
         }
     }

@@ -17,7 +17,12 @@ fn form_real(kind: ProtocolKind, n: usize) -> SimWorld {
     for i in 0..n as u64 {
         // initial_seed: None => the initial view runs the real
         // protocol (an n-way formation).
-        world.add_client(Box::new(SecureMember::new(kind, Rc::clone(&suite), 70 + i, None)));
+        world.add_client(Box::new(SecureMember::new(
+            kind,
+            Rc::clone(&suite),
+            70 + i,
+            None,
+        )));
     }
     world.install_initial_view();
     world.run_until_quiescent();
@@ -56,7 +61,12 @@ fn real_ika_then_join_and_leave() {
         let suite = Rc::new(CryptoSuite::fast_zero());
         let mut world = SimWorld::new(testbed::lan());
         for i in 0..7u64 {
-            world.add_client(Box::new(SecureMember::new(kind, Rc::clone(&suite), i, None)));
+            world.add_client(Box::new(SecureMember::new(
+                kind,
+                Rc::clone(&suite),
+                i,
+                None,
+            )));
         }
         world.install_initial_view_of((0..6).collect());
         world.run_until_quiescent();
@@ -72,7 +82,11 @@ fn real_ika_then_join_and_leave() {
         let k3 = world.client::<SecureMember>(0).secret(3).unwrap().clone();
         assert_ne!(k2, k3, "{kind}");
         for c in [0usize, 1, 2, 4, 5, 6] {
-            assert_eq!(world.client::<SecureMember>(c).secret(3), Some(&k3), "{kind}");
+            assert_eq!(
+                world.client::<SecureMember>(c).secret(3),
+                Some(&k3),
+                "{kind}"
+            );
         }
     }
 }

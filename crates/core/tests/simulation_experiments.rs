@@ -35,7 +35,11 @@ fn join_over_simulated_lan() {
 fn leave_over_simulated_lan() {
     for kind in ProtocolKind::all() {
         for n in [3usize, 6, 15] {
-            for target in [LeaveTarget::Middle, LeaveTarget::Oldest, LeaveTarget::Newest] {
+            for target in [
+                LeaveTarget::Middle,
+                LeaveTarget::Oldest,
+                LeaveTarget::Newest,
+            ] {
                 let outcome = run_leave(&ExperimentConfig::lan_fast(kind), n, target);
                 assert!(outcome.ok, "{kind} leave n={n} {target:?}");
                 assert_eq!(outcome.size_after, n - 1);
@@ -106,11 +110,20 @@ fn lan_join_timing_orderings_512() {
     let ckd = t(ProtocolKind::Ckd, n);
     let tgdh = t(ProtocolKind::Tgdh, n);
     let str_ = t(ProtocolKind::Str, n);
-    assert!(bd > tgdh, "BD ({bd:.1}) must exceed TGDH ({tgdh:.1}) at n={n}");
-    assert!(bd > str_, "BD ({bd:.1}) must exceed STR ({str_:.1}) at n={n}");
+    assert!(
+        bd > tgdh,
+        "BD ({bd:.1}) must exceed TGDH ({tgdh:.1}) at n={n}"
+    );
+    assert!(
+        bd > str_,
+        "BD ({bd:.1}) must exceed STR ({str_:.1}) at n={n}"
+    );
     assert!(gdh > tgdh, "GDH ({gdh:.1}) must exceed TGDH ({tgdh:.1})");
     assert!(ckd > tgdh, "CKD ({ckd:.1}) must exceed TGDH ({tgdh:.1})");
-    assert!(str_ < gdh, "STR ({str_:.1}) must beat GDH ({gdh:.1}) on join");
+    assert!(
+        str_ < gdh,
+        "STR ({str_:.1}) must beat GDH ({gdh:.1}) on join"
+    );
 
     // At small sizes BD is among the cheapest (few verifications).
     let bd_small = t(ProtocolKind::Bd, 4);
@@ -130,7 +143,12 @@ fn lan_leave_tgdh_wins_512() {
         outcome.elapsed_ms
     };
     let tgdh = t(ProtocolKind::Tgdh);
-    for other in [ProtocolKind::Gdh, ProtocolKind::Str, ProtocolKind::Bd, ProtocolKind::Ckd] {
+    for other in [
+        ProtocolKind::Gdh,
+        ProtocolKind::Str,
+        ProtocolKind::Bd,
+        ProtocolKind::Ckd,
+    ] {
         let v = t(other);
         assert!(
             tgdh < v,
@@ -151,7 +169,10 @@ fn wan_join_gdh_worst() {
     let gdh = t(ProtocolKind::Gdh);
     for other in [ProtocolKind::Tgdh, ProtocolKind::Str, ProtocolKind::Ckd] {
         let v = t(other);
-        assert!(gdh > 1.5 * v, "GDH ({gdh:.0}) must dwarf {other} ({v:.0}) on WAN join");
+        assert!(
+            gdh > 1.5 * v,
+            "GDH ({gdh:.0}) must dwarf {other} ({v:.0}) on WAN join"
+        );
     }
 }
 
@@ -159,14 +180,21 @@ fn wan_join_gdh_worst() {
 fn wan_leave_bd_worst() {
     // Figure 14 (right): BD pays two all-to-all rounds on leave.
     let t = |kind: ProtocolKind| {
-        let outcome = run_leave(&ExperimentConfig::wan(kind, SuiteKind::Sim512), 20, LeaveTarget::Middle);
+        let outcome = run_leave(
+            &ExperimentConfig::wan(kind, SuiteKind::Sim512),
+            20,
+            LeaveTarget::Middle,
+        );
         assert!(outcome.ok, "{kind} WAN leave");
         outcome.elapsed_ms
     };
     let bd = t(ProtocolKind::Bd);
     for other in [ProtocolKind::Gdh, ProtocolKind::Tgdh, ProtocolKind::Ckd] {
         let v = t(other);
-        assert!(bd > v, "BD ({bd:.0}) must exceed {other} ({v:.0}) on WAN leave");
+        assert!(
+            bd > v,
+            "BD ({bd:.0}) must exceed {other} ({v:.0}) on WAN leave"
+        );
     }
 }
 

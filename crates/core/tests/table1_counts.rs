@@ -38,8 +38,11 @@ fn event_counts(kind: ProtocolKind, n: usize, event: GroupEvent) -> OpCounts {
         }
         GroupEvent::Partition(p) => {
             let leaving: Vec<usize> = (0..p).map(|i| 1 + i * 2).collect();
-            let members: Vec<usize> =
-                ids[..n].iter().copied().filter(|c| !leaving.contains(c)).collect();
+            let members: Vec<usize> = ids[..n]
+                .iter()
+                .copied()
+                .filter(|c| !leaving.contains(c))
+                .collect();
             lb.install_view(members, vec![], leaving);
         }
     }

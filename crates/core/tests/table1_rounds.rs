@@ -11,7 +11,11 @@ fn partition_counts(kind: ProtocolKind, n: usize, leaving: &[usize]) -> gkap_cor
     let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
     lb.bootstrap(&ids, 5);
     let before = lb.total_counts();
-    let remaining: Vec<usize> = ids.iter().copied().filter(|c| !leaving.contains(c)).collect();
+    let remaining: Vec<usize> = ids
+        .iter()
+        .copied()
+        .filter(|c| !leaving.contains(c))
+        .collect();
     lb.install_view(remaining, vec![], leaving.to_vec());
     lb.total_counts().since(&before)
 }

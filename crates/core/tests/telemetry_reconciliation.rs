@@ -1,0 +1,180 @@
+//! Telemetry ↔ cost-model reconciliation: the `CryptoOp` and
+//! `MessageSend` events captured by the telemetry layer must tally to
+//! exactly the `OpCounts` the cost model charges — per run against the
+//! live counters, and against the closed-form aggregate costs of
+//! Table 1 (`costs_table::expected_aggregate`) where those are exact
+//! (GDH, BD, CKD; the tree protocols are shape-dependent).
+
+use gkap_core::cost::OpCounts;
+use gkap_core::costs_table::{expected_aggregate, GroupEvent};
+use gkap_core::experiment::{
+    run_join, run_join_traced, run_leave, run_leave_traced, ExperimentConfig, LeaveTarget,
+    SuiteKind, TraceRun,
+};
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::suite::CryptoSuite;
+use gkap_core::testkit::Loopback;
+use gkap_telemetry::{Actor, CryptoOpKind, Event, EventKind, SendClass, Telemetry};
+
+/// Tallies a run's crypto and send events into an [`OpCounts`],
+/// considering only events at/after the injection marker and only the
+/// given client actors (`None` = all clients).
+fn tally(events: &[Event], only: Option<&[usize]>) -> OpCounts {
+    let inject = events
+        .iter()
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::MembershipEvent {
+                    action: "inject",
+                    ..
+                }
+            )
+        })
+        .map(|e| e.at)
+        .expect("inject marker");
+    let mut c = OpCounts::default();
+    for ev in events {
+        if ev.at < inject {
+            continue;
+        }
+        let Actor::Client(id) = ev.actor else {
+            continue;
+        };
+        if let Some(ids) = only {
+            if !ids.contains(&id) {
+                continue;
+            }
+        }
+        match ev.kind {
+            EventKind::CryptoOp { op, .. } => match op {
+                CryptoOpKind::Exp => c.exp += 1,
+                CryptoOpKind::SmallExp => c.small_exp += 1,
+                CryptoOpKind::Inverse => c.inverse += 1,
+                CryptoOpKind::Sign => c.sign += 1,
+                CryptoOpKind::Verify => c.verify += 1,
+                CryptoOpKind::Symmetric => c.symmetric += 1,
+                CryptoOpKind::ModMul | CryptoOpKind::RecvOverhead => {}
+            },
+            EventKind::MessageSend { class } => match class {
+                SendClass::Multicast => c.multicast += 1,
+                SendClass::Unicast => c.unicast += 1,
+            },
+            _ => {}
+        }
+    }
+    c
+}
+
+fn assert_counts_match(kind: ProtocolKind, label: &str, run: &TraceRun, members: Option<&[usize]>) {
+    let tallied = tally(&run.events, members);
+    assert_eq!(
+        tallied, run.outcome.counts,
+        "{kind} {label}: telemetry tally vs live OpCounts"
+    );
+}
+
+/// Full-stack runs: the telemetry event tally must equal the live
+/// `OpCounts` delta measured by the harness, for every protocol, on
+/// both a join and a leave.
+#[test]
+fn full_stack_tally_matches_live_counts() {
+    let n = 8;
+    for kind in ProtocolKind::all() {
+        let cfg = ExperimentConfig::lan(kind, SuiteKind::Sim512);
+        let join = run_join_traced(&cfg, n);
+        assert!(join.outcome.ok, "{kind} join");
+        assert_counts_match(kind, "join", &join, None);
+
+        let leave = run_leave_traced(&cfg, n, LeaveTarget::Middle);
+        assert!(leave.outcome.ok, "{kind} leave");
+        // The leaver (view position n/2) is outside the measured set;
+        // exclude any events it might emit.
+        let remaining: Vec<usize> = (0..n).filter(|&c| c != n / 2).collect();
+        assert_counts_match(kind, "leave", &leave, Some(&remaining));
+    }
+}
+
+/// Telemetry must never perturb the measurement: a traced run reports
+/// bit-identical elapsed times to an untraced one.
+#[test]
+fn tracing_does_not_perturb_results() {
+    let n = 10;
+    for kind in ProtocolKind::all() {
+        let cfg = ExperimentConfig::lan(kind, SuiteKind::Sim512);
+        let plain = run_join(&cfg, n);
+        let traced = run_join_traced(&cfg, n);
+        assert_eq!(
+            plain.elapsed_ms, traced.outcome.elapsed_ms,
+            "{kind} join elapsed"
+        );
+        assert_eq!(
+            plain.membership_ms, traced.outcome.membership_ms,
+            "{kind} join membership"
+        );
+        assert_eq!(plain.counts, traced.outcome.counts, "{kind} join counts");
+        let plain = run_leave(&cfg, n, LeaveTarget::Middle);
+        let traced = run_leave_traced(&cfg, n, LeaveTarget::Middle);
+        assert_eq!(
+            plain.elapsed_ms, traced.outcome.elapsed_ms,
+            "{kind} leave elapsed"
+        );
+    }
+}
+
+fn counters_as_opcounts(t: &Telemetry) -> OpCounts {
+    OpCounts {
+        exp: t.counter("crypto/exp"),
+        small_exp: t.counter("crypto/small_exp"),
+        inverse: t.counter("crypto/inverse"),
+        sign: t.counter("crypto/sign"),
+        verify: t.counter("crypto/verify"),
+        symmetric: t.counter("crypto/symmetric"),
+        multicast: t.counter("send/multicast"),
+        unicast: t.counter("send/unicast"),
+    }
+}
+
+/// Loopback runs (shape-independent message delivery): the telemetry
+/// counters must match the closed-form Table 1 aggregates exactly for
+/// GDH, BD and CKD; for the tree protocols (no closed form) they must
+/// still match the live counters.
+#[test]
+fn counters_match_table1_closed_forms() {
+    let n = 9;
+    let total = n + 2;
+    let ids: Vec<usize> = (0..total).collect();
+    for kind in ProtocolKind::all() {
+        for event in [GroupEvent::Join, GroupEvent::Leave] {
+            let mut lb = Loopback::new(kind, CryptoSuite::fast_zero(), &ids);
+            lb.bootstrap(&ids[..n], 5);
+            // Enable after bootstrap so the counters cover the event only.
+            let telemetry = lb.enable_telemetry();
+            let before = lb.total_counts();
+            match event {
+                GroupEvent::Join => {
+                    let mut members = ids[..n].to_vec();
+                    members.push(n);
+                    lb.install_view(members, vec![n], vec![]);
+                }
+                _ => {
+                    let leaver = n / 2;
+                    let members: Vec<usize> =
+                        ids[..n].iter().copied().filter(|&c| c != leaver).collect();
+                    lb.install_view(members, vec![], vec![leaver]);
+                }
+            }
+            let live = lb.total_counts().since(&before);
+            let counters = counters_as_opcounts(&telemetry);
+            assert_eq!(counters, live, "{kind} {}: counters vs live", event.name());
+            if let Some(want) = expected_aggregate(kind, event, n) {
+                assert_eq!(
+                    counters,
+                    want,
+                    "{kind} {}: counters vs Table 1",
+                    event.name()
+                );
+            }
+        }
+    }
+}

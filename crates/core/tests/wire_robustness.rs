@@ -52,7 +52,13 @@ fn arb_msg() -> impl Strategy<Value = ProtocolMsg> {
             }
         }),
         arb_ubig().prop_map(|member_pub| ProtocolMsg::CkdResponse { member_pub }),
-        (arb_ubig(), proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)), 0..6))
+        (
+            arb_ubig(),
+            proptest::collection::vec(
+                (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)),
+                0..6
+            )
+        )
             .prop_map(|(p, blobs)| ProtocolMsg::CkdKeyDist {
                 controller_pub: p,
                 blobs: blobs.into_iter().map(|(m, b)| (m as usize, b)).collect(),

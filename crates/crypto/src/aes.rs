@@ -154,7 +154,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 /// assert_ne!(ct, msg);
 /// assert_eq!(ctr_xor(&key, &nonce, 0, ct), msg);
 /// ```
-pub fn ctr_xor(key: &[u8; 16], nonce: &[u8; 12], initial_counter: u32, mut data: Vec<u8>) -> Vec<u8> {
+pub fn ctr_xor(
+    key: &[u8; 16],
+    nonce: &[u8; 12],
+    initial_counter: u32,
+    mut data: Vec<u8>,
+) -> Vec<u8> {
     let aes = Aes128::new(key);
     let mut counter_block = [0u8; 16];
     counter_block[..12].copy_from_slice(nonce);
@@ -184,25 +189,43 @@ mod tests {
 
     #[test]
     fn fips197_appendix_c1() {
-        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let pt: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = unhex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes128::new(&key);
-        assert_eq!(hex(&aes.encrypt_block(&pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        );
     }
 
     #[test]
     fn fips197_appendix_b() {
-        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let pt: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
         let aes = Aes128::new(&key);
-        assert_eq!(hex(&aes.encrypt_block(&pt)), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
     }
 
     #[test]
     fn sp800_38a_ctr_first_block() {
         // NIST SP 800-38A, F.5.1 CTR-AES128.Encrypt, block #1.
-        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let counter0: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let counter0: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
         let pt = unhex("6bc1bee22e409f96e93d7e117393172a");
         // Reuse the raw block cipher to follow the NIST counter layout.
         let aes = Aes128::new(&key);

@@ -189,7 +189,10 @@ mod tests {
         sig.r = sig.r.modadd(&Ubig::one(), kp.group().order());
         assert!(verify(kp.group(), kp.public(), b"m", &sig).is_err());
         // Degenerate values rejected outright.
-        let zero = DsaSignature { r: Ubig::zero(), s: Ubig::one() };
+        let zero = DsaSignature {
+            r: Ubig::zero(),
+            s: Ubig::one(),
+        };
         assert!(verify(kp.group(), kp.public(), b"m", &zero).is_err());
         let oversize = DsaSignature {
             r: kp.group().order().clone(),

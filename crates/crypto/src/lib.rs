@@ -69,8 +69,12 @@ impl std::fmt::Display for CryptoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CryptoError::BadSignature => write!(f, "signature verification failed"),
-            CryptoError::BadCiphertext => write!(f, "ciphertext malformed or failed authentication"),
-            CryptoError::InvalidPublicValue => write!(f, "public value outside the valid group range"),
+            CryptoError::BadCiphertext => {
+                write!(f, "ciphertext malformed or failed authentication")
+            }
+            CryptoError::InvalidPublicValue => {
+                write!(f, "public value outside the valid group range")
+            }
             CryptoError::KeyGeneration(what) => write!(f, "key generation failed: {what}"),
         }
     }

@@ -14,8 +14,8 @@ use crate::CryptoError;
 
 /// DER prefix of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -76,7 +76,9 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::BadSignature);
         }
-        let em = s.modexp(&self.e, &self.n).to_be_bytes_padded(self.modulus_len());
+        let em = s
+            .modexp(&self.e, &self.n)
+            .to_be_bytes_padded(self.modulus_len());
         let expected = pkcs1_v15_encode(message, self.modulus_len());
         if em == expected {
             Ok(())
@@ -155,7 +157,10 @@ impl RsaPrivateKey {
 fn pkcs1_v15_encode(message: &[u8], k: usize) -> Vec<u8> {
     let digest = Sha256::digest(message);
     let t_len = SHA256_DIGEST_INFO.len() + digest.len();
-    assert!(k >= t_len + 11, "modulus too small for PKCS#1 v1.5 + SHA-256");
+    assert!(
+        k >= t_len + 11,
+        "modulus too small for PKCS#1 v1.5 + SHA-256"
+    );
     let mut em = Vec::with_capacity(k);
     em.push(0x00);
     em.push(0x01);
@@ -180,7 +185,9 @@ mod tests {
         let key = small_key(1, 3);
         let sig = key.sign(b"group key agreement");
         assert_eq!(sig.len(), key.public_key().modulus_len());
-        key.public_key().verify(b"group key agreement", &sig).unwrap();
+        key.public_key()
+            .verify(b"group key agreement", &sig)
+            .unwrap();
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl GcsConfig {
             self.flow_control_max_msgs > 0,
             "flow control must allow at least one message per visit"
         );
-        assert!(self.membership_rounds > 0, "membership needs at least one round");
+        assert!(
+            self.membership_rounds > 0,
+            "membership needs at least one round"
+        );
         assert!(
             (0.0..1.0).contains(&self.loss_rate),
             "loss rate must be in [0, 1)"

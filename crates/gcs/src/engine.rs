@@ -34,6 +34,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use gkap_sim::{CpuScheduler, Duration, EventQueue, SimTime};
 use gkap_sim::{RandomSource, SplitMix64};
+use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
 
 use crate::client::{Client, ClientCtx, Outgoing};
 use crate::config::GcsConfig;
@@ -91,6 +92,15 @@ pub enum TraceEvent {
         /// Instant of installation.
         at: SimTime,
     },
+    /// A lost message copy was re-sent to a daemon that missed it.
+    Retransmit {
+        /// The daemon receiving the retransmission.
+        daemon: DaemonId,
+        /// Sequence number recovered.
+        seq: u64,
+        /// Instant the retransmission was issued.
+        at: SimTime,
+    },
 }
 
 /// A sequenced Agreed message in flight between daemons.
@@ -135,9 +145,15 @@ enum Ev {
     ClientSubmit { client: ClientId, out: Outgoing },
     /// A FIFO message reaches the destination daemon, ready for local
     /// delivery.
-    FifoArrive { daemon: DaemonId, delivery: Delivery },
+    FifoArrive {
+        daemon: DaemonId,
+        delivery: Delivery,
+    },
     /// A message is handed to a client.
-    ClientDeliver { client: ClientId, delivery: Delivery },
+    ClientDeliver {
+        client: ClientId,
+        delivery: Delivery,
+    },
     /// A view change is handed to a client.
     ViewDeliver { client: ClientId, view: Rc<View> },
     /// A retransmission request for `seq` reaches the daemon holding
@@ -218,8 +234,9 @@ pub struct SimWorld {
     sent_msgs: HashMap<u64, Rc<WireMsg>>,
     /// Deterministic loss process.
     loss_rng: SplitMix64,
-    /// Observability log (None = disabled).
-    trace: Option<Vec<TraceEvent>>,
+    /// Telemetry sink (disabled by default; recording never advances
+    /// virtual time, so enabling it cannot change simulation results).
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -275,28 +292,74 @@ impl SimWorld {
             token_started: false,
             sent_msgs: HashMap::new(),
             loss_rng: SplitMix64::new(cfg.loss_seed),
-            trace: None,
+            telemetry: Telemetry::disabled(),
             cfg,
         }
     }
 
-    /// Turns on event tracing; records are retrievable via
-    /// [`SimWorld::trace`].
+    /// Turns on event tracing (an enabled [`Telemetry`] sink); records
+    /// are retrievable via [`SimWorld::trace`] or, in full structured
+    /// form, via [`SimWorld::telemetry`].
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
         }
     }
 
-    /// The recorded trace (empty when tracing is disabled).
-    pub fn trace(&self) -> &[TraceEvent] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// Attaches an externally-owned telemetry sink (shared with other
+    /// layers, e.g. the protocol drivers) so all events land in one
+    /// stream.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
-    fn trace_push(&mut self, ev: TraceEvent) {
-        if let Some(t) = &mut self.trace {
-            t.push(ev);
-        }
+    /// The telemetry sink (disabled unless [`SimWorld::enable_trace`]
+    /// or [`SimWorld::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The recorded GCS-level trace, reconstructed from the telemetry
+    /// stream (empty when tracing is disabled). Protocol- and
+    /// crypto-level events are available via [`SimWorld::telemetry`].
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.telemetry
+            .events()
+            .into_iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::Sequenced { seq, sender } => Some(TraceEvent::Sequenced {
+                    seq,
+                    sender,
+                    at: ev.at,
+                }),
+                EventKind::Delivered { sender, service } => Some(TraceEvent::Delivered {
+                    client: match ev.actor {
+                        Actor::Client(c) => c,
+                        _ => return None,
+                    },
+                    sender,
+                    service: Service::from_str_label(service)?,
+                    at: ev.at,
+                }),
+                EventKind::ViewInstalled { view_id } => Some(TraceEvent::ViewInstalled {
+                    daemon: match ev.actor {
+                        Actor::Daemon(d) => d,
+                        _ => return None,
+                    },
+                    view_id,
+                    at: ev.at,
+                }),
+                EventKind::Retransmit { seq } => Some(TraceEvent::Retransmit {
+                    daemon: match ev.actor {
+                        Actor::Daemon(d) => d,
+                        _ => return None,
+                    },
+                    seq,
+                    at: ev.at,
+                }),
+                _ => None,
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -317,7 +380,10 @@ impl SimWorld {
     ///
     /// Panics if `machine` is out of range.
     pub fn add_client_on(&mut self, handler: Box<dyn Client>, machine: MachineId) -> ClientId {
-        assert!(machine < self.cfg.topology.machine_count(), "unknown machine");
+        assert!(
+            machine < self.cfg.topology.machine_count(),
+            "unknown machine"
+        );
         let id = self.clients.len();
         self.clients.push(ClientSlot {
             machine,
@@ -345,7 +411,10 @@ impl SimWorld {
     ///
     /// Panics if a view is already installed or `members` is empty.
     pub fn install_initial_view_of(&mut self, members: Vec<ClientId>) {
-        assert!(self.current_view.is_none(), "initial view already installed");
+        assert!(
+            self.current_view.is_none(),
+            "initial view already installed"
+        );
         assert!(!members.is_empty(), "initial view cannot be empty");
         let view = Rc::new(View {
             id: self.next_view_id,
@@ -398,7 +467,8 @@ impl SimWorld {
         for &l in &left {
             assert!(members.contains(&l), "client {l} is not a member");
         }
-        self.pending_changes.push_back(PendingChange { joined, left });
+        self.pending_changes
+            .push_back(PendingChange { joined, left });
         self.maybe_start_membership();
     }
 
@@ -551,7 +621,8 @@ impl SimWorld {
     fn start_token_if_needed(&mut self) {
         if !self.token_started {
             self.token_started = true;
-            self.queue.schedule(Duration::ZERO, Ev::Token { ring_idx: 0 });
+            self.queue
+                .schedule(Duration::ZERO, Ev::Token { ring_idx: 0 });
         }
     }
 
@@ -611,6 +682,14 @@ impl SimWorld {
         // Rotation boundary bookkeeping at the ring head.
         if ring_idx == 0 {
             self.stats.token_rotations += 1;
+            let rotation = self.stats.token_rotations;
+            let at = self.queue.now();
+            self.telemetry.record(|| Event {
+                at,
+                dur: Duration::ZERO,
+                actor: Actor::Daemon(daemon_id),
+                kind: EventKind::TokenRotation { rotation },
+            });
             // View-synchrony flush: the new view may only install once
             // every message sent in the old view has been delivered
             // everywhere (Spread flushes before installing a view).
@@ -652,7 +731,13 @@ impl SimWorld {
             });
             self.stats.agreed_messages += 1;
             let at = self.queue.now();
-            self.trace_push(TraceEvent::Sequenced { seq, sender: msg.sender, at });
+            let sender = msg.sender;
+            self.telemetry.record(|| Event {
+                at,
+                dur: Duration::ZERO,
+                actor: Actor::Daemon(daemon_id),
+                kind: EventKind::Sequenced { seq, sender },
+            });
             self.sent_msgs.insert(seq, Rc::clone(&msg));
             // The sender's daemon holds its own message instantly.
             self.store_at_daemon(daemon_id, Rc::clone(&msg));
@@ -670,7 +755,13 @@ impl SimWorld {
                     .topology
                     .machine_latency(self.daemons[daemon_id].machine, self.daemons[peer].machine);
                 let delay = latency + size_cost + self.cfg.per_message_processing;
-                self.schedule(delay, Ev::DaemonRecv { daemon: peer, msg: Rc::clone(&msg) });
+                self.schedule(
+                    delay,
+                    Ev::DaemonRecv {
+                        daemon: peer,
+                        msg: Rc::clone(&msg),
+                    },
+                );
             }
             sent += 1;
         }
@@ -713,8 +804,7 @@ impl SimWorld {
             self.daemons[daemon_id].machine,
             self.daemons[self.ring[next_idx]].machine,
         );
-        let hold = self.cfg.token_processing
-            + self.cfg.per_message_processing.mul(sent as u64);
+        let hold = self.cfg.token_processing + self.cfg.per_message_processing * sent as u64;
         self.queue
             .schedule(hop + hold, Ev::Token { ring_idx: next_idx });
     }
@@ -764,6 +854,13 @@ impl SimWorld {
             return;
         };
         self.stats.retransmissions += 1;
+        let at = self.queue.now();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Daemon(to),
+            kind: EventKind::Retransmit { seq },
+        });
         // The re-sent copy can be lost as well; the next token visit
         // re-requests it.
         if self.lose_copy() {
@@ -784,7 +881,7 @@ impl SimWorld {
     fn payload_cost(&self, payload: &Bytes) -> Duration {
         // Cost proportional to size, in whole-KB granularity rounded up.
         let kb = (payload.len() as u64).div_ceil(1024);
-        self.cfg.per_kb.mul(kb)
+        self.cfg.per_kb * kb
     }
 
     fn store_at_daemon(&mut self, daemon: DaemonId, msg: Rc<WireMsg>) {
@@ -836,7 +933,13 @@ impl SimWorld {
                 view_id: msg.view_id,
                 payload: msg.payload.clone(),
             };
-            self.schedule(self.cfg.client_daemon_delay, Ev::ClientDeliver { client: c, delivery });
+            self.schedule(
+                self.cfg.client_daemon_delay,
+                Ev::ClientDeliver {
+                    client: c,
+                    delivery,
+                },
+            );
         }
     }
 
@@ -892,7 +995,13 @@ impl SimWorld {
                         + size_cost
                         + self.cfg.per_message_processing
                         + self.cfg.client_daemon_delay;
-                    self.schedule(latency, Ev::CausalArrive { client: target, msg: msg.clone() });
+                    self.schedule(
+                        latency,
+                        Ev::CausalArrive {
+                            client: target,
+                            msg: msg.clone(),
+                        },
+                    );
                 }
             }
             Service::Fifo => {
@@ -911,7 +1020,13 @@ impl SimWorld {
                         let latency = self.cfg.topology.machine_latency(machine, td)
                             + size_cost
                             + self.cfg.per_message_processing;
-                        self.schedule(latency, Ev::FifoArrive { daemon: td, delivery });
+                        self.schedule(
+                            latency,
+                            Ev::FifoArrive {
+                                daemon: td,
+                                delivery,
+                            },
+                        );
                     }
                     Dest::All => {
                         for td in 0..self.daemons.len() {
@@ -920,7 +1035,10 @@ impl SimWorld {
                                 + self.cfg.per_message_processing;
                             self.schedule(
                                 latency,
-                                Ev::FifoArrive { daemon: td, delivery: delivery.clone() },
+                                Ev::FifoArrive {
+                                    daemon: td,
+                                    delivery: delivery.clone(),
+                                },
                             );
                         }
                     }
@@ -940,13 +1058,14 @@ impl SimWorld {
                 .unwrap_or_default(),
         };
         for c in targets {
-            if c < self.clients.len()
-                && self.clients[c].machine == machine
-                && self.clients[c].alive
+            if c < self.clients.len() && self.clients[c].machine == machine && self.clients[c].alive
             {
                 self.schedule(
                     self.cfg.client_daemon_delay,
-                    Ev::ClientDeliver { client: c, delivery: delivery.clone() },
+                    Ev::ClientDeliver {
+                        client: c,
+                        delivery: delivery.clone(),
+                    },
                 );
             }
         }
@@ -954,13 +1073,16 @@ impl SimWorld {
 
     fn install_view_at_daemon(&mut self, daemon: DaemonId, view: &Rc<View>) {
         self.daemons[daemon].installed_view = view.id;
-        self.trace_push(TraceEvent::ViewInstalled {
-            daemon,
-            view_id: view.id,
-            at: self.queue.now(),
+        let at = self.queue.now();
+        let view_id = view.id;
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Daemon(daemon),
+            kind: EventKind::ViewInstalled { view_id },
         });
         // Per-member installation processing at the daemon.
-        let install_cost = self.cfg.membership_per_member.mul(view.members.len() as u64);
+        let install_cost = self.cfg.membership_per_member * view.members.len() as u64;
         let machine = self.daemons[daemon].machine;
         // Members on this machine receive the view.
         let locals: Vec<ClientId> = view
@@ -973,7 +1095,10 @@ impl SimWorld {
             self.clients[c].alive = true;
             self.schedule(
                 install_cost + self.cfg.client_daemon_delay,
-                Ev::ViewDeliver { client: c, view: Rc::clone(view) },
+                Ev::ViewDeliver {
+                    client: c,
+                    view: Rc::clone(view),
+                },
             );
         }
         // Members that left and live on this machine go silent.
@@ -1065,7 +1190,11 @@ impl SimWorld {
             .take()
             .expect("re-entrant client handler");
         let start = self.queue.now().max(self.clients[client].busy_until);
-        let speed = self.cfg.topology.machine(self.clients[client].machine).speed;
+        let speed = self
+            .cfg
+            .topology
+            .machine(self.clients[client].machine)
+            .speed;
         let mut ctx = ClientCtx::new(client, start, view.id, speed);
         handler.on_view(&mut ctx, view);
         self.finish_handler(client, handler, start, ctx);
@@ -1075,18 +1204,25 @@ impl SimWorld {
         if !self.clients[client].alive {
             return;
         }
-        self.trace_push(TraceEvent::Delivered {
-            client,
-            sender: delivery.sender,
-            service: delivery.service,
-            at: self.queue.now(),
+        let at = self.queue.now();
+        let sender = delivery.sender;
+        let service = delivery.service.as_str();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Client(client),
+            kind: EventKind::Delivered { sender, service },
         });
         let mut handler = self.clients[client]
             .handler
             .take()
             .expect("re-entrant client handler");
         let start = self.queue.now().max(self.clients[client].busy_until);
-        let speed = self.cfg.topology.machine(self.clients[client].machine).speed;
+        let speed = self
+            .cfg
+            .topology
+            .machine(self.clients[client].machine)
+            .speed;
         let mut ctx = ClientCtx::new(client, start, delivery.view_id, speed);
         handler.on_message(&mut ctx, &delivery);
         self.finish_handler(client, handler, start, ctx);
@@ -1102,7 +1238,18 @@ impl SimWorld {
         ctx: ClientCtx<'_>,
     ) {
         let machine = self.clients[client].machine;
-        let end = self.machines[machine].run(start, ctx.charged);
+        let run = self.machines[machine].run_detailed(start, ctx.charged);
+        let end = run.end;
+        if ctx.charged > Duration::ZERO {
+            self.telemetry.record(|| Event {
+                at: run.begin,
+                dur: run.end.since(run.begin),
+                actor: Actor::Client(client),
+                kind: EventKind::HandlerSpan {
+                    wait: run.begin.since(start),
+                },
+            });
+        }
         self.clients[client].busy_until = end;
         handler.on_cpu_complete(end);
         self.clients[client].handler = Some(handler);

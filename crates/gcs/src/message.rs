@@ -20,6 +20,27 @@ pub enum Service {
     Causal,
 }
 
+impl Service {
+    /// Stable lowercase label (used as the telemetry `service` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Service::Agreed => "agreed",
+            Service::Fifo => "fifo",
+            Service::Causal => "causal",
+        }
+    }
+
+    /// Inverse of [`Service::as_str`].
+    pub fn from_str_label(s: &str) -> Option<Service> {
+        match s {
+            "agreed" => Some(Service::Agreed),
+            "fifo" => Some(Service::Fifo),
+            "causal" => Some(Service::Causal),
+            _ => None,
+        }
+    }
+}
+
 /// Message destination.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dest {

@@ -57,10 +57,22 @@ pub fn wan() -> GcsConfig {
         vec![ms_f(67.5), ms_f(75.0), Duration::ZERO],
     ];
     let mut machines: Vec<MachineCfg> = (0..11)
-        .map(|_| MachineCfg { site: 0, cores: 2, speed: 1.0 })
+        .map(|_| MachineCfg {
+            site: 0,
+            cores: 2,
+            speed: 1.0,
+        })
         .collect();
-    machines.push(MachineCfg { site: 1, cores: 1, speed: 1.0 }); // UCI
-    machines.push(MachineCfg { site: 2, cores: 1, speed: 1.0 }); // ICU
+    machines.push(MachineCfg {
+        site: 1,
+        cores: 1,
+        speed: 1.0,
+    }); // UCI
+    machines.push(MachineCfg {
+        site: 2,
+        cores: 1,
+        speed: 1.0,
+    }); // ICU
     GcsConfig {
         topology: Topology::new(sites, machines, latency, us(40)),
         token_processing: us(10),
@@ -80,7 +92,9 @@ pub fn wan() -> GcsConfig {
 /// the given one-way inter-site latency.
 pub fn medium_wan(one_way: Duration) -> GcsConfig {
     let sites = (0..3)
-        .map(|i| SiteCfg { name: format!("site{i}") })
+        .map(|i| SiteCfg {
+            name: format!("site{i}"),
+        })
         .collect();
     let latency = (0..3)
         .map(|a| {
@@ -92,7 +106,11 @@ pub fn medium_wan(one_way: Duration) -> GcsConfig {
     let mut machines = Vec::new();
     for (site, count) in [(0usize, 5usize), (1, 4), (2, 4)] {
         for _ in 0..count {
-            machines.push(MachineCfg { site, cores: 2, speed: 1.0 });
+            machines.push(MachineCfg {
+                site,
+                cores: 2,
+                speed: 1.0,
+            });
         }
     }
     GcsConfig {
@@ -136,7 +154,9 @@ mod tests {
         assert_eq!(rtt_uci_icu, 150.0);
         assert_eq!(rtt_icu_jhu, 135.0);
         // 11 machines at JHU, 1 each elsewhere.
-        let jhu = (0..13).filter(|&m| cfg.topology.machine(m).site == 0).count();
+        let jhu = (0..13)
+            .filter(|&m| cfg.topology.machine(m).site == 0)
+            .count();
         assert_eq!(jhu, 11);
     }
 

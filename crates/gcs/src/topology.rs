@@ -144,9 +144,21 @@ mod tests {
         Topology::new(
             vec![SiteCfg { name: "A".into() }, SiteCfg { name: "B".into() }],
             vec![
-                MachineCfg { site: 0, cores: 2, speed: 1.0 },
-                MachineCfg { site: 0, cores: 2, speed: 1.0 },
-                MachineCfg { site: 1, cores: 1, speed: 0.5 },
+                MachineCfg {
+                    site: 0,
+                    cores: 2,
+                    speed: 1.0,
+                },
+                MachineCfg {
+                    site: 0,
+                    cores: 2,
+                    speed: 1.0,
+                },
+                MachineCfg {
+                    site: 1,
+                    cores: 1,
+                    speed: 0.5,
+                },
             ],
             vec![vec![ms(0), ms(10)], vec![ms(10), ms(0)]],
             Duration::from_micros(50),
@@ -192,7 +204,11 @@ mod tests {
     fn bad_matrix_rejected() {
         Topology::new(
             vec![SiteCfg { name: "A".into() }, SiteCfg { name: "B".into() }],
-            vec![MachineCfg { site: 0, cores: 1, speed: 1.0 }],
+            vec![MachineCfg {
+                site: 0,
+                cores: 1,
+                speed: 1.0,
+            }],
             vec![vec![Duration::ZERO]],
             Duration::ZERO,
         );
@@ -203,7 +219,11 @@ mod tests {
     fn bad_site_reference_rejected() {
         Topology::new(
             vec![SiteCfg { name: "A".into() }],
-            vec![MachineCfg { site: 5, cores: 1, speed: 1.0 }],
+            vec![MachineCfg {
+                site: 5,
+                cores: 1,
+                speed: 1.0,
+            }],
             vec![vec![Duration::ZERO]],
             Duration::ZERO,
         );

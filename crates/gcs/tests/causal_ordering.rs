@@ -36,7 +36,10 @@ fn replies_never_precede_their_causes() {
     // 0 sends A; 1 replies B on seeing A; 2 replies C on seeing B.
     // Every member must log A before B before C.
     let mut world = SimWorld::new(testbed::wan()); // high skew across sites
-    world.add_client(Box::new(CausalChat { initial: Some(vec![b'A']), ..Default::default() }));
+    world.add_client(Box::new(CausalChat {
+        initial: Some(vec![b'A']),
+        ..Default::default()
+    }));
     world.add_client(Box::new(CausalChat {
         reply_to: Some(b'A'),
         reply_with: vec![b'B'],
@@ -56,7 +59,10 @@ fn replies_never_precede_their_causes() {
         let log = &world.client::<CausalChat>(i).log;
         let pos = |b: u8| log.iter().position(|&(_, x)| x == b);
         let (a, b, c) = (pos(b'A'), pos(b'B'), pos(b'C'));
-        assert!(a.is_some() && b.is_some() && c.is_some(), "member {i} missing messages: {log:?}");
+        assert!(
+            a.is_some() && b.is_some() && c.is_some(),
+            "member {i} missing messages: {log:?}"
+        );
         assert!(a < b, "member {i}: B before A: {log:?}");
         assert!(b < c, "member {i}: C before B: {log:?}");
     }
@@ -89,7 +95,11 @@ fn causal_is_cheaper_than_agreed_on_wan() {
     let measure = |agreed: bool| -> f64 {
         let mut world = SimWorld::new(testbed::wan());
         for _ in 0..13 {
-            world.add_client(Box::new(OneShot { agreed, recv_at: None, sent_at: None }));
+            world.add_client(Box::new(OneShot {
+                agreed,
+                recv_at: None,
+                sent_at: None,
+            }));
         }
         world.install_initial_view();
         world.run_until_quiescent();
@@ -128,12 +138,20 @@ fn per_sender_fifo_within_causal() {
     }
     let mut world = SimWorld::new(testbed::lan());
     for _ in 0..8 {
-        world.add_client(Box::new(Burst { n: 10, log: Vec::new() }));
+        world.add_client(Box::new(Burst {
+            n: 10,
+            log: Vec::new(),
+        }));
     }
     world.install_initial_view();
     world.run_until_quiescent();
     for i in 0..8 {
-        let seq: Vec<u8> = world.client::<Burst>(i).log.iter().map(|&(_, b)| b).collect();
+        let seq: Vec<u8> = world
+            .client::<Burst>(i)
+            .log
+            .iter()
+            .map(|&(_, b)| b)
+            .collect();
         assert_eq!(seq, (0..10).collect::<Vec<u8>>(), "member {i}");
     }
 }

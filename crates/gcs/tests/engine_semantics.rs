@@ -23,7 +23,8 @@ struct Recorder {
 
 impl Client for Recorder {
     fn on_view(&mut self, ctx: &mut ClientCtx<'_>, view: &View) {
-        self.views.push((ctx.now().as_millis_f64(), view.members.clone()));
+        self.views
+            .push((ctx.now().as_millis_f64(), view.members.clone()));
         if let Some(payload) = &self.send_on_view {
             ctx.multicast_agreed(payload.clone());
         }

@@ -66,7 +66,8 @@ fn total_order_holds_under_loss() {
     let reference = &world.client::<Chatty>(0).got;
     for i in 1..10 {
         assert_eq!(
-            &world.client::<Chatty>(i).got, reference,
+            &world.client::<Chatty>(i).got,
+            reference,
             "member {i} sees a different order"
         );
     }
@@ -107,7 +108,10 @@ fn membership_survives_loss() {
     cfg.loss_rate = 0.3;
     let mut world = SimWorld::new(cfg);
     for _ in 0..6 {
-        world.add_client(Box::new(Chatty { send_count: 1, ..Default::default() }));
+        world.add_client(Box::new(Chatty {
+            send_count: 1,
+            ..Default::default()
+        }));
     }
     world.install_initial_view_of((0..5).collect());
     world.run_until_quiescent();

@@ -37,7 +37,10 @@ fn thousand_message_burst_all_delivered() {
     let burst = 40;
     let mut world = SimWorld::new(testbed::lan());
     for _ in 0..n {
-        world.add_client(Box::new(Firehose { burst, ..Default::default() }));
+        world.add_client(Box::new(Firehose {
+            burst,
+            ..Default::default()
+        }));
     }
     world.install_initial_view();
     world.run_until_quiescent();
@@ -58,7 +61,10 @@ fn tight_flow_control_still_delivers_everything() {
     cfg.flow_control_max_msgs = 1; // one message per token visit
     let mut world = SimWorld::new(cfg);
     for _ in 0..6 {
-        world.add_client(Box::new(Firehose { burst: 25, ..Default::default() }));
+        world.add_client(Box::new(Firehose {
+            burst: 25,
+            ..Default::default()
+        }));
     }
     world.install_initial_view();
     world.run_until_quiescent();
@@ -105,7 +111,10 @@ fn wan_burst_respects_site_fairness() {
     // starve the UCI/ICU members.
     let mut world = SimWorld::new(testbed::wan());
     for _ in 0..13 {
-        world.add_client(Box::new(Firehose { burst: 10, ..Default::default() }));
+        world.add_client(Box::new(Firehose {
+            burst: 10,
+            ..Default::default()
+        }));
     }
     world.install_initial_view();
     world.run_until_quiescent();

@@ -1,5 +1,6 @@
-//! The observability trace: sequencing, deliveries and view installs
-//! appear in causally sensible order with monotone timestamps.
+//! The observability trace: sequencing, deliveries, view installs and
+//! retransmissions appear in causally sensible order with monotone
+//! timestamps — on the LAN and WAN testbeds, with and without loss.
 
 use gkap_gcs::{testbed, Client, ClientCtx, Delivery, Service, SimWorld, TraceEvent, View};
 
@@ -11,6 +12,66 @@ impl Client for Echo {
         }
     }
     fn on_message(&mut self, _ctx: &mut ClientCtx<'_>, _msg: &Delivery) {}
+}
+
+fn event_time(ev: &TraceEvent) -> gkap_sim::SimTime {
+    match ev {
+        TraceEvent::Sequenced { at, .. }
+        | TraceEvent::Delivered { at, .. }
+        | TraceEvent::ViewInstalled { at, .. }
+        | TraceEvent::Retransmit { at, .. } => *at,
+    }
+}
+
+/// Every `Sequenced` seq must reach at least one client as a
+/// `Delivered` (total order means sequenced traffic cannot vanish).
+fn assert_sequenced_all_delivered(trace: &[TraceEvent]) {
+    let sequenced: Vec<u64> = trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Sequenced { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    let delivered_agreed = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    service: Service::Agreed,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        delivered_agreed >= sequenced.len(),
+        "each of the {} sequenced messages must be delivered at least once \
+         (saw {delivered_agreed} agreed deliveries)",
+        sequenced.len()
+    );
+    // Per-sequence pairing: the k-th sequenced message must have a
+    // delivery after its sequencing point.
+    for &seq in &sequenced {
+        let seq_pos = trace
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Sequenced { seq: s, .. } if *s == seq))
+            .expect("sequenced event present");
+        let has_later_delivery = trace[seq_pos..].iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    service: Service::Agreed,
+                    ..
+                }
+            )
+        });
+        assert!(
+            has_later_delivery,
+            "seq {seq} sequenced but never delivered after"
+        );
+    }
 }
 
 #[test]
@@ -30,12 +91,8 @@ fn trace_records_lifecycle_in_order() {
 
     // Timestamps are monotone.
     let mut last = gkap_sim::SimTime::ZERO;
-    for ev in trace {
-        let at = match ev {
-            TraceEvent::Sequenced { at, .. }
-            | TraceEvent::Delivered { at, .. }
-            | TraceEvent::ViewInstalled { at, .. } => *at,
-        };
+    for ev in &trace {
+        let at = event_time(ev);
         assert!(at >= last, "trace timestamps must be monotone");
         last = at;
     }
@@ -49,7 +106,15 @@ fn trace_records_lifecycle_in_order() {
     assert_eq!(sequenced, 2);
     let delivered = trace
         .iter()
-        .filter(|e| matches!(e, TraceEvent::Delivered { service: Service::Agreed, .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    service: Service::Agreed,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(delivered, 5 + 6, "first view: 5 receivers; second: 6");
 
@@ -60,7 +125,15 @@ fn trace_records_lifecycle_in_order() {
         .unwrap();
     let first_del = trace
         .iter()
-        .position(|e| matches!(e, TraceEvent::Delivered { service: Service::Agreed, .. }))
+        .position(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    service: Service::Agreed,
+                    ..
+                }
+            )
+        })
         .unwrap();
     assert!(seq_pos < first_del);
 
@@ -71,6 +144,14 @@ fn trace_records_lifecycle_in_order() {
         .filter(|e| matches!(e, TraceEvent::ViewInstalled { .. }))
         .count();
     assert_eq!(installs, 13, "the join view installs at every daemon");
+
+    // Reliable links: no retransmissions in the trace.
+    assert!(
+        !trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Retransmit { .. })),
+        "reliable LAN must not retransmit"
+    );
 }
 
 #[test]
@@ -82,4 +163,110 @@ fn trace_disabled_by_default() {
     world.install_initial_view();
     world.run_until_quiescent();
     assert!(world.trace().is_empty());
+    assert!(!world.telemetry().is_enabled());
+}
+
+#[test]
+fn trace_complete_on_wan_testbed() {
+    let mut world = SimWorld::new(testbed::wan());
+    world.enable_trace();
+    for _ in 0..7 {
+        world.add_client(Box::new(Echo));
+    }
+    world.install_initial_view_of((0..6).collect());
+    world.run_until_quiescent();
+    world.inject_join(6);
+    world.run_until_quiescent();
+
+    let trace = world.trace();
+    assert!(!trace.is_empty());
+
+    // Monotone timestamps on the WAN too.
+    let mut last = gkap_sim::SimTime::ZERO;
+    for ev in &trace {
+        let at = event_time(ev);
+        assert!(at >= last, "trace timestamps must be monotone");
+        last = at;
+    }
+
+    assert_sequenced_all_delivered(&trace);
+
+    // The join installs at every WAN daemon.
+    let wan_daemons = testbed::wan().topology.machine_count();
+    let installs = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ViewInstalled { .. }))
+        .count();
+    assert_eq!(installs, wan_daemons, "join view installs at every daemon");
+
+    // WAN delivery latency is in the hundreds of milliseconds (the
+    // paper's ≈310 ms Agreed cost): first delivery well after t=0.
+    let first_delivery = trace
+        .iter()
+        .find(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    service: Service::Agreed,
+                    ..
+                }
+            )
+        })
+        .map(event_time)
+        .expect("at least one delivery");
+    assert!(
+        first_delivery.as_millis_f64() > 50.0,
+        "WAN Agreed delivery cannot be LAN-fast, got {first_delivery}"
+    );
+}
+
+#[test]
+fn lossy_links_produce_retransmit_events_and_complete_delivery() {
+    let mut cfg = testbed::lan();
+    cfg.loss_rate = 0.30;
+    cfg.loss_seed = 7;
+    let mut world = SimWorld::new(cfg);
+    world.enable_trace();
+    for _ in 0..8 {
+        world.add_client(Box::new(Echo));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    // Several extra membership changes → more Agreed traffic → more
+    // opportunities for loss.
+    world.inject_leave(7);
+    world.run_until_quiescent();
+    world.inject_join(7);
+    world.run_until_quiescent();
+
+    let (lost, retransmitted) = {
+        let stats = world.stats();
+        (stats.messages_lost, stats.retransmissions)
+    };
+    assert!(lost > 0, "30% loss must lose something");
+    assert!(retransmitted > 0, "losses must be recovered");
+
+    let trace = world.trace();
+    let retransmits = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Retransmit { .. }))
+        .count() as u64;
+    assert_eq!(
+        retransmits, retransmitted,
+        "every retransmission must appear as a Retransmit trace event"
+    );
+
+    // Despite loss, the total-order pipeline completed: every sequenced
+    // message was eventually delivered somewhere.
+    assert_sequenced_all_delivered(&trace);
+
+    // Telemetry counters agree with the trace-level view.
+    assert_eq!(world.telemetry().counter("gcs/retransmit"), retransmits);
+    assert_eq!(
+        world.telemetry().counter("gcs/sequenced"),
+        trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sequenced { .. }))
+            .count() as u64
+    );
 }

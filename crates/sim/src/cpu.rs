@@ -13,6 +13,16 @@
 
 use crate::time::{Duration, SimTime};
 
+/// Outcome of one scheduled compute request: when it started executing
+/// (after any queueing) and when it completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuRun {
+    /// Execution start (`>= ready`; later when all cores were busy).
+    pub begin: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+}
+
 /// FCFS scheduler for one machine with a fixed number of cores.
 ///
 /// # Example
@@ -57,8 +67,18 @@ impl CpuScheduler {
     /// immediately (at `ready` or when a core frees up — we treat it as
     /// free and return `ready`).
     pub fn run(&mut self, ready: SimTime, work: Duration) -> SimTime {
+        self.run_detailed(ready, work).end
+    }
+
+    /// Like [`run`](Self::run), but also reports when execution began —
+    /// the gap between `ready` and `begin` is the scheduler queue wait,
+    /// which the telemetry layer attributes to CPU contention.
+    pub fn run_detailed(&mut self, ready: SimTime, work: Duration) -> CpuRun {
         if work == Duration::ZERO {
-            return ready;
+            return CpuRun {
+                begin: ready,
+                end: ready,
+            };
         }
         // Earliest-available core (FCFS).
         let core = self
@@ -72,7 +92,7 @@ impl CpuScheduler {
         let end = begin + work;
         self.cores[core] = end;
         self.busy_total += work;
-        end
+        CpuRun { begin, end }
     }
 
     /// Total CPU time consumed so far (across all cores).
@@ -149,6 +169,19 @@ mod tests {
         cpu.reset();
         assert_eq!(cpu.next_idle(), SimTime::ZERO);
         assert_eq!(cpu.busy_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_detailed_reports_queue_wait() {
+        let mut cpu = CpuScheduler::new(1);
+        let first = cpu.run_detailed(SimTime::ZERO, ms(10));
+        assert_eq!(first.begin, SimTime::ZERO);
+        assert_eq!(first.end, SimTime::ZERO + ms(10));
+        // Second job is ready at t=2 but queues behind the first.
+        let second = cpu.run_detailed(SimTime::ZERO + ms(2), ms(3));
+        assert_eq!(second.begin, SimTime::ZERO + ms(10));
+        assert_eq!(second.end, SimTime::ZERO + ms(13));
+        assert_eq!(second.begin.since(SimTime::ZERO + ms(2)), ms(8));
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod queue;
 pub mod stats;
 mod time;
 
-pub use cpu::CpuScheduler;
+pub use cpu::{CpuRun, CpuScheduler};
 pub use queue::EventQueue;
 pub use time::{Duration, SimTime};
 

@@ -200,7 +200,10 @@ mod tests {
     fn peek_does_not_advance() {
         let mut q = EventQueue::new();
         q.schedule(Duration::from_millis(2), ());
-        assert_eq!(q.peek_time(), Some(SimTime::ZERO + Duration::from_millis(2)));
+        assert_eq!(
+            q.peek_time(),
+            Some(SimTime::ZERO + Duration::from_millis(2))
+        );
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
     }

@@ -14,13 +14,23 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must agree with [`Summary::new`]: a derived default would
+/// set `min = max = 0.0`, so an empty accumulator built via `Default`
+/// would report a bogus min/max of 0.0 once the first sample above zero
+/// arrives (`0.0.min(v)` sticks at 0.0).
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -141,7 +151,10 @@ impl Histogram {
     ///
     /// Panics unless `base > 0`, `growth > 1` and `buckets > 0`.
     pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
-        assert!(base > 0.0 && growth > 1.0 && buckets > 0, "invalid histogram shape");
+        assert!(
+            base > 0.0 && growth > 1.0 && buckets > 0,
+            "invalid histogram shape"
+        );
         Histogram {
             base,
             growth,
@@ -201,7 +214,9 @@ impl Histogram {
     /// Panics if the shapes differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.buckets.len(), other.buckets.len(), "histogram shape");
-        assert!((self.base - other.base).abs() < 1e-12 && (self.growth - other.growth).abs() < 1e-12);
+        assert!(
+            (self.base - other.base).abs() < 1e-12 && (self.growth - other.growth).abs() < 1e-12
+        );
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -361,6 +376,20 @@ mod tests {
         assert_eq!(s.stddev(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_new_sentinels() {
+        // Regression: a derived Default (min = max = 0.0) corrupted the
+        // first sample's min/max when constructed via Default.
+        let mut d = Summary::default();
+        d.add(5.0);
+        assert_eq!(d.min(), 5.0, "min must come from the sample, not 0.0");
+        assert_eq!(d.max(), 5.0);
+        let mut n = Summary::new();
+        n.add(5.0);
+        assert_eq!(d.min(), n.min());
+        assert_eq!(d.max(), n.max());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! paper.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 use serde::{Deserialize, Serialize};
 
@@ -82,7 +82,10 @@ impl Duration {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be >= 0, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be >= 0, got {ms}"
+        );
         Duration((ms * 1_000_000.0).round() as u64)
     }
 
@@ -95,9 +98,13 @@ impl Duration {
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1_000_000.0
     }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
 
     /// Saturating multiplication by an integer count.
-    pub fn mul(self, n: u64) -> Duration {
+    fn mul(self, n: u64) -> Duration {
         Duration(self.0.saturating_mul(n))
     }
 }
@@ -137,7 +144,11 @@ impl Sub for Duration {
     ///
     /// Panics on underflow.
     fn sub(self, d: Duration) -> Duration {
-        Duration(self.0.checked_sub(d.0).expect("Duration subtraction underflow"))
+        Duration(
+            self.0
+                .checked_sub(d.0)
+                .expect("Duration subtraction underflow"),
+        )
     }
 }
 
@@ -206,7 +217,7 @@ mod tests {
     fn duration_ops() {
         let d = Duration::from_millis(4) - Duration::from_millis(1);
         assert_eq!(d, Duration::from_millis(3));
-        assert_eq!(Duration::from_millis(2).mul(10), Duration::from_millis(20));
+        assert_eq!(Duration::from_millis(2) * 10, Duration::from_millis(20));
         let mut acc = Duration::ZERO;
         acc += Duration::from_millis(7);
         assert_eq!(acc, Duration::from_millis(7));

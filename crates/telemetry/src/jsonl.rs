@@ -1,0 +1,187 @@
+//! JSONL rendering of captured telemetry.
+//!
+//! One JSON object per line, hand-rendered (every value is a number,
+//! an identifier-safe string, or a fixed label — no escaping needed).
+//!
+//! Event lines:
+//!
+//! ```json
+//! {"at_ms":12.345,"dur_ms":0.25,"actor":"client:3","kind":"crypto_op","op":"exp","bits":512}
+//! ```
+//!
+//! Common fields: `at_ms`/`dur_ms` (virtual milliseconds), `actor`
+//! (`world`, `client:N`, `daemon:N`, `machine:N`), `kind` (see the
+//! crate-level taxonomy table). Kind-specific fields follow.
+//!
+//! Metric lines (emitted after events by [`render_metrics`]):
+//!
+//! ```json
+//! {"metric":"counter","name":"crypto/exp","value":816}
+//! {"metric":"histogram","name":"cpu/busy_ms","count":120,"p50":1.6,"p90":4.1,"p99":6.5}
+//! ```
+
+use crate::{Actor, Event, EventKind, MetricsRegistry, Recorder};
+use std::fmt::Write as _;
+
+fn actor_label(a: Actor) -> String {
+    match a {
+        Actor::World => "world".to_string(),
+        Actor::Client(i) => format!("client:{i}"),
+        Actor::Daemon(i) => format!("daemon:{i}"),
+        Actor::Machine(i) => format!("machine:{i}"),
+    }
+}
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+pub fn event_to_json(ev: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    write!(
+        s,
+        "{{\"at_ms\":{:.6},\"dur_ms\":{:.6},\"actor\":\"{}\",\"kind\":\"{}\"",
+        ev.at.as_millis_f64(),
+        ev.dur.as_millis_f64(),
+        actor_label(ev.actor),
+        ev.kind.name()
+    )
+    .expect("write to String");
+    match &ev.kind {
+        EventKind::MembershipEvent { action, group_size } => {
+            write!(s, ",\"action\":\"{action}\",\"group_size\":{group_size}")
+        }
+        EventKind::ProtocolRound { protocol, round } => {
+            write!(s, ",\"protocol\":\"{protocol}\",\"round\":{round}")
+        }
+        EventKind::CryptoOp { op, bits } => {
+            write!(s, ",\"op\":\"{}\",\"bits\":{bits}", op.as_str())
+        }
+        EventKind::TokenRotation { rotation } => write!(s, ",\"rotation\":{rotation}"),
+        EventKind::Retransmit { seq } => write!(s, ",\"seq\":{seq}"),
+        EventKind::Sequenced { seq, sender } => {
+            write!(s, ",\"seq\":{seq},\"sender\":{sender}")
+        }
+        EventKind::Delivered { sender, service } => {
+            write!(s, ",\"sender\":{sender},\"service\":\"{service}\"")
+        }
+        EventKind::ViewInstalled { view_id } => write!(s, ",\"view_id\":{view_id}"),
+        EventKind::HandlerSpan { wait } => {
+            write!(s, ",\"wait_ms\":{:.6}", wait.as_millis_f64())
+        }
+        EventKind::MessageSend { class } => write!(s, ",\"class\":\"{}\"", class.as_str()),
+    }
+    .expect("write to String");
+    s.push('}');
+    s
+}
+
+/// Renders all events, one per line.
+pub fn render_events(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the registry's counters and histogram summaries, one JSON
+/// object per line.
+pub fn render_metrics(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        out.push_str(&format!(
+            "{{\"metric\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n"
+        ));
+    }
+    for (name, hist) in metrics.histograms() {
+        out.push_str(&format!(
+            "{{\"metric\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"p50\":{:.4},\"p90\":{:.4},\"p99\":{:.4}}}\n",
+            hist.count(),
+            hist.quantile(0.5),
+            hist.quantile(0.9),
+            hist.quantile(0.99),
+        ));
+    }
+    out
+}
+
+/// Full trace dump: every event line followed by every metric line.
+pub fn render_recorder(rec: &Recorder) -> String {
+    let mut out = render_events(rec.events());
+    out.push_str(&render_metrics(rec.metrics()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CryptoOpKind, SendClass};
+    use gkap_sim::{Duration, SimTime};
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            at: SimTime::from_nanos(1_500_000),
+            dur: Duration::from_micros(250),
+            actor: Actor::Client(2),
+            kind,
+        }
+    }
+
+    #[test]
+    fn event_lines_are_valid_single_objects() {
+        let kinds = vec![
+            EventKind::MembershipEvent {
+                action: "inject_join",
+                group_size: 14,
+            },
+            EventKind::ProtocolRound {
+                protocol: "GDH",
+                round: 3,
+            },
+            EventKind::CryptoOp {
+                op: CryptoOpKind::Exp,
+                bits: 512,
+            },
+            EventKind::TokenRotation { rotation: 7 },
+            EventKind::Retransmit { seq: 42 },
+            EventKind::Sequenced { seq: 42, sender: 1 },
+            EventKind::Delivered {
+                sender: 1,
+                service: "agreed",
+            },
+            EventKind::ViewInstalled { view_id: 9 },
+            EventKind::HandlerSpan {
+                wait: Duration::from_micros(80),
+            },
+            EventKind::MessageSend {
+                class: SendClass::Multicast,
+            },
+        ];
+        for kind in kinds {
+            let line = event_to_json(&ev(kind));
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'));
+            // Braces balance and quotes pair up — cheap well-formedness.
+            assert_eq!(line.matches('{').count(), 1, "{line}");
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+            assert!(line.contains("\"at_ms\":1.5"), "{line}");
+        }
+    }
+
+    #[test]
+    fn recorder_dump_has_events_then_metrics() {
+        let mut rec = Recorder::default();
+        rec.push(ev(EventKind::CryptoOp {
+            op: CryptoOpKind::Sign,
+            bits: 1024,
+        }));
+        let dump = render_recorder(&rec);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines[0].contains("\"kind\":\"crypto_op\""));
+        assert!(lines.iter().any(|l| l.contains("\"metric\":\"counter\"")
+            && l.contains("crypto/sign")
+            && l.contains("\"value\":1")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"metric\":\"histogram\"") && l.contains("crypto_ms/sign")));
+    }
+}

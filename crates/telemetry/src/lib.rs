@@ -1,0 +1,513 @@
+//! Cross-layer telemetry for the simulated group key agreement stack.
+//!
+//! Every quantity in this crate is keyed by **virtual** time
+//! ([`gkap_sim::SimTime`]): recording an event never advances the
+//! simulation clock, so an instrumented run produces bit-identical
+//! results to an uninstrumented one. The paper's analysis (§6)
+//! repeatedly decomposes total join/leave latency into membership
+//! time, key-agreement rounds and cryptographic compute; the
+//! [`Event`] stream captured here is exactly the evidence needed to
+//! reproduce that decomposition for any simulated run.
+//!
+//! # Architecture
+//!
+//! * [`Telemetry`] is a cheaply-cloneable handle that is **disabled by
+//!   default**. When disabled, every record call is a single `Option`
+//!   check on a `None` — no event is constructed (all recording APIs
+//!   take closures), no allocation happens, and virtual time is
+//!   untouched.
+//! * When enabled, the handle shares a [`Recorder`] holding the event
+//!   log and a [`MetricsRegistry`] (named counters + log-linear
+//!   histograms, reusing [`gkap_sim::stats::Histogram`]).
+//! * [`jsonl`] renders the captured stream as one JSON object per line
+//!   — the schema is documented on [`jsonl::event_to_json`].
+//!
+//! The simulation is single-threaded (a discrete-event loop), so the
+//! shared state is `Rc<RefCell<…>>`, not a lock.
+//!
+//! # Span taxonomy
+//!
+//! | kind | layer | meaning |
+//! |------|-------|---------|
+//! | `MembershipEvent` | harness | membership change injected / completed |
+//! | `ProtocolRound` | protocol driver | a numbered round of a GKA protocol started by a member |
+//! | `CryptoOp` | crypto suite | one charged primitive (modexp, sign, …) with its virtual duration |
+//! | `TokenRotation` | GCS engine | the ring token completed a full rotation |
+//! | `Retransmit` | GCS engine | a daemon answered a missed-sequence retransmission request |
+//! | `Sequenced` | GCS engine | a message obtained its Agreed-order sequence number |
+//! | `Delivered` | GCS engine | a payload was delivered to a client |
+//! | `ViewInstalled` | GCS engine | a daemon installed a membership view |
+//! | `HandlerSpan` | CPU model | a client handler occupied a core (`dur`), after queueing (`wait`) |
+//! | `MessageSend` | protocol driver | a protocol message entered the transport |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use gkap_sim::stats::Histogram;
+use gkap_sim::{Duration, SimTime};
+
+pub mod jsonl;
+
+/// Which component produced an event. Plain indices (not the `gkap-gcs`
+/// id aliases) so this crate stays at the bottom of the dependency
+/// stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Actor {
+    /// The experiment harness itself.
+    World,
+    /// A client (group member process), by client id.
+    Client(usize),
+    /// A GCS daemon, by daemon id.
+    Daemon(usize),
+    /// A machine (CPU model), by machine id.
+    Machine(usize),
+}
+
+/// The cryptographic primitive charged by the cost model. Mirrors the
+/// fields of `OpCounts` in `gkap-core` one-to-one so telemetry tallies
+/// can be reconciled against the paper's Table 1 operation counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CryptoOpKind {
+    /// Full-width modular exponentiation.
+    Exp,
+    /// Short-exponent modular exponentiation (e.g. RSA verify).
+    SmallExp,
+    /// Modular multiplication.
+    ModMul,
+    /// Modular inversion of an exponent.
+    Inverse,
+    /// Digital signature generation.
+    Sign,
+    /// Signature verification.
+    Verify,
+    /// Symmetric crypto / hashing work, per block.
+    Symmetric,
+    /// Per-message receive bookkeeping charged by the session layer.
+    RecvOverhead,
+}
+
+impl CryptoOpKind {
+    /// Stable lowercase name used in JSONL output and metric keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CryptoOpKind::Exp => "exp",
+            CryptoOpKind::SmallExp => "small_exp",
+            CryptoOpKind::ModMul => "modmul",
+            CryptoOpKind::Inverse => "inverse",
+            CryptoOpKind::Sign => "sign",
+            CryptoOpKind::Verify => "verify",
+            CryptoOpKind::Symmetric => "symmetric",
+            CryptoOpKind::RecvOverhead => "recv_overhead",
+        }
+    }
+}
+
+/// Transport class of a protocol message send (reconciles against the
+/// `multicast`/`unicast` message counts of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendClass {
+    /// Agreed- or FIFO-ordered multicast to the group.
+    Multicast,
+    /// Point-to-point message.
+    Unicast,
+}
+
+impl SendClass {
+    /// Stable lowercase name used in JSONL output and metric keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SendClass::Multicast => "multicast",
+            SendClass::Unicast => "unicast",
+        }
+    }
+}
+
+/// Structured payload of one telemetry event. See the module docs for
+/// the taxonomy table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A membership change: `action` is e.g. `"inject_join"`,
+    /// `"key_established"`; `group_size` the resulting group size.
+    MembershipEvent {
+        /// What happened (stable snake_case label).
+        action: &'static str,
+        /// Group size after the change.
+        group_size: usize,
+    },
+    /// A member started round `round` of `protocol`.
+    ProtocolRound {
+        /// Protocol name (`"GDH"`, `"TGDH"`, …).
+        protocol: &'static str,
+        /// 1-based round number within the current membership event.
+        round: u32,
+    },
+    /// A charged cryptographic primitive; the event's `dur` is the
+    /// virtual CPU time the cost model charged for it.
+    CryptoOp {
+        /// Which primitive.
+        op: CryptoOpKind,
+        /// Modulus size in bits (0 where not applicable).
+        bits: u32,
+    },
+    /// The ring token completed a full rotation.
+    TokenRotation {
+        /// Rotation ordinal since simulation start.
+        rotation: u64,
+    },
+    /// A retransmission of sequence `seq` was sent to a daemon that
+    /// missed it.
+    Retransmit {
+        /// The Agreed sequence number being retransmitted.
+        seq: u64,
+    },
+    /// A message obtained Agreed sequence number `seq`.
+    Sequenced {
+        /// The assigned sequence number.
+        seq: u64,
+        /// The sending client.
+        sender: usize,
+    },
+    /// A payload was delivered to the actor client.
+    Delivered {
+        /// The original sender.
+        sender: usize,
+        /// Service class name (`"agreed"`, `"fifo"`, …).
+        service: &'static str,
+    },
+    /// A daemon installed a view.
+    ViewInstalled {
+        /// Monotonic view identifier.
+        view_id: u64,
+    },
+    /// A client handler occupied a CPU core for `dur`, having waited
+    /// `wait` in the scheduler queue after becoming ready.
+    HandlerSpan {
+        /// Time spent queued behind other work on the machine.
+        wait: Duration,
+    },
+    /// A protocol message entered the transport.
+    MessageSend {
+        /// Multicast or unicast.
+        class: SendClass,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case discriminant name (JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MembershipEvent { .. } => "membership",
+            EventKind::ProtocolRound { .. } => "protocol_round",
+            EventKind::CryptoOp { .. } => "crypto_op",
+            EventKind::TokenRotation { .. } => "token_rotation",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::Sequenced { .. } => "sequenced",
+            EventKind::Delivered { .. } => "delivered",
+            EventKind::ViewInstalled { .. } => "view_installed",
+            EventKind::HandlerSpan { .. } => "handler_span",
+            EventKind::MessageSend { .. } => "message_send",
+        }
+    }
+}
+
+/// One recorded event/span. `dur` is zero for instantaneous events; for
+/// spans (`CryptoOp`, `HandlerSpan`) `at` is the span start and
+/// `at + dur` the end, all in virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Virtual start time.
+    pub at: SimTime,
+    /// Virtual duration (zero for point events).
+    pub dur: Duration,
+    /// Producing component.
+    pub actor: Actor,
+    /// Structured payload.
+    pub kind: EventKind,
+}
+
+/// Named counters plus log-linear latency histograms.
+///
+/// Counter keys are slash-separated paths (`"crypto/exp"`,
+/// `"gcs/token_rotation"`). Histograms record milliseconds of virtual
+/// time in log-linear buckets ([`gkap_sim::stats::Histogram`]).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `ms` into the named histogram, creating it with a
+    /// 10 µs base and 1.6× growth (64 buckets reach past 10⁹ ms) on
+    /// first use.
+    pub fn observe_ms(&mut self, name: &str, ms: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(0.01, 1.6, 64))
+            .record(ms);
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Owner of the captured event log and metrics. Usually accessed
+/// through a [`Telemetry`] handle.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
+}
+
+impl Recorder {
+    /// Appends an event and bumps the per-kind counters that every
+    /// event maintains automatically.
+    pub fn push(&mut self, ev: Event) {
+        match &ev.kind {
+            EventKind::CryptoOp { op, .. } => {
+                self.metrics.inc(&format!("crypto/{}", op.as_str()), 1);
+                self.metrics.observe_ms(
+                    &format!("crypto_ms/{}", op.as_str()),
+                    ev.dur.as_millis_f64(),
+                );
+            }
+            EventKind::MessageSend { class } => {
+                self.metrics.inc(&format!("send/{}", class.as_str()), 1);
+            }
+            EventKind::ProtocolRound { protocol, .. } => {
+                self.metrics.inc(&format!("rounds/{protocol}"), 1);
+            }
+            EventKind::TokenRotation { .. } => self.metrics.inc("gcs/token_rotation", 1),
+            EventKind::Retransmit { .. } => self.metrics.inc("gcs/retransmit", 1),
+            EventKind::Sequenced { .. } => self.metrics.inc("gcs/sequenced", 1),
+            EventKind::Delivered { .. } => self.metrics.inc("gcs/delivered", 1),
+            EventKind::ViewInstalled { .. } => self.metrics.inc("gcs/view_installed", 1),
+            EventKind::HandlerSpan { wait } => {
+                self.metrics
+                    .observe_ms("cpu/busy_ms", ev.dur.as_millis_f64());
+                self.metrics.observe_ms("cpu/wait_ms", wait.as_millis_f64());
+            }
+            EventKind::MembershipEvent { .. } => self.metrics.inc("membership/events", 1),
+        }
+        self.events.push(ev);
+    }
+
+    /// The captured events, in recording order (which is nondecreasing
+    /// in `at` because the simulation processes events in time order).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (for harness-level
+    /// counters that have no event representation).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+}
+
+/// Cheap handle to a shared [`Recorder`]; `None` means disabled.
+///
+/// All recording goes through closures so that a disabled handle does
+/// no work beyond one branch:
+///
+/// ```
+/// use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
+/// use gkap_sim::{Duration, SimTime};
+///
+/// let off = Telemetry::disabled();
+/// off.record(|| unreachable!("closure never runs when disabled"));
+///
+/// let on = Telemetry::enabled();
+/// on.record(|| Event {
+///     at: SimTime::ZERO,
+///     dur: Duration::ZERO,
+///     actor: Actor::World,
+///     kind: EventKind::TokenRotation { rotation: 1 },
+/// });
+/// assert_eq!(on.with(|r| r.events().len()), Some(1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Recorder>>>,
+}
+
+impl Telemetry {
+    /// A disabled handle (the default): recording is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A fresh enabled handle with an empty recorder.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Recorder::default()))),
+        }
+    }
+
+    /// Whether events are being captured.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `f` — `f` only runs when enabled.
+    #[inline]
+    pub fn record(&self, f: impl FnOnce() -> Event) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().push(f());
+        }
+    }
+
+    /// Runs `f` against the recorder when enabled, returning its result.
+    pub fn with<R>(&self, f: impl FnOnce(&Recorder) -> R) -> Option<R> {
+        self.inner.as_ref().map(|rec| f(&rec.borrow()))
+    }
+
+    /// Runs `f` with mutable recorder access when enabled.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> Option<R> {
+        self.inner.as_ref().map(|rec| f(&mut rec.borrow_mut()))
+    }
+
+    /// Clones the captured events (empty when disabled).
+    pub fn events(&self) -> Vec<Event> {
+        self.with(|r| r.events().to_vec()).unwrap_or_default()
+    }
+
+    /// Current value of a counter (zero when disabled or absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|r| r.metrics().counter(name)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ms: u64, kind: EventKind) -> Event {
+        Event {
+            at: SimTime::ZERO + Duration::from_millis(at_ms),
+            dur: Duration::from_micros(250),
+            actor: Actor::Client(3),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_closures() {
+        let t = Telemetry::disabled();
+        t.record(|| panic!("must not run"));
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.counter("crypto/exp"), 0);
+    }
+
+    #[test]
+    fn enabled_handle_shares_one_recorder() {
+        let t = Telemetry::enabled();
+        let clone = t.clone();
+        clone.record(|| {
+            ev(
+                1,
+                EventKind::CryptoOp {
+                    op: CryptoOpKind::Exp,
+                    bits: 512,
+                },
+            )
+        });
+        t.record(|| {
+            ev(
+                2,
+                EventKind::CryptoOp {
+                    op: CryptoOpKind::Exp,
+                    bits: 512,
+                },
+            )
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.counter("crypto/exp"), 2);
+        // The auto-histogram observed both durations.
+        t.with(|r| {
+            let h = r.metrics().histogram("crypto_ms/exp").expect("histogram");
+            assert_eq!(h.count(), 2);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn per_kind_counters_accumulate() {
+        let t = Telemetry::enabled();
+        t.record(|| ev(0, EventKind::TokenRotation { rotation: 1 }));
+        t.record(|| ev(1, EventKind::Retransmit { seq: 9 }));
+        t.record(|| ev(1, EventKind::Sequenced { seq: 9, sender: 0 }));
+        t.record(|| {
+            ev(
+                2,
+                EventKind::MessageSend {
+                    class: SendClass::Unicast,
+                },
+            )
+        });
+        assert_eq!(t.counter("gcs/token_rotation"), 1);
+        assert_eq!(t.counter("gcs/retransmit"), 1);
+        assert_eq!(t.counter("gcs/sequenced"), 1);
+        assert_eq!(t.counter("send/unicast"), 1);
+        assert_eq!(t.counter("send/multicast"), 0);
+    }
+
+    #[test]
+    fn registry_counts_and_observes() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a/b", 2);
+        m.inc("a/b", 3);
+        assert_eq!(m.counter("a/b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        m.observe_ms("lat", 1.0);
+        m.observe_ms("lat", 100.0);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 100.0);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 1);
+    }
+}

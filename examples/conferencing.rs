@@ -56,13 +56,23 @@ fn run_conference(kind: ProtocolKind) {
     // Participants join one at a time (the common case the paper
     // optimizes for).
     for j in 2..8 {
-        event(&mut world, &format!("participant {j} joins"), vec![j], vec![]);
+        event(
+            &mut world,
+            &format!("participant {j} joins"),
+            vec![j],
+            vec![],
+        );
     }
     // Two hang up.
     event(&mut world, "participant 3 leaves", vec![], vec![3]);
     event(&mut world, "participant 5 leaves", vec![], vec![5]);
     // A network fault cuts three members off at once…
-    event(&mut world, "partition (3 members lost)", vec![], vec![1, 4, 7]);
+    event(
+        &mut world,
+        "partition (3 members lost)",
+        vec![],
+        vec![1, 4, 7],
+    );
     // …and two fresh participants join while it is still healing.
     event(&mut world, "two new participants", vec![8, 9], vec![]);
 
@@ -74,7 +84,10 @@ fn run_conference(kind: ProtocolKind) {
         .unwrap()
         .clone();
     for &m in &view.members {
-        assert_eq!(world.client::<SecureMember>(m).secret(view.id), Some(&secret));
+        assert_eq!(
+            world.client::<SecureMember>(m).secret(view.id),
+            Some(&secret)
+        );
     }
     println!("final view {:?} shares one key\n", view.members);
 }

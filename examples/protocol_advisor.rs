@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example protocol_advisor`
 
-use secure_spread_repro::core::advisor::{advise, rank_by_measurement, EventMix, NetworkKind, Workload};
+use secure_spread_repro::core::advisor::{
+    advise, rank_by_measurement, EventMix, NetworkKind, Workload,
+};
 use secure_spread_repro::gcs::testbed;
 
 fn main() {

@@ -39,7 +39,11 @@ fn main() {
 
     // All six members hold the same fresh group secret.
     let epoch = world.view().unwrap().id;
-    let secret = world.client::<SecureMember>(0).secret(epoch).unwrap().clone();
+    let secret = world
+        .client::<SecureMember>(0)
+        .secret(epoch)
+        .unwrap()
+        .clone();
     for c in 1..6 {
         assert_eq!(world.client::<SecureMember>(c).secret(epoch), Some(&secret));
     }

@@ -29,18 +29,28 @@ fn main() {
     world.install_initial_view();
     world.run_until_quiescent();
     let epoch1 = world.view().unwrap().id;
-    let key1 = world.client::<SecureMember>(0).secret(epoch1).unwrap().clone();
+    let key1 = world
+        .client::<SecureMember>(0)
+        .secret(epoch1)
+        .unwrap()
+        .clone();
     println!("group of 4 keyed (epoch {epoch1})");
 
     // Chat under the epoch-1 key.
     let mut alice = SecureSession::new(&key1, epoch1);
     let bob = SecureSession::new(&key1, epoch1);
     let mut bob_guard = ReplayGuard::new();
-    let lines = ["did everyone get the new key?", "yes — say something secret", "rendezvous at dawn"];
+    let lines = [
+        "did everyone get the new key?",
+        "yes — say something secret",
+        "rendezvous at dawn",
+    ];
     let mut last_wire = Vec::new();
     for line in lines {
         let wire = alice.seal(0, line.as_bytes());
-        let plain = bob.open_checked(&mut bob_guard, 0, &wire).expect("authentic");
+        let plain = bob
+            .open_checked(&mut bob_guard, 0, &wire)
+            .expect("authentic");
         println!("alice -> group: {:?}", String::from_utf8_lossy(&plain));
         last_wire = wire;
     }
@@ -57,7 +67,11 @@ fn main() {
     world.inject_leave(3);
     world.run_until_quiescent();
     let epoch2 = world.view().unwrap().id;
-    let key2 = world.client::<SecureMember>(0).secret(epoch2).unwrap().clone();
+    let key2 = world
+        .client::<SecureMember>(0)
+        .secret(epoch2)
+        .unwrap()
+        .clone();
     assert_ne!(key1, key2);
     println!("member 3 left; group re-keyed (epoch {epoch2})");
 

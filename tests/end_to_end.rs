@@ -4,9 +4,7 @@
 
 use std::rc::Rc;
 
-use secure_spread_repro::core::experiment::{
-    run_formation, run_join, run_merge, ExperimentConfig,
-};
+use secure_spread_repro::core::experiment::{run_formation, run_join, run_merge, ExperimentConfig};
 use secure_spread_repro::core::member::SecureMember;
 use secure_spread_repro::core::suite::CryptoSuite;
 use secure_spread_repro::gcs::{testbed, SimWorld};
@@ -38,8 +36,16 @@ fn full_stack_session_data_flow() {
     world.run_until_quiescent();
 
     let epoch = world.view().unwrap().id;
-    let k0 = world.client::<SecureMember>(0).secret(epoch).unwrap().clone();
-    let k3 = world.client::<SecureMember>(3).secret(epoch).unwrap().clone();
+    let k0 = world
+        .client::<SecureMember>(0)
+        .secret(epoch)
+        .unwrap()
+        .clone();
+    let k3 = world
+        .client::<SecureMember>(3)
+        .secret(epoch)
+        .unwrap()
+        .clone();
     assert_eq!(k0, k3);
 
     let mut tx = SecureSession::new(&k0, epoch);
@@ -83,7 +89,10 @@ fn old_epoch_traffic_rejected_after_rekey() {
     let mut old_tx = SecureSession::new(&k1, e1);
     let new_rx = SecureSession::new(&k2, e2);
     let stale = old_tx.seal(0, b"old message");
-    assert!(new_rx.open(0, &stale).is_err(), "stale traffic must not open");
+    assert!(
+        new_rx.open(0, &stale).is_err(),
+        "stale traffic must not open"
+    );
 }
 
 #[test]
