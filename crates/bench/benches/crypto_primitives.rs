@@ -3,7 +3,7 @@
 //! per-exponentiation and RSA sign/verify costs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gkap_bignum::{prime, RandomSource, SplitMix64, Ubig};
+use gkap_bignum::{prime, Montgomery, RandomSource, SplitMix64, Ubig};
 use gkap_crypto::aes::ctr_xor;
 use gkap_crypto::dh::DhGroup;
 use gkap_crypto::hmac::hmac_sha256;
@@ -21,6 +21,50 @@ fn bench_modexp(c: &mut Criterion) {
         let mut rng = SplitMix64::new(42);
         let e = dh.random_exponent(&mut rng);
         group.bench_function(BenchmarkId::new("g^x mod p", label), |b| {
+            b.iter(|| std::hint::black_box(dh.exp_g(&e)))
+        });
+    }
+    group.finish();
+}
+
+/// The dedicated squaring kernel against general multiplication: the
+/// ~n²/2 partial-product saving should show as a 1.2–1.5× win.
+fn bench_mont_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mont_kernel");
+    for bits in [512usize, 1024, 2048] {
+        let mut rng = SplitMix64::new(11);
+        let mut m = rng.next_ubig_exact_bits(bits);
+        m.set_bit(0, true); // Montgomery needs an odd modulus
+        let ctx = Montgomery::new(&m).expect("odd modulus");
+        let a = ctx.to_mont(&rng.next_ubig_exact_bits(bits - 1));
+        let b_elem = ctx.to_mont(&rng.next_ubig_exact_bits(bits - 1));
+        let mut out = a.clone();
+        let mut scratch = ctx.scratch();
+        group.bench_function(BenchmarkId::new("mont_mul", bits), |b| {
+            b.iter(|| ctx.mont_mul(&a, &b_elem, &mut out, &mut scratch))
+        });
+        group.bench_function(BenchmarkId::new("mont_sqr", bits), |b| {
+            b.iter(|| ctx.mont_sqr(&a, &mut out, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+/// Fixed-base `g^x` (precomputed window table, no squarings) against
+/// the variable-base sliding-window ladder.
+fn bench_fixed_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_g");
+    for (label, dh) in [
+        ("512", DhGroup::modp_512()),
+        ("1024", DhGroup::modp_1024()),
+        ("2048", DhGroup::modp_2048()),
+    ] {
+        let mut rng = SplitMix64::new(42);
+        let e = dh.random_exponent(&mut rng);
+        group.bench_function(BenchmarkId::new("variable_base", label), |b| {
+            b.iter(|| std::hint::black_box(dh.exp(dh.generator(), &e)))
+        });
+        group.bench_function(BenchmarkId::new("fixed_base", label), |b| {
             b.iter(|| std::hint::black_box(dh.exp_g(&e)))
         });
     }
@@ -89,6 +133,7 @@ fn bench_bignum(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_modexp, bench_rsa, bench_hashes, bench_aes, bench_primality, bench_bignum
+    targets = bench_modexp, bench_mont_kernels, bench_fixed_base, bench_rsa, bench_hashes,
+        bench_aes, bench_primality, bench_bignum
 }
 criterion_main!(benches);

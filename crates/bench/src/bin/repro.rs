@@ -3,19 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p gkap-bench --bin repro -- all
-//! cargo run --release -p gkap-bench --bin repro -- fig11
+//! cargo run --release -p gkap-bench --bin repro -- fig11 --jobs 8
 //! cargo run --release -p gkap-bench --bin repro -- trace-summary fig14
 //! ```
 //!
 //! Output: aligned tables on stdout and CSV files under `results/`;
-//! `--quiet` silences the tables (files are still written). The
-//! `trace`/`trace-summary` commands additionally export per-run
-//! telemetry: a latency-breakdown table + CSV, and (for `trace`) one
-//! JSONL event log per protocol × event.
+//! `--quiet` silences the tables (files are still written). `--jobs N`
+//! fans the experiment grids across N worker threads (default: all
+//! cores) — figure output is bit-identical to a serial run. Every
+//! invocation also writes `results/BENCH_perf.json` with per-step wall
+//! and serial-equivalent times. The `trace`/`trace-summary` commands
+//! additionally export per-run telemetry: a latency-breakdown table +
+//! CSV, and (for `trace`) one JSONL event log per protocol × event.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use gkap_bench::{emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
+use gkap_bench::{cli, emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
 use gkap_core::costs_table::render_table1;
 use gkap_core::experiment::SuiteKind;
 use gkap_gcs::testbed;
@@ -66,10 +70,10 @@ fn cmd_microwan(con: &mut Console) {
     con.say(micro::render(&micro::wan_micro()));
 }
 
-fn cmd_fig11(reps: u32, con: &mut Console) {
+fn cmd_fig11(reps: u32, jobs: usize, con: &mut Console) {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
-        let fig = figures::fig11_join_lan(suite, &sizes, reps);
+        let fig = figures::fig11_join_lan(suite, &sizes, reps, jobs);
         let stem = match suite {
             SuiteKind::Sim512 => "fig11_join_lan_512",
             _ => "fig11_join_lan_1024",
@@ -78,10 +82,10 @@ fn cmd_fig11(reps: u32, con: &mut Console) {
     }
 }
 
-fn cmd_fig12(reps: u32, con: &mut Console) {
+fn cmd_fig12(reps: u32, jobs: usize, con: &mut Console) {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
-        let fig = figures::fig12_leave_lan(suite, &sizes, reps);
+        let fig = figures::fig12_leave_lan(suite, &sizes, reps, jobs);
         let stem = match suite {
             SuiteKind::Sim512 => "fig12_leave_lan_512",
             _ => "fig12_leave_lan_1024",
@@ -90,23 +94,23 @@ fn cmd_fig12(reps: u32, con: &mut Console) {
     }
 }
 
-fn cmd_fig14(reps: u32, con: &mut Console) {
+fn cmd_fig14(reps: u32, jobs: usize, con: &mut Console) {
     let sizes = wan_sizes();
     emit(
-        &figures::fig14_join_wan(&sizes, reps),
+        &figures::fig14_join_wan(&sizes, reps, jobs),
         &out_dir(),
         "fig14_join_wan_512",
         con,
     );
     emit(
-        &figures::fig14_leave_wan(&sizes, reps),
+        &figures::fig14_leave_wan(&sizes, reps, jobs),
         &out_dir(),
         "fig14_leave_wan_512",
         con,
     );
 }
 
-fn cmd_partition_merge(reps: u32, con: &mut Console) {
+fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
     let sizes: Vec<usize> = vec![4, 8, 12, 20, 30, 40, 50];
     emit(
         &figures::partition_figure(
@@ -114,6 +118,7 @@ fn cmd_partition_merge(reps: u32, con: &mut Console) {
             "Extension — Partition (half the group), LAN, DH 512",
             &sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_partition_lan_512",
@@ -125,6 +130,7 @@ fn cmd_partition_merge(reps: u32, con: &mut Console) {
             "Extension — Merge (two halves), LAN, DH 512",
             &sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_merge_lan_512",
@@ -137,6 +143,7 @@ fn cmd_partition_merge(reps: u32, con: &mut Console) {
             "Extension — Partition (half the group), WAN, DH 512",
             &wan_sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_partition_wan_512",
@@ -148,6 +155,7 @@ fn cmd_partition_merge(reps: u32, con: &mut Console) {
             "Extension — Merge (two halves), WAN, DH 512",
             &wan_sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_merge_wan_512",
@@ -155,20 +163,20 @@ fn cmd_partition_merge(reps: u32, con: &mut Console) {
     );
 }
 
-fn cmd_crossover(reps: u32, con: &mut Console) {
+fn cmd_crossover(reps: u32, jobs: usize, con: &mut Console) {
     let delays: Vec<u64> = vec![0, 5, 10, 20, 35, 50, 75, 100, 150, 200];
     emit(
-        &figures::crossover_figure(20, &delays, reps),
+        &figures::crossover_figure(20, &delays, reps, jobs),
         &out_dir(),
         "ext_crossover_join_n20",
         con,
     );
 }
 
-fn cmd_ablate_flow(reps: u32, con: &mut Console) {
+fn cmd_ablate_flow(reps: u32, jobs: usize, con: &mut Console) {
     let budgets: Vec<usize> = vec![1, 2, 5, 10, 20, 50];
     emit(
-        &figures::flow_control_ablation(50, &budgets, reps),
+        &figures::flow_control_ablation(50, &budgets, reps, jobs),
         &out_dir(),
         "ablate_flow_bd_wan_n50",
         con,
@@ -193,18 +201,18 @@ fn cmd_ablate_tree(con: &mut Console) {
     );
 }
 
-fn cmd_ablate_sig(reps: u32, con: &mut Console) {
+fn cmd_ablate_sig(reps: u32, jobs: usize, con: &mut Console) {
     emit(
-        &figures::signature_scheme_ablation(26, reps),
+        &figures::signature_scheme_ablation(26, reps, jobs),
         &out_dir(),
         "ablate_sig_join_n26",
         con,
     );
 }
 
-fn cmd_ablate_confirm(reps: u32, con: &mut Console) {
+fn cmd_ablate_confirm(reps: u32, jobs: usize, con: &mut Console) {
     emit(
-        &figures::key_confirmation_ablation(20, reps),
+        &figures::key_confirmation_ablation(20, reps, jobs),
         &out_dir(),
         "ablate_confirm_join_n20",
         con,
@@ -220,16 +228,16 @@ fn cmd_ablate_avl(con: &mut Console) {
     );
 }
 
-fn cmd_ablate_hetero(reps: u32, con: &mut Console) {
+fn cmd_ablate_hetero(reps: u32, jobs: usize, con: &mut Console) {
     emit(
-        &figures::hetero_machine_ablation(26, reps),
+        &figures::hetero_machine_ablation(26, reps, jobs),
         &out_dir(),
         "ablate_hetero_join_n26",
         con,
     );
 }
 
-fn cmd_ika(reps: u32, con: &mut Console) {
+fn cmd_ika(reps: u32, jobs: usize, con: &mut Console) {
     let sizes: Vec<usize> = vec![2, 4, 8, 13, 20, 30, 40, 50];
     emit(
         &figures::ika_figure(
@@ -237,6 +245,7 @@ fn cmd_ika(reps: u32, con: &mut Console) {
             "Extension — real initial key agreement, LAN, DH 512",
             &sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_ika_lan_512",
@@ -249,6 +258,7 @@ fn cmd_ika(reps: u32, con: &mut Console) {
             "Extension — real initial key agreement, WAN, DH 512",
             &wan_sizes,
             reps,
+            jobs,
         ),
         &out_dir(),
         "ext_ika_wan_512",
@@ -256,20 +266,20 @@ fn cmd_ika(reps: u32, con: &mut Console) {
     );
 }
 
-fn cmd_scale(reps: u32, con: &mut Console) {
+fn cmd_scale(reps: u32, jobs: usize, con: &mut Console) {
     let sizes: Vec<usize> = vec![10, 25, 50, 75, 100];
     emit(
-        &figures::scale_figure(&sizes, reps),
+        &figures::scale_figure(&sizes, reps, jobs),
         &out_dir(),
         "ext_scale_join_lan_512",
         con,
     );
 }
 
-fn cmd_lossy(reps: u32, con: &mut Console) {
+fn cmd_lossy(reps: u32, jobs: usize, con: &mut Console) {
     let pcts: Vec<u32> = vec![0, 1, 2, 5, 10, 20];
     emit(
-        &figures::lossy_links_figure(20, &pcts, reps),
+        &figures::lossy_links_figure(20, &pcts, reps, jobs),
         &out_dir(),
         "ext_lossy_wan_join_n20",
         con,
@@ -310,96 +320,154 @@ fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
     con.say(format!("[written: {}]", csv_path.display()));
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
-    let reps: u32 = args
-        .iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
-    // Positionals may be interleaved with flags (`--quiet trace fig11`
-    // and `trace fig11 --quiet` are both fine); `--reps` consumes its
-    // value.
-    let mut positional: Vec<&String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--reps" {
-            i += 2;
-            continue;
-        }
-        if !args[i].starts_with("--") && args[i] != "-q" {
-            positional.push(&args[i]);
-        }
-        i += 1;
-    }
-    let cmd = positional.first().map(|s| s.as_str()).unwrap_or("all");
-    let mut con = if quiet {
-        Console::quiet()
-    } else {
-        Console::stdio()
-    };
-    let con = &mut con;
+/// One timed step of the invocation, for `results/BENCH_perf.json`.
+struct PerfEntry {
+    name: String,
+    wall_s: f64,
+    serial_equivalent_s: f64,
+}
 
+/// Renders the perf record by hand (the workspace vendors no JSON
+/// serializer); names are fixed ASCII identifiers, so no escaping is
+/// needed.
+fn perf_json(jobs: usize, reps: u32, total_wall_s: f64, steps: &[PerfEntry]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"total_wall_s\": {total_wall_s:.3},");
+    let _ = writeln!(s, "  \"steps\": [");
+    for (i, e) in steps.iter().enumerate() {
+        let comma = if i + 1 < steps.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"serial_equivalent_s\": {:.3}}}{comma}",
+            e.name, e.wall_s, e.serial_equivalent_s
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// The sub-steps `all` runs, in order.
+const ALL_STEPS: [&str; 19] = [
+    "table1",
+    "testbed",
+    "microlan",
+    "microwan",
+    "fig11",
+    "fig12",
+    "fig14",
+    "partition-merge",
+    "crossover",
+    "ablate-flow",
+    "ablate-sponsor",
+    "ablate-tree",
+    "ablate-sig",
+    "ablate-avl",
+    "lossy",
+    "ablate-hetero",
+    "ablate-confirm",
+    "ika",
+    "scale",
+];
+
+/// Runs one command, timing it and recording a perf entry. Returns
+/// `false` for unknown commands.
+fn run_step(
+    cmd: &str,
+    opts: &cli::CliOptions,
+    perf: &mut Vec<PerfEntry>,
+    con: &mut Console,
+) -> bool {
+    let (reps, jobs) = (opts.reps, opts.jobs);
+    gkap_core::par::take_busy_nanos(); // reset the busy-time counter
     let t0 = std::time::Instant::now();
     match cmd {
         "table1" => cmd_table1(con),
         "testbed" => cmd_testbed(con),
         "microlan" => cmd_microlan(con),
         "microwan" => cmd_microwan(con),
-        "fig11" => cmd_fig11(reps, con),
-        "fig12" => cmd_fig12(reps, con),
-        "fig14" => cmd_fig14(reps, con),
-        "partition-merge" => cmd_partition_merge(reps, con),
-        "crossover" => cmd_crossover(reps, con),
-        "ablate-flow" => cmd_ablate_flow(reps, con),
+        "fig11" => cmd_fig11(reps, jobs, con),
+        "fig12" => cmd_fig12(reps, jobs, con),
+        "fig14" => cmd_fig14(reps, jobs, con),
+        "partition-merge" => cmd_partition_merge(reps, jobs, con),
+        "crossover" => cmd_crossover(reps, jobs, con),
+        "ablate-flow" => cmd_ablate_flow(reps, jobs, con),
         "ablate-sponsor" => cmd_ablate_sponsor(con),
         "ablate-tree" => cmd_ablate_tree(con),
-        "ablate-sig" => cmd_ablate_sig(reps, con),
+        "ablate-sig" => cmd_ablate_sig(reps, jobs, con),
         "ablate-avl" => cmd_ablate_avl(con),
-        "ablate-confirm" => cmd_ablate_confirm(reps, con),
-        "lossy" => cmd_lossy(reps, con),
-        "ika" => cmd_ika(reps, con),
-        "scale" => cmd_scale(reps, con),
-        "ablate-hetero" => cmd_ablate_hetero(reps, con),
+        "ablate-confirm" => cmd_ablate_confirm(reps, jobs, con),
+        "lossy" => cmd_lossy(reps, jobs, con),
+        "ika" => cmd_ika(reps, jobs, con),
+        "scale" => cmd_scale(reps, jobs, con),
+        "ablate-hetero" => cmd_ablate_hetero(reps, jobs, con),
         "trace" | "trace-summary" => {
-            let figure = positional.get(1).map(|s| s.as_str()).unwrap_or("fig14");
+            let figure = opts.figure.as_deref().unwrap_or("fig14");
             cmd_trace(figure, cmd == "trace", con);
         }
-        "all" => {
-            cmd_table1(con);
-            cmd_testbed(con);
-            cmd_microlan(con);
-            cmd_microwan(con);
-            cmd_fig11(reps, con);
-            cmd_fig12(reps, con);
-            cmd_fig14(reps, con);
-            cmd_partition_merge(reps, con);
-            cmd_crossover(reps, con);
-            cmd_ablate_flow(reps, con);
-            cmd_ablate_sponsor(con);
-            cmd_ablate_tree(con);
-            cmd_ablate_sig(reps, con);
-            cmd_ablate_avl(con);
-            cmd_lossy(reps, con);
-            cmd_ablate_hetero(reps, con);
-            cmd_ablate_confirm(reps, con);
-            cmd_ika(reps, con);
-            cmd_scale(reps, con);
-        }
-        other => {
-            con.note(format!("unknown command: {other}"));
-            con.note(
-                "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
-                 partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl ablate-hetero ablate-confirm lossy ika scale \
-                 trace <figure> trace-summary <figure> [--reps N] [--quiet]",
-            );
+        _ => return false,
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let serial_equivalent_s = gkap_core::par::take_busy_nanos() as f64 / 1e9;
+    con.note(format!(
+        "[{cmd}: wall {wall_s:.1}s, serial-equivalent {serial_equivalent_s:.1}s]"
+    ));
+    perf.push(PerfEntry {
+        name: cmd.to_string(),
+        wall_s,
+        serial_equivalent_s,
+    });
+    true
+}
+
+const USAGE: &str = "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
+     partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl \
+     ablate-hetero ablate-confirm lossy ika scale trace <figure> trace-summary <figure> \
+     [--reps N] [--jobs N] [--quiet]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    };
+    let mut con = if opts.quiet {
+        Console::quiet()
+    } else {
+        Console::stdio()
+    };
+    let con = &mut con;
+    let mut perf: Vec<PerfEntry> = Vec::new();
+
+    let t0 = std::time::Instant::now();
+    if opts.cmd == "all" {
+        for cmd in ALL_STEPS {
+            run_step(cmd, &opts, &mut perf, con);
+        }
+    } else if !run_step(&opts.cmd, &opts, &mut perf, con) {
+        con.note(format!("unknown command: {}", opts.cmd));
+        con.note(USAGE);
+        std::process::exit(2);
     }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    std::fs::create_dir_all(out_dir()).expect("results dir");
+    let perf_path = out_dir().join("BENCH_perf.json");
+    std::fs::write(
+        &perf_path,
+        perf_json(opts.jobs, opts.reps, total_wall_s, &perf),
+    )
+    .expect("write perf json");
+    con.note(format!("[written: {}]", perf_path.display()));
     con.note(format!(
-        "[repro {cmd} done in {:.1}s]",
-        t0.elapsed().as_secs_f64()
+        "[repro {} done in {total_wall_s:.1}s with --jobs {}]",
+        opts.cmd, opts.jobs
     ));
 }

@@ -1,0 +1,141 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Kept out of `bin/repro.rs` so the accepted grammar is unit-testable:
+//! flags and positionals may be interleaved in any order
+//! (`--quiet trace fig11`, `fig11 --jobs 4 --reps 5` and
+//! `--jobs 4 fig11` are all equivalent spellings).
+
+use gkap_core::par;
+
+/// Parsed `repro` invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliOptions {
+    /// The command (first positional; defaults to `all`).
+    pub cmd: String,
+    /// The optional figure argument (second positional, used by
+    /// `trace`/`trace-summary`).
+    pub figure: Option<String>,
+    /// Repetitions per figure point (`--reps N`, default 3).
+    pub reps: u32,
+    /// Worker threads for the experiment grids (`--jobs N` / `-j N`,
+    /// default: the host's available parallelism).
+    pub jobs: usize,
+    /// Silence tables and notes (`--quiet` / `-q`).
+    pub quiet: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            cmd: "all".into(),
+            figure: None,
+            reps: 3,
+            jobs: par::default_jobs(),
+            quiet: false,
+        }
+    }
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed flags — notably
+/// `--jobs 0`, which is rejected rather than silently treated as
+/// serial (`--jobs 1` is the explicit serial spelling).
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quiet" | "-q" => opts.quiet = true,
+            "--reps" => {
+                i += 1;
+                let v = args.get(i).ok_or("--reps requires a value")?;
+                opts.reps = v
+                    .parse()
+                    .map_err(|_| format!("invalid --reps value: {v}"))?;
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                let v = args.get(i).ok_or("--jobs requires a value")?;
+                let jobs: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value: {v}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1 (use --jobs 1 for a serial run)".into());
+                }
+                opts.jobs = jobs;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            pos => positional.push(pos),
+        }
+        i += 1;
+    }
+    if let Some(cmd) = positional.first() {
+        opts.cmd = (*cmd).to_string();
+    }
+    opts.figure = positional.get(1).map(|s| (*s).to_string());
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.cmd, "all");
+        assert_eq!(o.figure, None);
+        assert_eq!(o.reps, 3);
+        assert!(o.jobs >= 1);
+        assert!(!o.quiet);
+    }
+
+    #[test]
+    fn jobs_accepted_in_any_position() {
+        for argv in [
+            ["--jobs", "4", "fig11"],
+            ["fig11", "--jobs", "4"],
+            ["fig11", "-j", "4"],
+        ] {
+            let o = parse(&args(&argv)).unwrap();
+            assert_eq!(o.cmd, "fig11", "{argv:?}");
+            assert_eq!(o.jobs, 4, "{argv:?}");
+        }
+        let o = parse(&args(&["--quiet", "fig11", "--jobs", "2", "--reps", "5"])).unwrap();
+        assert_eq!(
+            (o.cmd.as_str(), o.jobs, o.reps, o.quiet),
+            ("fig11", 2, 5, true)
+        );
+    }
+
+    #[test]
+    fn jobs_zero_rejected_with_clear_error() {
+        let err = parse(&args(&["fig11", "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn malformed_flag_values_rejected() {
+        assert!(parse(&args(&["--jobs"])).is_err());
+        assert!(parse(&args(&["--jobs", "many"])).is_err());
+        assert!(parse(&args(&["--reps", "-1"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn positionals_interleave_with_flags() {
+        let o = parse(&args(&["--quiet", "trace", "--jobs", "3", "fig14"])).unwrap();
+        assert_eq!(o.cmd, "trace");
+        assert_eq!(o.figure.as_deref(), Some("fig14"));
+        assert!(o.quiet);
+        assert_eq!(o.jobs, 3);
+    }
+}

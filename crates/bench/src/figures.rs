@@ -1,59 +1,77 @@
 //! Figure builders: one function per table/figure of the paper plus
 //! the extension studies (see the experiment index in DESIGN.md).
+//!
+//! Every builder takes a `jobs` worker count and fans its independent
+//! (protocol, x, repetition) cells across threads via
+//! [`gkap_core::par::run_indexed`]. Cell seeds depend only on cell
+//! coordinates and results are folded in serial iteration order, so
+//! the output is bit-identical for every `jobs` value (asserted by
+//! `tests/parallel_determinism.rs`).
 
 use gkap_core::experiment::{
-    build_figure, run_join, run_join_churned, run_leave, run_leave_churned, run_leave_weighted,
-    run_merge, run_partition, run_real_formation, ExperimentConfig, SuiteKind,
+    build_figure_jobs, run_join, run_join_churned, run_leave, run_leave_churned,
+    run_leave_weighted, run_merge, run_partition, run_real_formation, ExperimentConfig, SuiteKind,
 };
+use gkap_core::par;
 use gkap_core::protocols::ProtocolKind;
 use gkap_gcs::{testbed, GcsConfig};
 use gkap_sim::stats::{Figure, Series, Summary};
 use gkap_sim::Duration;
 
+/// Fans `cells` across `jobs` workers; outcomes come back in cell
+/// order so callers can fold them exactly as a serial loop would.
+fn fan<C: Sync, T: Send>(jobs: usize, cells: &[C], f: impl Fn(&C) -> T + Sync) -> Vec<T> {
+    par::run_indexed(jobs, cells.len(), |i| f(&cells[i]))
+}
+
 /// Figure 11: join, LAN, for the given parameter size.
-pub fn fig11_join_lan(suite: SuiteKind, sizes: &[usize], reps: u32) -> Figure {
-    build_figure(
+pub fn fig11_join_lan(suite: SuiteKind, sizes: &[usize], reps: u32, jobs: usize) -> Figure {
+    build_figure_jobs(
         &format!("Figure 11 — Join, LAN, {}", suite.label()),
         &testbed::lan(),
         suite,
         sizes,
         reps,
+        jobs,
         run_join,
     )
 }
 
 /// Figure 12: leave, LAN.
-pub fn fig12_leave_lan(suite: SuiteKind, sizes: &[usize], reps: u32) -> Figure {
-    build_figure(
+pub fn fig12_leave_lan(suite: SuiteKind, sizes: &[usize], reps: u32, jobs: usize) -> Figure {
+    build_figure_jobs(
         &format!("Figure 12 — Leave, LAN, {}", suite.label()),
         &testbed::lan(),
         suite,
         sizes,
         reps,
+        jobs,
         run_leave_weighted,
     )
 }
 
 /// Figure 14 (left): join, WAN.
-pub fn fig14_join_wan(sizes: &[usize], reps: u32) -> Figure {
-    build_figure(
+pub fn fig14_join_wan(sizes: &[usize], reps: u32, jobs: usize) -> Figure {
+    build_figure_jobs(
         "Figure 14 — Join, WAN, DH 512 bits",
         &testbed::wan(),
         SuiteKind::Sim512,
         sizes,
         reps,
+        jobs,
         run_join,
     )
 }
 
 /// Figure 14 (right): leave, WAN.
-pub fn fig14_leave_wan(sizes: &[usize], reps: u32) -> Figure {
-    build_figure(
+pub fn fig14_leave_wan(sizes: &[usize], reps: u32, jobs: usize) -> Figure {
+    build_figure_jobs(
         "Figure 14 — Leave, WAN, DH 512 bits",
         &testbed::wan(),
         SuiteKind::Sim512,
         sizes,
         reps,
+        jobs,
         run_leave_weighted,
     )
 }
@@ -62,33 +80,51 @@ pub fn fig14_leave_wan(sizes: &[usize], reps: u32) -> Figure {
 /// forming an n-member group from scratch with the actual protocol
 /// (the paper only measures incremental events; the IKA cost explains
 /// why: it runs once per group lifetime).
-pub fn ika_figure(gcs: &GcsConfig, title: &str, sizes: &[usize], reps: u32) -> Figure {
-    build_figure(title, gcs, SuiteKind::Sim512, sizes, reps, |cfg, n| {
-        run_real_formation(cfg, n)
-    })
+pub fn ika_figure(gcs: &GcsConfig, title: &str, sizes: &[usize], reps: u32, jobs: usize) -> Figure {
+    build_figure_jobs(
+        title,
+        gcs,
+        SuiteKind::Sim512,
+        sizes,
+        reps,
+        jobs,
+        run_real_formation,
+    )
 }
 
 /// Extension X5: scalability beyond the paper — join and leave up to
 /// 100 members on the LAN (the paper stops at 50; §3.1 says Spread
 /// "is designed to support small to medium groups").
-pub fn scale_figure(sizes: &[usize], reps: u32) -> Figure {
+pub fn scale_figure(sizes: &[usize], reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new("Extension — scalability: join (solid) to n=100, LAN, DH 512");
+    let mut cells: Vec<(ProtocolKind, usize, u32)> = Vec::new();
+    for kind in ProtocolKind::all() {
+        for &n in sizes {
+            for rep in 0..reps {
+                cells.push((kind, n, rep));
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(kind, n, rep)| {
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs: testbed::lan(),
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 20) ^ n as u64,
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} scale join n={n}");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
     for kind in ProtocolKind::all() {
         let mut series = Series::new(kind.name());
         for &n in sizes {
             let mut summary = Summary::new();
-            for rep in 0..reps {
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs: testbed::lan(),
-                    suite: SuiteKind::Sim512,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 20) ^ n as u64,
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = run_join(&cfg, n);
-                assert!(outcome.ok, "{kind} scale join n={n}");
-                summary.add(outcome.elapsed_ms);
+            for _rep in 0..reps {
+                summary.add(it.next().expect("cell").elapsed_ms);
             }
             series.push(n as f64, summary);
         }
@@ -98,44 +134,81 @@ pub fn scale_figure(sizes: &[usize], reps: u32) -> Figure {
 }
 
 /// Extension X2: partition — half the group drops away at once.
-pub fn partition_figure(gcs: &GcsConfig, title: &str, sizes: &[usize], reps: u32) -> Figure {
-    build_figure(title, gcs, SuiteKind::Sim512, sizes, reps, |cfg, n| {
-        run_partition(cfg, n, (n / 2).max(1).min(n - 1))
-    })
+pub fn partition_figure(
+    gcs: &GcsConfig,
+    title: &str,
+    sizes: &[usize],
+    reps: u32,
+    jobs: usize,
+) -> Figure {
+    build_figure_jobs(
+        title,
+        gcs,
+        SuiteKind::Sim512,
+        sizes,
+        reps,
+        jobs,
+        |cfg, n| run_partition(cfg, n, (n / 2).max(1).min(n - 1)),
+    )
 }
 
 /// Extension X2: merge — two equal groups heal.
-pub fn merge_figure(gcs: &GcsConfig, title: &str, sizes: &[usize], reps: u32) -> Figure {
-    build_figure(title, gcs, SuiteKind::Sim512, sizes, reps, |cfg, n| {
-        let half = (n / 2).max(1);
-        run_merge(cfg, n - half, half)
-    })
+pub fn merge_figure(
+    gcs: &GcsConfig,
+    title: &str,
+    sizes: &[usize],
+    reps: u32,
+    jobs: usize,
+) -> Figure {
+    build_figure_jobs(
+        title,
+        gcs,
+        SuiteKind::Sim512,
+        sizes,
+        reps,
+        jobs,
+        |cfg, n| {
+            let half = (n / 2).max(1);
+            run_merge(cfg, n - half, half)
+        },
+    )
 }
 
 /// Extension X1 (§7 future work): medium-delay WAN sweep — total join
 /// time at a fixed group size as the inter-site one-way latency grows,
 /// locating the computation/communication crossover.
-pub fn crossover_figure(n: usize, delays_ms: &[u64], reps: u32) -> Figure {
+pub fn crossover_figure(n: usize, delays_ms: &[u64], reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Crossover — Join at n={n}, symmetric 3-site WAN, DH 512 bits (x = one-way delay ms)"
     ));
+    let mut cells: Vec<(ProtocolKind, u64, u32)> = Vec::new();
+    for kind in ProtocolKind::all() {
+        for &d in delays_ms {
+            for rep in 0..reps {
+                cells.push((kind, d, rep));
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(kind, d, rep)| {
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs: testbed::medium_wan(Duration::from_millis(d)),
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 24) ^ d,
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} crossover join at delay {d}");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
     for kind in ProtocolKind::all() {
         let mut series = Series::new(kind.name());
         for &d in delays_ms {
-            let gcs = testbed::medium_wan(Duration::from_millis(d));
             let mut summary = Summary::new();
-            for rep in 0..reps {
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs: gcs.clone(),
-                    suite: SuiteKind::Sim512,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 24) ^ d,
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = run_join(&cfg, n);
-                assert!(outcome.ok, "{kind} crossover join at delay {d}");
-                summary.add(outcome.elapsed_ms);
+            for _rep in 0..reps {
+                summary.add(it.next().expect("cell").elapsed_ms);
             }
             series.push(d as f64, summary);
         }
@@ -146,27 +219,37 @@ pub fn crossover_figure(n: usize, delays_ms: &[u64], reps: u32) -> Figure {
 
 /// Ablation A1: BD join time vs flow-control budget. Run on the WAN,
 /// where each extra token rotation costs ~160 ms and the budget binds.
-pub fn flow_control_ablation(n: usize, budgets: &[usize], reps: u32) -> Figure {
+pub fn flow_control_ablation(n: usize, budgets: &[usize], reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Ablation — BD join at n={n} vs flow control (msgs per token visit), WAN, DH 512"
     ));
-    let mut series = Series::new("BD");
+    let mut cells: Vec<(usize, u32)> = Vec::new();
     for &b in budgets {
+        for rep in 0..reps {
+            cells.push((b, rep));
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(b, rep)| {
         let mut gcs = testbed::wan();
         gcs.flow_control_max_msgs = b;
+        let cfg = ExperimentConfig {
+            protocol: ProtocolKind::Bd,
+            gcs,
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 16) ^ b as u64,
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok);
+        outcome
+    });
+    let mut it = outcomes.into_iter();
+    let mut series = Series::new("BD");
+    for &b in budgets {
         let mut summary = Summary::new();
-        for rep in 0..reps {
-            let cfg = ExperimentConfig {
-                protocol: ProtocolKind::Bd,
-                gcs: gcs.clone(),
-                suite: SuiteKind::Sim512,
-                seed: 0x5eed ^ ((rep as u64 + 1) << 16) ^ b as u64,
-                confirm_keys: false,
-                telemetry: false,
-            };
-            let outcome = run_join(&cfg, n);
-            assert!(outcome.ok);
-            summary.add(outcome.elapsed_ms);
+        for _rep in 0..reps {
+            summary.add(it.next().expect("cell").elapsed_ms);
         }
         series.push(b as f64, summary);
     }
@@ -222,26 +305,39 @@ fn leave_at_position(cfg: &ExperimentConfig, n: usize, pos_pct: usize) -> f64 {
 /// Ablation A4: signature scheme — RSA (e = 3, cheap verify) versus
 /// DSA (two-exponentiation verify) for every protocol's join. BD, with
 /// its 2(n-1) verifications per member, suffers most (§6.1.1).
-pub fn signature_scheme_ablation(n: usize, reps: u32) -> Figure {
+pub fn signature_scheme_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Ablation — signature scheme: join at n={n}, LAN, DH 512 (x: 0 = RSA e=3, 1 = DSA)"
     ));
+    let variants = [(0.0, SuiteKind::Sim512), (1.0, SuiteKind::Sim512Dsa)];
+    let mut cells: Vec<(ProtocolKind, SuiteKind, u32)> = Vec::new();
+    for kind in ProtocolKind::all() {
+        for (_x, suite) in variants {
+            for rep in 0..reps {
+                cells.push((kind, suite, rep));
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(kind, suite, rep)| {
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs: testbed::lan(),
+            suite,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 40),
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} signature ablation");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
     for kind in ProtocolKind::all() {
         let mut series = Series::new(kind.name());
-        for (x, suite) in [(0.0, SuiteKind::Sim512), (1.0, SuiteKind::Sim512Dsa)] {
+        for (x, _suite) in variants {
             let mut summary = Summary::new();
-            for rep in 0..reps {
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs: testbed::lan(),
-                    suite,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 40),
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = run_join(&cfg, n);
-                assert!(outcome.ok, "{kind} signature ablation");
-                summary.add(outcome.elapsed_ms);
+            for _rep in 0..reps {
+                summary.add(it.next().expect("cell").elapsed_ms);
             }
             series.push(x, summary);
         }
@@ -295,30 +391,42 @@ pub fn avl_policy_ablation(n: usize, churn: usize) -> Figure {
 /// loss rate (the hostile-network regime the paper's related work on
 /// Bimodal Multicast targets). Token-driven retransmission recovers
 /// every loss; the curves show the latency price.
-pub fn lossy_links_figure(n: usize, loss_pcts: &[u32], reps: u32) -> Figure {
+pub fn lossy_links_figure(n: usize, loss_pcts: &[u32], reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Extension — lossy WAN: join at n={n}, DH 512 (x = loss % per daemon link)"
     ));
-    for kind in [ProtocolKind::Tgdh, ProtocolKind::Bd, ProtocolKind::Ckd] {
+    let kinds = [ProtocolKind::Tgdh, ProtocolKind::Bd, ProtocolKind::Ckd];
+    let mut cells: Vec<(ProtocolKind, u32, u32)> = Vec::new();
+    for kind in kinds {
+        for &pct in loss_pcts {
+            for rep in 0..reps {
+                cells.push((kind, pct, rep));
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(kind, pct, rep)| {
+        let mut gcs = testbed::wan();
+        gcs.loss_rate = pct as f64 / 100.0;
+        gcs.loss_seed = 0x1055 ^ (rep as u64) << 8 ^ pct as u64;
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs,
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 48),
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} lossy join at {pct}%");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
+    for kind in kinds {
         let mut series = Series::new(kind.name());
         for &pct in loss_pcts {
-            let mut gcs = testbed::wan();
-            gcs.loss_rate = pct as f64 / 100.0;
             let mut summary = Summary::new();
-            for rep in 0..reps {
-                let mut gcs = gcs.clone();
-                gcs.loss_seed = 0x1055 ^ (rep as u64) << 8 ^ pct as u64;
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs,
-                    suite: SuiteKind::Sim512,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 48),
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = run_join(&cfg, n);
-                assert!(outcome.ok, "{kind} lossy join at {pct}%");
-                summary.add(outcome.elapsed_ms);
+            for _rep in 0..reps {
+                summary.add(it.next().expect("cell").elapsed_ms);
             }
             series.push(pct as f64, summary);
         }
@@ -333,44 +441,58 @@ pub fn lossy_links_figure(n: usize, loss_pcts: &[u32], reps: u32) -> Figure {
 /// figure shows join time versus the slow machine's speed factor for
 /// a protocol whose critical path can land on it (TGDH sponsor) and
 /// one that is symmetric (BD — every member is on the critical path).
-pub fn hetero_machine_ablation(n: usize, reps: u32) -> Figure {
+pub fn hetero_machine_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Ablation — one slow machine: join at n={n}, LAN, DH 512 (x = slow machine speed factor %)"
     ));
-    for kind in [ProtocolKind::Tgdh, ProtocolKind::Bd, ProtocolKind::Gdh] {
-        let mut series = Series::new(kind.name());
-        for pct in [100u64, 75, 50, 25] {
-            let mut summary = Summary::new();
+    let kinds = [ProtocolKind::Tgdh, ProtocolKind::Bd, ProtocolKind::Gdh];
+    let pcts = [100u64, 75, 50, 25];
+    let mut cells: Vec<(ProtocolKind, u64, u32)> = Vec::new();
+    for kind in kinds {
+        for pct in pcts {
             for rep in 0..reps {
-                let mut gcs = testbed::lan();
-                // Rebuild the topology with machine 0 slowed down.
-                let mut machines = Vec::new();
-                for m in 0..gcs.topology.machine_count() {
-                    let mut cfgm = gcs.topology.machine(m).clone();
-                    if m == 0 {
-                        cfgm.speed = pct as f64 / 100.0;
-                    }
-                    machines.push(cfgm);
-                }
-                gcs.topology = gkap_gcs::Topology::new(
-                    vec![gkap_gcs::SiteCfg {
-                        name: "site0".into(),
-                    }],
-                    machines,
-                    vec![vec![Duration::ZERO]],
-                    Duration::from_micros(40),
-                );
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs,
-                    suite: SuiteKind::Sim512,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 56) ^ pct,
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = run_join(&cfg, n);
-                assert!(outcome.ok, "{kind} hetero join at {pct}%");
-                summary.add(outcome.elapsed_ms);
+                cells.push((kind, pct, rep));
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |&(kind, pct, rep)| {
+        let mut gcs = testbed::lan();
+        // Rebuild the topology with machine 0 slowed down.
+        let mut machines = Vec::new();
+        for m in 0..gcs.topology.machine_count() {
+            let mut cfgm = gcs.topology.machine(m).clone();
+            if m == 0 {
+                cfgm.speed = pct as f64 / 100.0;
+            }
+            machines.push(cfgm);
+        }
+        gcs.topology = gkap_gcs::Topology::new(
+            vec![gkap_gcs::SiteCfg {
+                name: "site0".into(),
+            }],
+            machines,
+            vec![vec![Duration::ZERO]],
+            Duration::from_micros(40),
+        );
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs,
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((rep as u64 + 1) << 56) ^ pct,
+            confirm_keys: false,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} hetero join at {pct}%");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
+    for kind in kinds {
+        let mut series = Series::new(kind.name());
+        for pct in pcts {
+            let mut summary = Summary::new();
+            for _rep in 0..reps {
+                summary.add(it.next().expect("cell").elapsed_ms);
             }
             series.push(pct as f64, summary);
         }
@@ -381,27 +503,44 @@ pub fn hetero_machine_ablation(n: usize, reps: u32) -> Figure {
 
 /// Ablation A7: key confirmation (§5's optional digest round) —
 /// join time with and without confirmation, LAN and WAN.
-pub fn key_confirmation_ablation(n: usize, reps: u32) -> Figure {
+pub fn key_confirmation_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
     let mut fig = Figure::new(format!(
         "Ablation — key confirmation: join at n={n}, DH 512 (x: 0 = off, 1 = on)"
     ));
-    for (net, gcs) in [("LAN", testbed::lan()), ("WAN", testbed::wan())] {
-        for kind in [ProtocolKind::Tgdh, ProtocolKind::Gdh] {
-            let mut series = Series::new(format!("{}-{}", kind.name(), net));
-            for (x, confirm) in [(0.0, false), (1.0, true)] {
-                let mut summary = Summary::new();
+    let nets = [("LAN", testbed::lan()), ("WAN", testbed::wan())];
+    let kinds = [ProtocolKind::Tgdh, ProtocolKind::Gdh];
+    let variants = [(0.0, false), (1.0, true)];
+    let mut cells: Vec<(GcsConfig, ProtocolKind, bool, u32)> = Vec::new();
+    for (_net, gcs) in &nets {
+        for kind in kinds {
+            for (_x, confirm) in variants {
                 for rep in 0..reps {
-                    let cfg = ExperimentConfig {
-                        protocol: kind,
-                        gcs: gcs.clone(),
-                        suite: SuiteKind::Sim512,
-                        seed: 0x5eed ^ ((rep as u64 + 1) << 12),
-                        confirm_keys: confirm,
-                        telemetry: false,
-                    };
-                    let outcome = run_join(&cfg, n);
-                    assert!(outcome.ok, "{kind} confirmation ablation");
-                    summary.add(outcome.elapsed_ms);
+                    cells.push((gcs.clone(), kind, confirm, rep));
+                }
+            }
+        }
+    }
+    let outcomes = fan(jobs, &cells, |(gcs, kind, confirm, rep)| {
+        let cfg = ExperimentConfig {
+            protocol: *kind,
+            gcs: gcs.clone(),
+            suite: SuiteKind::Sim512,
+            seed: 0x5eed ^ ((*rep as u64 + 1) << 12),
+            confirm_keys: *confirm,
+            telemetry: false,
+        };
+        let outcome = run_join(&cfg, n);
+        assert!(outcome.ok, "{kind} confirmation ablation");
+        outcome
+    });
+    let mut it = outcomes.into_iter();
+    for (net, _gcs) in &nets {
+        for kind in kinds {
+            let mut series = Series::new(format!("{}-{}", kind.name(), net));
+            for (x, _confirm) in variants {
+                let mut summary = Summary::new();
+                for _rep in 0..reps {
+                    summary.add(it.next().expect("cell").elapsed_ms);
                 }
                 series.push(x, summary);
             }

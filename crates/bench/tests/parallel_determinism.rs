@@ -1,0 +1,41 @@
+//! The parallel harness contract: `--jobs N` must not change a single
+//! output byte. Every figure folds worker results in serial iteration
+//! order and every cell seed depends only on the cell's coordinates,
+//! so serial and 8-way runs must render identical CSVs.
+
+use gkap_bench::figures;
+use gkap_core::experiment::SuiteKind;
+
+#[test]
+fn fig11_csv_identical_serial_vs_parallel() {
+    let sizes = [2, 3, 5];
+    let serial = figures::fig11_join_lan(SuiteKind::FastZero, &sizes, 2, 1).to_csv();
+    let par = figures::fig11_join_lan(SuiteKind::FastZero, &sizes, 2, 8).to_csv();
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn fig12_csv_identical_serial_vs_parallel() {
+    let sizes = [2, 4];
+    let serial = figures::fig12_leave_lan(SuiteKind::FastZero, &sizes, 3, 1).to_csv();
+    let par = figures::fig12_leave_lan(SuiteKind::FastZero, &sizes, 3, 8).to_csv();
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn wan_figure_csv_identical_serial_vs_parallel() {
+    let sizes = [2, 3];
+    let serial = figures::fig14_join_wan(&sizes, 2, 1).to_csv();
+    let par = figures::fig14_join_wan(&sizes, 2, 8).to_csv();
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn custom_grid_figure_csv_identical_serial_vs_parallel() {
+    // scale_figure has its own fan-out (not build_figure_jobs):
+    // exercise that path too.
+    let sizes = [3, 5];
+    let serial = figures::scale_figure(&sizes, 2, 1).to_csv();
+    let par = figures::scale_figure(&sizes, 2, 8).to_csv();
+    assert_eq!(serial, par);
+}

@@ -12,6 +12,10 @@
 //! * [`Montgomery`] — a reduction context for fast repeated modular
 //!   multiplication, used by [`Ubig::modexp`] with a sliding window
 //!   (the same algorithm family OpenSSL used at the time of the paper).
+//!   The kernels are allocation-free (thread a [`MontScratch`] through
+//!   them), squaring has a dedicated half-product kernel, and
+//!   [`FixedBase`] serves fixed-base exponentiations (`g^x`) from a
+//!   precomputed window table with zero squarings.
 //! * [`prime`] — Miller–Rabin probabilistic primality testing and random
 //!   (safe-)prime generation for RSA key and Diffie–Hellman parameter
 //!   generation.
@@ -42,6 +46,6 @@ pub mod prime;
 mod rng;
 mod ubig;
 
-pub use montgomery::Montgomery;
+pub use montgomery::{FixedBase, MontElem, MontScratch, Montgomery};
 pub use rng::{RandomSource, SplitMix64};
 pub use ubig::{ParseUbigError, Ubig};

@@ -3,11 +3,23 @@
 //! This reproduces the algorithm family the paper's platform used:
 //! "OpenSSL uses Montgomery reduction and the sliding window algorithm to
 //! implement the modular exponentiation" (§5). The multiplication kernel
-//! is the standard CIOS (coarsely integrated operand scanning) loop.
+//! is the standard CIOS (coarsely integrated operand scanning) loop;
+//! squaring uses a dedicated half-product kernel, and fixed-base
+//! exponentiation (the `g^x` that dominates every protocol in the paper)
+//! can be served from a precomputed window table ([`FixedBase`]).
+//!
+//! All kernels are allocation-free on the hot path: callers thread a
+//! reusable [`MontScratch`] workspace through the multiplication
+//! routines, and [`Montgomery::modexp`] ping-pongs two buffers instead
+//! of cloning the accumulator each step.
+
+use std::borrow::Cow;
 
 use crate::ubig::Ubig;
 
-/// Window size (bits) for windowed exponentiation.
+/// Window size (bits) for windowed exponentiation (both the sliding
+/// window of [`Montgomery::modexp`] and the fixed-base comb of
+/// [`FixedBase`]).
 const WINDOW: usize = 4;
 
 /// A Montgomery reduction context for a fixed odd modulus.
@@ -35,6 +47,27 @@ pub struct Montgomery {
     r2: Vec<u64>,
     /// R mod modulus (the Montgomery form of 1)
     r1: Vec<u64>,
+}
+
+/// Reusable workspace for the Montgomery kernels.
+///
+/// Holds the double-width accumulator the multiplication and squaring
+/// loops write into, so the hot path performs zero heap allocations.
+/// Obtain one from [`Montgomery::scratch`] and thread it through
+/// repeated [`Montgomery::mont_mul`] / [`Montgomery::mont_sqr`] calls.
+#[derive(Clone, Debug)]
+pub struct MontScratch {
+    /// `2n + 1` limbs: the squaring path needs a full double-width
+    /// product plus one carry slot; CIOS only touches the first `n + 2`.
+    t: Vec<u64>,
+}
+
+/// A value in Montgomery form (`a · R mod m`), produced by
+/// [`Montgomery::to_mont`] and consumed by the public kernel entry
+/// points. Only meaningful with the context that created it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u64>,
 }
 
 impl Montgomery {
@@ -74,12 +107,32 @@ impl Montgomery {
         &self.modulus
     }
 
-    /// CIOS Montgomery multiplication: `out = a * b * R^{-1} mod m`.
-    /// `a`, `b`, `out` are `n`-limb little-endian, already `< m`.
-    fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    /// Allocates a kernel workspace sized for this modulus. Reuse it
+    /// across calls — that is the whole point.
+    pub fn scratch(&self) -> MontScratch {
+        MontScratch {
+            t: vec![0u64; 2 * self.n + 1],
+        }
+    }
+
+    /// `a mod m` without dividing when `a` is already reduced (the
+    /// common case on the hot path: group elements are always `< p`).
+    fn reduced<'a>(&self, a: &'a Ubig) -> Cow<'a, Ubig> {
+        if *a < self.modulus {
+            Cow::Borrowed(a)
+        } else {
+            Cow::Owned(a.rem(&self.modulus))
+        }
+    }
+
+    /// CIOS Montgomery multiplication kernel:
+    /// `out = a * b * R^{-1} mod m`. `a`, `b`, `out` are `n`-limb
+    /// little-endian, `a` and `b` already `< m`. Allocation-free.
+    fn mul_kernel(&self, a: &[u64], b: &[u64], out: &mut [u64], s: &mut MontScratch) {
         let n = self.n;
         let m = &self.modulus.limbs;
-        let mut t = vec![0u64; n + 2];
+        let t = &mut s.t[..n + 2];
+        t.fill(0);
         for &bi in b.iter().take(n) {
             // t += a * bi
             let mut carry: u64 = 0;
@@ -108,75 +161,195 @@ impl Montgomery {
             t[n] = s2 as u64;
             t[n + 1] = (s2 >> 64) as u64;
         }
-        out.clear();
-        out.extend_from_slice(&t[..n]);
+        out.copy_from_slice(&t[..n]);
         // Conditional subtraction to bring the result below the modulus.
         if t[n] != 0 || ge(out, m) {
             sub_in_place(out, m);
         }
     }
 
-    /// Converts `a` (< m) into Montgomery form.
-    fn to_mont(&self, a: &Ubig) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.n);
-        self.mont_mul(&pad(a, self.n), &self.r2, &mut out);
+    /// Montgomery squaring kernel: `out = a^2 * R^{-1} mod m`.
+    ///
+    /// Computes the double-width square with the half-product trick
+    /// (each cross term `a[i]·a[j]`, `i < j`, is computed once and
+    /// doubled — roughly half the partial products of [`Self::mul_kernel`])
+    /// and then folds it with a separated Montgomery reduction pass.
+    fn sqr_kernel(&self, a: &[u64], out: &mut [u64], s: &mut MontScratch) {
+        let n = self.n;
+        debug_assert_eq!(a.len(), n);
+        {
+            let t = &mut s.t[..2 * n];
+            t.fill(0);
+            // Off-diagonal products, computed once each.
+            for i in 0..n {
+                let ai = a[i] as u128;
+                let mut carry: u64 = 0;
+                for j in (i + 1)..n {
+                    let v = t[i + j] as u128 + ai * a[j] as u128 + carry as u128;
+                    t[i + j] = v as u64;
+                    carry = (v >> 64) as u64;
+                }
+                // First touch of t[i + n] in this pass.
+                t[i + n] = carry;
+            }
+            // Double the off-diagonal sum: it is < a^2 / 2 < 2^(128n - 1),
+            // so the shift cannot carry out of 2n limbs.
+            let mut high = 0u64;
+            for limb in t.iter_mut() {
+                let next_high = *limb >> 63;
+                *limb = (*limb << 1) | high;
+                high = next_high;
+            }
+            debug_assert_eq!(high, 0);
+            // Add the diagonal squares a[i]^2 at position 2i.
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let sq = a[i] as u128 * a[i] as u128;
+                let v = t[2 * i] as u128 + (sq as u64) as u128 + carry as u128;
+                t[2 * i] = v as u64;
+                let v2 = t[2 * i + 1] as u128 + ((sq >> 64) as u64) as u128 + (v >> 64);
+                t[2 * i + 1] = v2 as u64;
+                carry = (v2 >> 64) as u64;
+            }
+            debug_assert_eq!(carry, 0, "a^2 fits in 2n limbs");
+        }
+        self.reduce_kernel(out, s);
+    }
+
+    /// Separated Montgomery reduction of the `2n`-limb value in
+    /// `s.t[..2n]`: `out = s.t * R^{-1} mod m`.
+    fn reduce_kernel(&self, out: &mut [u64], s: &mut MontScratch) {
+        let n = self.n;
+        let m = &self.modulus.limbs;
+        let t = &mut s.t[..2 * n + 1];
+        t[2 * n] = 0;
+        for i in 0..n {
+            let u = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: u64 = 0;
+            for j in 0..n {
+                let v = t[i + j] as u128 + u as u128 * m[j] as u128 + carry as u128;
+                t[i + j] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let mut k = i + n;
+            while carry != 0 {
+                debug_assert!(k <= 2 * n);
+                let v = t[k] as u128 + carry as u128;
+                t[k] = v as u64;
+                carry = (v >> 64) as u64;
+                k += 1;
+            }
+        }
+        out.copy_from_slice(&t[n..2 * n]);
+        if t[2 * n] != 0 || ge(out, m) {
+            sub_in_place(out, m);
+        }
+    }
+
+    /// Converts `a` into Montgomery form (`a` reduced first if needed).
+    pub fn to_mont(&self, a: &Ubig) -> MontElem {
+        let mut s = self.scratch();
+        MontElem {
+            limbs: self.to_mont_limbs(&self.reduced(a), &mut s),
+        }
+    }
+
+    /// Converts `a` (< m) into Montgomery form limbs.
+    fn to_mont_limbs(&self, a: &Ubig, s: &mut MontScratch) -> Vec<u64> {
+        debug_assert!(*a < self.modulus);
+        let mut out = vec![0u64; self.n];
+        self.mul_kernel(&pad(a, self.n), &self.r2, &mut out, s);
         out
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &MontElem) -> Ubig {
+        let mut s = self.scratch();
+        self.redc(&a.limbs, &mut s)
     }
 
     /// Montgomery reduction: converts out of Montgomery form and
     /// normalizes to `Ubig`.
-    fn redc(&self, a: &[u64]) -> Ubig {
+    fn redc(&self, a: &[u64], s: &mut MontScratch) -> Ubig {
         let one = pad(&Ubig::one(), self.n);
-        let mut out = Vec::with_capacity(self.n);
-        self.mont_mul(a, &one, &mut out);
+        let mut out = vec![0u64; self.n];
+        self.mul_kernel(a, &one, &mut out, s);
         Ubig::from_limbs(out)
+    }
+
+    /// Montgomery-domain multiplication `out = a · b · R^{-1} mod m`
+    /// (all in Montgomery form). Allocation-free given a reusable
+    /// scratch and an `out` obtained from [`Montgomery::to_mont`].
+    pub fn mont_mul(&self, a: &MontElem, b: &MontElem, out: &mut MontElem, s: &mut MontScratch) {
+        out.limbs.resize(self.n, 0);
+        self.mul_kernel(&a.limbs, &b.limbs, &mut out.limbs, s);
+    }
+
+    /// Montgomery-domain squaring `out = a² · R^{-1} mod m` — the
+    /// half-product kernel, ~half the partial products of
+    /// [`Montgomery::mont_mul`].
+    pub fn mont_sqr(&self, a: &MontElem, out: &mut MontElem, s: &mut MontScratch) {
+        out.limbs.resize(self.n, 0);
+        self.sqr_kernel(&a.limbs, &mut out.limbs, s);
     }
 
     /// Modular multiplication `(a * b) mod m` through the Montgomery
     /// domain (constant context reuse makes this much faster than
     /// [`Ubig::modmul`] for many multiplications by the same modulus).
     pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
-        let am = self.to_mont(&a.rem(&self.modulus));
-        let bm = self.to_mont(&b.rem(&self.modulus));
-        let mut prod = Vec::with_capacity(self.n);
-        self.mont_mul(&am, &bm, &mut prod);
-        self.redc(&prod)
+        let mut s = self.scratch();
+        let am = self.to_mont_limbs(&self.reduced(a), &mut s);
+        let bm = self.to_mont_limbs(&self.reduced(b), &mut s);
+        let mut prod = vec![0u64; self.n];
+        self.mul_kernel(&am, &bm, &mut prod, &mut s);
+        self.redc(&prod, &mut s)
     }
 
     /// Windowed modular exponentiation: `base^exp mod m`.
     ///
     /// Runs in time proportional to `exp.bit_len()` squarings plus
     /// `exp.bit_len()/WINDOW` multiplications — the same cost profile the
-    /// paper's Table 1 counts as one "exponentiation".
+    /// paper's Table 1 counts as one "exponentiation". The ladder is
+    /// allocation-free per step: it ping-pongs two buffers and reuses a
+    /// single scratch workspace.
     pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let mut s = self.scratch();
+        self.modexp_with(base, exp, &mut s)
+    }
+
+    /// [`Montgomery::modexp`] with a caller-provided workspace (hot
+    /// loops performing many exponentiations by the same modulus).
+    pub fn modexp_with(&self, base: &Ubig, exp: &Ubig, s: &mut MontScratch) -> Ubig {
         if exp.is_zero() {
             return Ubig::one().rem(&self.modulus);
         }
-        let base = base.rem(&self.modulus);
+        let base = self.reduced(base);
         if base.is_zero() {
             return Ubig::zero();
         }
-        let bm = self.to_mont(&base);
+        let n = self.n;
+        let bm = self.to_mont_limbs(&base, s);
 
-        // Precompute odd powers bm^1, bm^3, ..., bm^(2^WINDOW - 1).
-        let mut bm2 = Vec::with_capacity(self.n);
-        self.mont_mul(&bm, &bm, &mut bm2);
+        // Precompute odd powers bm^1, bm^3, ..., bm^(2^WINDOW - 1) in a
+        // single flat buffer with stride n (one allocation, contiguous).
+        let mut bm2 = vec![0u64; n];
+        self.sqr_kernel(&bm, &mut bm2, s);
         let table_len = 1 << (WINDOW - 1);
-        let mut table: Vec<Vec<u64>> = Vec::with_capacity(table_len);
-        table.push(bm.clone());
+        let mut table = vec![0u64; table_len * n];
+        table[..n].copy_from_slice(&bm);
+        let mut next = vec![0u64; n];
         for i in 1..table_len {
-            let mut next = Vec::with_capacity(self.n);
-            self.mont_mul(&table[i - 1], &bm2, &mut next);
-            table.push(next);
+            self.mul_kernel(&table[(i - 1) * n..i * n], &bm2, &mut next, s);
+            table[i * n..(i + 1) * n].copy_from_slice(&next);
         }
 
         let mut acc = self.r1.clone(); // Montgomery form of 1
-        let mut scratch = Vec::with_capacity(self.n);
+        let mut tmp = next; // reuse: ping-pong partner for acc
         let mut i = exp.bit_len() as isize - 1;
         while i >= 0 {
             if !exp.bit(i as usize) {
-                self.mont_mul(&acc.clone(), &acc, &mut scratch);
-                std::mem::swap(&mut acc, &mut scratch);
+                self.sqr_kernel(&acc, &mut tmp, s);
+                std::mem::swap(&mut acc, &mut tmp);
                 i -= 1;
                 continue;
             }
@@ -192,14 +365,122 @@ impl Montgomery {
                 value = (value << 1) | exp.bit(k) as usize;
             }
             for _ in 0..width {
-                self.mont_mul(&acc.clone(), &acc, &mut scratch);
-                std::mem::swap(&mut acc, &mut scratch);
+                self.sqr_kernel(&acc, &mut tmp, s);
+                std::mem::swap(&mut acc, &mut tmp);
             }
-            self.mont_mul(&acc.clone(), &table[value >> 1], &mut scratch);
-            std::mem::swap(&mut acc, &mut scratch);
+            let entry = (value >> 1) * n;
+            self.mul_kernel(&acc, &table[entry..entry + n], &mut tmp, s);
+            std::mem::swap(&mut acc, &mut tmp);
             i = j as isize - 1;
         }
-        self.redc(&acc)
+        self.redc(&acc, s)
+    }
+
+    /// Precomputes a fixed-base window table for `base`, covering
+    /// exponents up to `max_exp_bits` bits. Exponentiations by this
+    /// base then run as pure table multiplications — no squarings —
+    /// via [`Montgomery::modexp_fixed`].
+    ///
+    /// The table holds `ceil(max_exp_bits / w) · (2^w - 1)` Montgomery
+    /// residues (`w = 4`), i.e. entry `(i, d)` is `base^(d · 2^(w·i))`.
+    pub fn fixed_base(&self, base: &Ubig, max_exp_bits: usize) -> FixedBase {
+        let n = self.n;
+        let digits = (1usize << WINDOW) - 1;
+        let rows = max_exp_bits.div_ceil(WINDOW).max(1);
+        let mut s = self.scratch();
+        let base_reduced = self.reduced(base).into_owned();
+        let mut table = vec![0u64; rows * digits * n];
+        let mut row_base = self.to_mont_limbs(&base_reduced, &mut s); // base^(2^(w·i))
+        let mut tmp = vec![0u64; n];
+        for i in 0..rows {
+            if i > 0 {
+                // row base ^= 2^WINDOW
+                for _ in 0..WINDOW {
+                    self.sqr_kernel(&row_base, &mut tmp, &mut s);
+                    std::mem::swap(&mut row_base, &mut tmp);
+                }
+            }
+            let off = i * digits * n;
+            table[off..off + n].copy_from_slice(&row_base);
+            for d in 2..=digits {
+                let prev = off + (d - 2) * n;
+                self.mul_kernel(&table[prev..prev + n], &row_base, &mut tmp, &mut s);
+                table[off + (d - 1) * n..off + d * n].copy_from_slice(&tmp);
+            }
+        }
+        FixedBase {
+            base: base_reduced,
+            rows,
+            table,
+        }
+    }
+
+    /// Fixed-base exponentiation `fb.base ^ exp mod m` from the
+    /// precomputed table: one Montgomery multiplication per non-zero
+    /// exponent digit, zero squarings. Falls back to the generic
+    /// ladder for exponents wider than the table.
+    pub fn modexp_fixed(&self, fb: &FixedBase, exp: &Ubig) -> Ubig {
+        let mut s = self.scratch();
+        self.modexp_fixed_with(fb, exp, &mut s)
+    }
+
+    /// [`Montgomery::modexp_fixed`] with a caller-provided workspace.
+    pub fn modexp_fixed_with(&self, fb: &FixedBase, exp: &Ubig, s: &mut MontScratch) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.modulus);
+        }
+        if exp.bit_len() > fb.rows * WINDOW {
+            return self.modexp_with(&fb.base, exp, s);
+        }
+        if fb.base.is_zero() {
+            return Ubig::zero();
+        }
+        let n = self.n;
+        let digits = (1usize << WINDOW) - 1;
+        let mut acc = self.r1.clone(); // Montgomery form of 1
+        let mut tmp = vec![0u64; n];
+        let rows_needed = exp.bit_len().div_ceil(WINDOW);
+        for i in 0..rows_needed {
+            let mut d = 0usize;
+            for b in 0..WINDOW {
+                d |= (exp.bit(i * WINDOW + b) as usize) << b;
+            }
+            if d == 0 {
+                continue;
+            }
+            let off = (i * digits + (d - 1)) * n;
+            self.mul_kernel(&acc, &fb.table[off..off + n], &mut tmp, s);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        self.redc(&acc, s)
+    }
+}
+
+/// A precomputed fixed-base exponentiation table (see
+/// [`Montgomery::fixed_base`]). Build once per long-lived base — the
+/// protocol layer builds one for the group generator `g` — and reuse
+/// for every `g^x`.
+#[derive(Clone, Debug)]
+pub struct FixedBase {
+    /// The (reduced) base, kept for the oversized-exponent fallback.
+    base: Ubig,
+    /// Number of `WINDOW`-bit digit positions covered.
+    rows: usize,
+    /// `rows × (2^WINDOW - 1) × n` limbs; entry `(i, d)` at offset
+    /// `(i · (2^WINDOW - 1) + d - 1) · n` is `base^(d · 2^(WINDOW·i))`
+    /// in Montgomery form.
+    table: Vec<u64>,
+}
+
+impl FixedBase {
+    /// The base this table exponentiates.
+    pub fn base(&self) -> &Ubig {
+        &self.base
+    }
+
+    /// Exponent capacity in bits.
+    pub fn max_exp_bits(&self) -> usize {
+        self.rows * WINDOW
     }
 }
 
@@ -208,6 +489,14 @@ impl Ubig {
     ///
     /// Uses Montgomery + sliding window for odd moduli and a plain
     /// square-and-multiply with division-based reduction otherwise.
+    ///
+    /// **Performance caveat:** every call builds a fresh [`Montgomery`]
+    /// context, which costs two long divisions (`R mod m`, `R² mod m`)
+    /// before any ladder step runs. Hot paths that exponentiate by the
+    /// same modulus repeatedly should build one context and call
+    /// [`Montgomery::modexp`] (or [`Montgomery::modexp_with`] /
+    /// [`Montgomery::modexp_fixed`]) instead — that is what the
+    /// protocol layer's `DhGroup` does.
     ///
     /// # Panics
     ///
@@ -286,6 +575,38 @@ mod tests {
     }
 
     #[test]
+    fn mont_sqr_matches_mont_mul() {
+        let m = Ubig::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+            .unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let mut s = ctx.scratch();
+        let mut rng = crate::SplitMix64::new(0xdead);
+        use crate::rng::RandomSource;
+        for _ in 0..50 {
+            let a = rng.next_ubig_in_range(&m);
+            let am = ctx.to_mont(&a);
+            let mut sq = am.clone();
+            let mut prod = am.clone();
+            ctx.mont_sqr(&am, &mut sq, &mut s);
+            ctx.mont_mul(&am, &am, &mut prod, &mut s);
+            assert_eq!(sq, prod);
+            assert_eq!(ctx.from_mont(&sq), a.modmul(&a, &m));
+        }
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let m = Ubig::from_hex("f6f33d0e9f7c9a1d62b7a8b3c4d5e6f7").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        for v in [Ubig::zero(), Ubig::one(), Ubig::from(0xdeadbeefu64)] {
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&v)), v);
+        }
+        // Unreduced input is reduced on entry.
+        let big = &m + &Ubig::from(5u64);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&big)), Ubig::from(5u64));
+    }
+
+    #[test]
     fn modexp_small_cases() {
         let p = Ubig::from(1009u64);
         assert_eq!(Ubig::from(2u64).modexp(&Ubig::from(0u64), &p), Ubig::one());
@@ -335,6 +656,38 @@ mod tests {
             }
         }
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fixed_base_matches_variable_base() {
+        let m = Ubig::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+            .unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let g = Ubig::from(2u64);
+        let fb = ctx.fixed_base(&g, m.bit_len());
+        use crate::rng::RandomSource;
+        let mut rng = crate::SplitMix64::new(7);
+        for _ in 0..25 {
+            let e = rng.next_ubig_in_range(&m);
+            assert_eq!(ctx.modexp_fixed(&fb, &e), ctx.modexp(&g, &e));
+        }
+        // Edge exponents.
+        assert_eq!(ctx.modexp_fixed(&fb, &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.modexp_fixed(&fb, &Ubig::one()), g.rem(&m));
+        // Wider than the table: falls back to the generic ladder.
+        let wide = &Ubig::one() << (fb.max_exp_bits() + 5);
+        assert_eq!(ctx.modexp_fixed(&fb, &wide), ctx.modexp(&g, &wide));
+    }
+
+    #[test]
+    fn fixed_base_zero_and_degenerate_bases() {
+        let m = Ubig::from_hex("f6f33d0e9f7c9a1d62b7a8b3c4d5e6f7").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let fb0 = ctx.fixed_base(&Ubig::zero(), 64);
+        assert_eq!(ctx.modexp_fixed(&fb0, &Ubig::from(9u64)), Ubig::zero());
+        assert_eq!(ctx.modexp_fixed(&fb0, &Ubig::zero()), Ubig::one());
+        let fb1 = ctx.fixed_base(&Ubig::one(), 64);
+        assert_eq!(ctx.modexp_fixed(&fb1, &Ubig::from(1234u64)), Ubig::one());
     }
 
     #[test]

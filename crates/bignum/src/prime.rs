@@ -5,6 +5,7 @@
 //! (for small Diffie–Hellman test groups; the production-size DH groups
 //! are published constants in `gkap-crypto`).
 
+use crate::montgomery::Montgomery;
 use crate::rng::RandomSource;
 use crate::ubig::Ubig;
 
@@ -53,13 +54,20 @@ pub fn is_prime<R: RandomSource + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
     let s = n_minus_1.trailing_zeros();
     let d = &n_minus_1 >> s;
 
-    let witness_passes = |a: &Ubig| -> bool {
-        let mut x = a.modexp(&d, n);
+    // Every witness exponentiates by the same modulus: build the
+    // Montgomery context (two long divisions) once for all rounds
+    // instead of letting each `Ubig::modexp` rebuild it. Candidates
+    // here are always odd (trial division removed even `n`).
+    let ctx = Montgomery::new(n).expect("candidate is odd and > 3");
+    let mut scratch = ctx.scratch();
+
+    let mut witness_passes = |a: &Ubig| -> bool {
+        let mut x = ctx.modexp_with(a, &d, &mut scratch);
         if x.is_one() || x == n_minus_1 {
             return true;
         }
         for _ in 1..s {
-            x = x.modmul(&x, n);
+            x = ctx.mul(&x, &x);
             if x == n_minus_1 {
                 return true;
             }

@@ -182,3 +182,38 @@ fn modexp_large_operand_sanity() {
     let rhs = a.modexp(&x, &m).modmul(&a.modexp(&y, &m), &m);
     assert_eq!(lhs, rhs);
 }
+
+proptest! {
+    #[test]
+    fn mont_sqr_equals_mont_mul_self(seed in any::<u64>(), bits in 65usize..320) {
+        // The dedicated squaring kernel must agree with the general
+        // multiplication kernel on every input, at every limb count.
+        use gkap_bignum::Montgomery;
+        let mut rng = SplitMix64::new(seed);
+        let mut m = rng.next_ubig_exact_bits(bits);
+        m.set_bit(0, true); // odd modulus
+        let ctx = Montgomery::new(&m).unwrap();
+        let mut scratch = ctx.scratch();
+        let a = rng.next_ubig_in_range(&m);
+        let am = ctx.to_mont(&a);
+        let mut sq = am.clone();
+        let mut prod = am.clone();
+        ctx.mont_sqr(&am, &mut sq, &mut scratch);
+        ctx.mont_mul(&am, &am, &mut prod, &mut scratch);
+        prop_assert_eq!(&sq, &prod);
+        prop_assert_eq!(ctx.from_mont(&sq), a.modmul(&a, &m));
+    }
+
+    #[test]
+    fn fixed_base_equals_variable_base(seed in any::<u64>(), bits in 65usize..256) {
+        use gkap_bignum::Montgomery;
+        let mut rng = SplitMix64::new(seed);
+        let mut m = rng.next_ubig_exact_bits(bits);
+        m.set_bit(0, true);
+        let ctx = Montgomery::new(&m).unwrap();
+        let g = &rng.next_ubig_in_range(&m) + &Ubig::one();
+        let fb = ctx.fixed_base(&g, m.bit_len());
+        let e = rng.next_ubig_in_range(&m);
+        prop_assert_eq!(ctx.modexp_fixed(&fb, &e), ctx.modexp(&g, &e));
+    }
+}

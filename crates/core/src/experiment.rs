@@ -732,33 +732,71 @@ pub fn run_churned_with_factory(
 /// protocols plus the membership-service baseline.
 ///
 /// `measure` maps `(config, size)` to an outcome; `sizes` is the
-/// x-axis; `reps` runs per point with varied seeds.
+/// x-axis; `reps` runs per point with varied seeds. Serial —
+/// equivalent to [`build_figure_jobs`] with one worker.
 pub fn build_figure(
     title: &str,
     gcs: &GcsConfig,
     suite: SuiteKind,
     sizes: &[usize],
     reps: u32,
-    measure: impl Fn(&ExperimentConfig, usize) -> EventOutcome,
+    measure: impl Fn(&ExperimentConfig, usize) -> EventOutcome + Sync,
 ) -> Figure {
+    build_figure_jobs(title, gcs, suite, sizes, reps, 1, measure)
+}
+
+/// [`build_figure`] with the (protocol, size, rep) cells fanned across
+/// `jobs` workers.
+///
+/// Each cell's seed depends only on its coordinates, and results are
+/// folded in the serial loop's iteration order, so the produced figure
+/// is **bit-identical** for every `jobs` value (asserted by the
+/// harness's determinism test).
+pub fn build_figure_jobs(
+    title: &str,
+    gcs: &GcsConfig,
+    suite: SuiteKind,
+    sizes: &[usize],
+    reps: u32,
+    jobs: usize,
+    measure: impl Fn(&ExperimentConfig, usize) -> EventOutcome + Sync,
+) -> Figure {
+    // Flatten the grid in serial iteration order…
+    let mut cells: Vec<(ProtocolKind, usize)> = Vec::new();
+    for kind in ProtocolKind::all() {
+        for &size in sizes {
+            for _rep in 0..reps {
+                cells.push((kind, size));
+            }
+        }
+    }
+    let outcomes = crate::par::run_indexed(jobs, cells.len(), |i| {
+        let (kind, size) = cells[i];
+        let rep = (i % reps as usize) as u64;
+        let cfg = ExperimentConfig {
+            protocol: kind,
+            gcs: gcs.clone(),
+            suite,
+            seed: 0x5eed ^ ((rep + 1) << 32) ^ size as u64,
+            confirm_keys: false,
+            telemetry: false,
+        };
+        measure(&cfg, size)
+    });
+    // …and fold the index-ordered results exactly as the serial loop
+    // accumulated them (Welford summaries are order-sensitive).
     let mut fig = Figure::new(title);
     let mut membership = Series::new("Membership");
     let mut membership_points: Vec<(f64, Summary)> =
         sizes.iter().map(|&s| (s as f64, Summary::new())).collect();
+    let mut idx = 0;
     for kind in ProtocolKind::all() {
         let mut series = Series::new(kind.name());
         for (si, &size) in sizes.iter().enumerate() {
             let mut summary = Summary::new();
             for rep in 0..reps {
-                let cfg = ExperimentConfig {
-                    protocol: kind,
-                    gcs: gcs.clone(),
-                    suite,
-                    seed: 0x5eed ^ ((rep as u64 + 1) << 32) ^ size as u64,
-                    confirm_keys: false,
-                    telemetry: false,
-                };
-                let outcome = measure(&cfg, size);
+                let outcome = &outcomes[idx];
+                idx += 1;
                 assert!(
                     outcome.ok,
                     "{kind} failed at size {size} (rep {rep}) in {title}"

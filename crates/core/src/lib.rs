@@ -50,6 +50,7 @@ pub mod costs_table;
 pub mod envelope;
 pub mod experiment;
 pub mod member;
+pub mod par;
 pub mod protocols;
 pub mod scenario;
 pub mod session;

@@ -7,7 +7,7 @@
 //! and `e = 65537` are supported; signing uses the Chinese Remainder
 //! Theorem exactly as the paper notes OpenSSL does.
 
-use gkap_bignum::{prime, RandomSource, Ubig};
+use gkap_bignum::{prime, Montgomery, RandomSource, Ubig};
 
 use crate::sha::{Digest, Sha256};
 use crate::CryptoError;
@@ -19,11 +19,25 @@ const SHA256_DIGEST_INFO: [u8; 19] = [
 ];
 
 /// An RSA public key `(n, e)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Caches the Montgomery context for `n` so the per-message `verify`
+/// calls (one per receiver per signed protocol message) skip the two
+/// long divisions a fresh context costs.
+#[derive(Clone, Debug)]
 pub struct RsaPublicKey {
     n: Ubig,
     e: Ubig,
+    mont: Montgomery,
 }
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The context is derived from `n`; `(n, e)` is the identity.
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
 
 /// An RSA private key with CRT parameters.
 pub struct RsaPrivateKey {
@@ -34,6 +48,8 @@ pub struct RsaPrivateKey {
     dp: Ubig,
     dq: Ubig,
     q_inv: Ubig,
+    mont_p: Montgomery,
+    mont_q: Montgomery,
 }
 
 impl std::fmt::Debug for RsaPrivateKey {
@@ -76,8 +92,9 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::BadSignature);
         }
-        let em = s
-            .modexp(&self.e, &self.n)
+        let em = self
+            .mont
+            .modexp(&s, &self.e)
             .to_be_bytes_padded(self.modulus_len());
         let expected = pkcs1_v15_encode(message, self.modulus_len());
         if em == expected {
@@ -120,14 +137,19 @@ impl RsaPrivateKey {
             let dp = d.rem(&p1);
             let dq = d.rem(&q1);
             let q_inv = q.mod_inverse(&p).expect("p, q distinct primes");
+            let mont = Montgomery::new(&n).expect("n odd: product of odd primes");
+            let mont_p = Montgomery::new(&p).expect("p is an odd prime");
+            let mont_q = Montgomery::new(&q).expect("q is an odd prime");
             return RsaPrivateKey {
-                public: RsaPublicKey { n, e },
+                public: RsaPublicKey { n, e, mont },
                 p,
                 q,
                 d,
                 dp,
                 dq,
                 q_inv,
+                mont_p,
+                mont_q,
             };
         }
     }
@@ -143,12 +165,12 @@ impl RsaPrivateKey {
         let em = Ubig::from_be_bytes(&pkcs1_v15_encode(message, k));
         // CRT: m1 = em^dp mod p, m2 = em^dq mod q,
         //      h = q_inv (m1 - m2) mod p, s = m2 + h q.
-        let m1 = em.modexp(&self.dp, &self.p);
-        let m2 = em.modexp(&self.dq, &self.q);
+        let m1 = self.mont_p.modexp(&em, &self.dp);
+        let m2 = self.mont_q.modexp(&em, &self.dq);
         let diff = m1.modsub(&m2.rem(&self.p), &self.p);
         let h = self.q_inv.modmul(&diff, &self.p);
         let s = &m2 + &(&h * &self.q);
-        debug_assert_eq!(s, em.modexp(&self.d, &self.public.n), "CRT consistency");
+        debug_assert_eq!(s, self.public.mont.modexp(&em, &self.d), "CRT consistency");
         s.to_be_bytes_padded(k)
     }
 }
