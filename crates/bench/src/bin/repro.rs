@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use gkap_bench::{cli, emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
+use gkap_bench::{chaos, cli, emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
 use gkap_core::costs_table::render_table1;
 use gkap_core::experiment::SuiteKind;
 use gkap_gcs::testbed;
@@ -293,7 +293,7 @@ fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
     let n = 50;
     let Some(rows) = trace::trace_figure(figure, n) else {
         con.note(format!(
-            "unknown figure for trace: {figure} (expected fig11, fig12 or fig14)"
+            "unknown figure for trace: {figure} (expected fig11, fig12, fig14 or crash)"
         ));
         std::process::exit(2);
     };
@@ -318,6 +318,30 @@ fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
     let csv_path = out_dir().join(format!("trace_summary_{figure}.csv"));
     std::fs::write(&csv_path, trace::summary_csv(figure, &rows)).expect("write csv");
     con.say(format!("[written: {}]", csv_path.display()));
+}
+
+/// `chaos`: a seeded randomized fault campaign across all five
+/// protocols. Exits non-zero when any invariant is violated, printing
+/// the minimized failing schedule so CI logs carry the reproduction.
+fn cmd_chaos(seed: u64, runs: u32, con: &mut Console) {
+    let cfg = chaos::ChaosConfig::default();
+    let factory = chaos::default_factory();
+    let report = chaos::run_campaign(seed, runs, &cfg, &factory, con);
+    con.say(chaos::render_summary(&report));
+    std::fs::create_dir_all(out_dir()).expect("results dir");
+    let csv_path = out_dir().join(format!("chaos_seed{seed}.csv"));
+    std::fs::write(&csv_path, chaos::campaign_csv(&report)).expect("write csv");
+    con.say(format!("[written: {}]", csv_path.display()));
+    if !report.passed() {
+        for f in &report.failures {
+            con.say(chaos::render_failure(f));
+        }
+        con.say(format!(
+            "chaos: {} failing run(s) — replay with `repro chaos --seed {seed} --runs {runs}`",
+            report.failures.len()
+        ));
+        std::process::exit(1);
+    }
 }
 
 /// One timed step of the invocation, for `results/BENCH_perf.json`.
@@ -408,6 +432,7 @@ fn run_step(
             let figure = opts.figure.as_deref().unwrap_or("fig14");
             cmd_trace(figure, cmd == "trace", con);
         }
+        "chaos" => cmd_chaos(opts.seed, opts.runs, con),
         _ => return false,
     }
     let wall_s = t0.elapsed().as_secs_f64();
@@ -426,6 +451,7 @@ fn run_step(
 const USAGE: &str = "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
      partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl \
      ablate-hetero ablate-confirm lossy ika scale trace <figure> trace-summary <figure> \
+     chaos [--seed N] [--runs N] \
      [--reps N] [--jobs N] [--quiet]";
 
 fn main() {

@@ -22,6 +22,10 @@ pub struct CliOptions {
     pub jobs: usize,
     /// Silence tables and notes (`--quiet` / `-q`).
     pub quiet: bool,
+    /// Campaign seed for `chaos` (`--seed N`, default 7).
+    pub seed: u64,
+    /// Number of chaos schedules per campaign (`--runs N`, default 8).
+    pub runs: u32,
 }
 
 impl Default for CliOptions {
@@ -32,6 +36,8 @@ impl Default for CliOptions {
             reps: 3,
             jobs: par::default_jobs(),
             quiet: false,
+            seed: 7,
+            runs: 8,
         }
     }
 }
@@ -67,6 +73,24 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--jobs must be at least 1 (use --jobs 1 for a serial run)".into());
                 }
                 opts.jobs = jobs;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed requires a value")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value: {v}"))?;
+            }
+            "--runs" => {
+                i += 1;
+                let v = args.get(i).ok_or("--runs requires a value")?;
+                let runs: u32 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --runs value: {v}"))?;
+                if runs == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+                opts.runs = runs;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             pos => positional.push(pos),
@@ -128,6 +152,24 @@ mod tests {
         assert!(parse(&args(&["--jobs", "many"])).is_err());
         assert!(parse(&args(&["--reps", "-1"])).is_err());
         assert!(parse(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn chaos_seed_and_runs_parse_in_any_position() {
+        let o = parse(&[]).unwrap();
+        assert_eq!((o.seed, o.runs), (7, 8));
+        for argv in [
+            ["chaos", "--seed", "42", "--runs", "3"],
+            ["--runs", "3", "chaos", "--seed", "42"],
+        ] {
+            let o = parse(&args(&argv)).unwrap();
+            assert_eq!(o.cmd, "chaos", "{argv:?}");
+            assert_eq!((o.seed, o.runs), (42, 3), "{argv:?}");
+        }
+        assert!(parse(&args(&["--seed"])).is_err());
+        assert!(parse(&args(&["--seed", "many"])).is_err());
+        let err = parse(&args(&["chaos", "--runs", "0"])).unwrap_err();
+        assert!(err.contains("--runs must be at least 1"), "{err}");
     }
 
     #[test]

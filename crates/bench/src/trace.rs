@@ -8,10 +8,12 @@
 //! wait — such that the four columns sum to the elapsed time exactly.
 
 use gkap_core::experiment::{
-    run_join_traced, run_leave_traced, ExperimentConfig, LeaveTarget, SuiteKind, TraceRun,
+    run_crash_traced, run_join_traced, run_leave_traced, ExperimentConfig, LeaveTarget, SuiteKind,
+    TraceRun,
 };
 use gkap_core::protocols::ProtocolKind;
 use gkap_gcs::{testbed, GcsConfig};
+use gkap_telemetry::{Event, EventKind};
 
 /// One traced measurement: a protocol × event cell of the breakdown.
 #[derive(Debug)]
@@ -32,8 +34,42 @@ fn figure_spec(figure: &str) -> Option<(GcsConfig, &'static [&'static str])> {
         "fig11" => Some((testbed::lan(), &["join"])),
         "fig12" => Some((testbed::lan(), &["leave"])),
         "fig14" => Some((testbed::wan(), &["join", "leave"])),
+        // Extension: a daemon crash evicts its members; elapsed spans
+        // detection + ring reformation + eviction + re-keying.
+        "crash" => Some((testbed::lan(), &["crash"])),
         _ => None,
     }
+}
+
+/// Virtual milliseconds the run spent recovering from crashes: the
+/// union of the windows from each `crash` fault event to the first
+/// view installed afterwards (detection timeout, ring reformation,
+/// and the eviction membership change). Zero for fault-free runs.
+pub fn recovery_ms(events: &[Event]) -> f64 {
+    let mut total = 0.0;
+    let mut covered = f64::NEG_INFINITY; // end of the last counted window
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::Fault {
+                action: "crash", ..
+            } => {}
+            _ => continue,
+        }
+        let start = e.at.as_millis_f64();
+        let end = events[i..]
+            .iter()
+            .find_map(|v| match v.kind {
+                EventKind::ViewInstalled { .. } => Some(v.at.as_millis_f64()),
+                _ => None,
+            })
+            .unwrap_or_else(|| events.last().map(|v| v.at.as_millis_f64()).unwrap_or(start));
+        let s = start.max(covered);
+        if end > s {
+            total += end - s;
+            covered = end;
+        }
+    }
+    total
 }
 
 /// Runs every protocol through the figure's events at group size `n`
@@ -58,6 +94,7 @@ pub fn trace_figure(figure: &str, n: usize) -> Option<Vec<TraceRow>> {
             };
             let run = match event {
                 "join" => run_join_traced(&cfg, n),
+                "crash" => run_crash_traced(&cfg, n),
                 _ => run_leave_traced(&cfg, n, LeaveTarget::Middle),
             };
             assert!(run.outcome.ok, "{kind} failed traced {event} at n={n}");
@@ -77,13 +114,23 @@ pub fn summary_table(figure: &str, rows: &[TraceRow]) -> String {
     let n = rows.first().map(|r| r.n).unwrap_or(0);
     let mut s = format!(
         "# Latency breakdown — {figure}, n={n}, DH 512 bits (virtual ms)\n\
-         {:<8} {:<6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
-        "protocol", "event", "elapsed", "membership", "rounds", "crypto", "network", "sum"
+         {:<8} {:<6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "protocol",
+        "event",
+        "elapsed",
+        "membership",
+        "rounds",
+        "crypto",
+        "network",
+        "sum",
+        "recovery",
+        "agreement"
     );
     for r in rows {
         let b = &r.run.breakdown;
+        let recovery = recovery_ms(&r.run.events).min(b.elapsed_ms);
         s.push_str(&format!(
-            "{:<8} {:<6} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+            "{:<8} {:<6} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
             r.protocol,
             r.event,
             b.elapsed_ms,
@@ -92,6 +139,8 @@ pub fn summary_table(figure: &str, rows: &[TraceRow]) -> String {
             b.crypto_ms,
             b.network_ms,
             b.total_ms(),
+            recovery,
+            b.elapsed_ms - recovery,
         ));
     }
     s
@@ -100,12 +149,14 @@ pub fn summary_table(figure: &str, rows: &[TraceRow]) -> String {
 /// Renders the breakdown as CSV (same columns as the table).
 pub fn summary_csv(figure: &str, rows: &[TraceRow]) -> String {
     let mut s = String::from(
-        "figure,protocol,event,n,elapsed_ms,membership_ms,rounds_ms,crypto_ms,network_ms,sum_ms\n",
+        "figure,protocol,event,n,elapsed_ms,membership_ms,rounds_ms,crypto_ms,network_ms,sum_ms,\
+         recovery_ms,agreement_ms\n",
     );
     for r in rows {
         let b = &r.run.breakdown;
+        let recovery = recovery_ms(&r.run.events).min(b.elapsed_ms);
         s.push_str(&format!(
-            "{figure},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            "{figure},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
             r.protocol,
             r.event,
             r.n,
@@ -115,6 +166,8 @@ pub fn summary_csv(figure: &str, rows: &[TraceRow]) -> String {
             b.crypto_ms,
             b.network_ms,
             b.total_ms(),
+            recovery,
+            b.elapsed_ms - recovery,
         ));
     }
     s
@@ -123,10 +176,76 @@ pub fn summary_csv(figure: &str, rows: &[TraceRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gkap_sim::{Duration, SimTime};
+    use gkap_telemetry::Actor;
 
     #[test]
     fn unknown_figure_is_none() {
         assert!(trace_figure("fig99", 8).is_none());
+    }
+
+    #[test]
+    fn recovery_windows_merge_and_close_at_view_install() {
+        let at = |ms: u64| SimTime::ZERO + Duration::from_millis(ms);
+        let ev = |t: u64, kind: EventKind| Event {
+            at: at(t),
+            dur: Duration::ZERO,
+            actor: Actor::World,
+            kind,
+        };
+        let crash = |t| {
+            ev(
+                t,
+                EventKind::Fault {
+                    action: "crash",
+                    target: 0,
+                },
+            )
+        };
+        let install = |t| ev(t, EventKind::ViewInstalled { view_id: 1 });
+        assert_eq!(recovery_ms(&[]), 0.0);
+        // Fault-free log: nothing attributed.
+        assert_eq!(recovery_ms(&[install(5)]), 0.0);
+        // crash@10 → install@14 is 4 ms; a second crash@12 inside the
+        // same window adds nothing; crash@20 → install@25 adds 5 ms.
+        let events = vec![
+            install(2),
+            crash(10),
+            crash(12),
+            install(14),
+            crash(20),
+            install(25),
+        ];
+        assert!((recovery_ms(&events) - 9.0).abs() < 1e-9);
+        // A crash with no later install runs to the end of the log.
+        let open = vec![
+            crash(10),
+            crash(12),
+            ev(18, EventKind::TokenRotation { rotation: 1 }),
+        ];
+        assert!((recovery_ms(&open) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_trace_attributes_recovery_time() {
+        let rows = trace_figure("crash", 6).expect("known figure");
+        assert_eq!(rows.len(), 5); // one crash row per protocol
+        for r in &rows {
+            assert_eq!(r.event, "crash");
+            let rec = recovery_ms(&r.run.events);
+            assert!(rec > 0.0, "{}: no recovery attributed", r.protocol);
+            assert!(
+                rec <= r.run.breakdown.elapsed_ms + 1e-9,
+                "{}: recovery {rec} exceeds elapsed {}",
+                r.protocol,
+                r.run.breakdown.elapsed_ms
+            );
+        }
+        let table = summary_table("crash", &rows);
+        assert!(table.contains("recovery") && table.contains("agreement"));
+        let csv = summary_csv("crash", &rows);
+        assert!(csv.starts_with("figure,protocol,event,n,"));
+        assert!(csv.contains("recovery_ms,agreement_ms"));
     }
 
     #[test]

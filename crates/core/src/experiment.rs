@@ -206,6 +206,18 @@ fn measure_event_timed(
     left: Vec<ClientId>,
     wait_for: Vec<ClientId>,
 ) -> (EventOutcome, EventTiming) {
+    measure_timed(world, |w| w.inject_change(joined, left), wait_for)
+}
+
+/// The measurement core, generic over how the membership event is
+/// caused: a direct view change, or a fault (daemon crash) whose
+/// recovery evicts members. Waits for all `wait_for` members to
+/// complete the next epoch.
+fn measure_timed(
+    world: &mut SimWorld,
+    inject_event: impl FnOnce(&mut SimWorld),
+    wait_for: Vec<ClientId>,
+) -> (EventOutcome, EventTiming) {
     let target_epoch = world.view().expect("initial view installed").id + 1;
     let before = snapshot_counts(world, &wait_for);
     let inject = world.now();
@@ -219,7 +231,7 @@ fn measure_event_timed(
             group_size,
         },
     });
-    world.inject_change(joined, left);
+    inject_event(world);
     let complete = |w: &SimWorld| {
         wait_for.iter().all(|&c| {
             w.client::<SecureMember>(c)
@@ -516,6 +528,39 @@ pub fn run_leave_traced(cfg: &ExperimentConfig, n: usize, target: LeaveTarget) -
     };
     let remaining: Vec<ClientId> = view.into_iter().filter(|&c| c != leaver).collect();
     let (outcome, timing) = measure_event_timed(&mut world, vec![], vec![leaver], remaining);
+    let events = world.telemetry().events();
+    let breakdown = compute_breakdown(&events, &timing);
+    TraceRun {
+        outcome,
+        events,
+        breakdown,
+    }
+}
+
+/// Traced daemon crash: from a group of `n`, the middle member's
+/// machine dies. Elapsed runs from the crash to the last survivor's
+/// key for the eviction view — it includes the crash-detection
+/// timeout, ring reformation, and the eviction membership change, so
+/// traced summaries can attribute recovery time separately from the
+/// agreement itself.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (the crash must leave a group behind).
+pub fn run_crash_traced(cfg: &ExperimentConfig, n: usize) -> TraceRun {
+    assert!(n >= 3, "crash needs survivors to re-key");
+    let mut cfg = cfg.clone();
+    cfg.telemetry = true;
+    let (mut world, _suite) = build_world(&cfg, n, 0);
+    let view: Vec<ClientId> = world.view().expect("view").members.clone();
+    // One daemon per machine: crashing the victim's machine kills
+    // every member it hosts.
+    let machine = world.client_machine(view[view.len() / 2]);
+    let survivors: Vec<ClientId> = view
+        .into_iter()
+        .filter(|&c| world.client_machine(c) != machine)
+        .collect();
+    let (outcome, timing) = measure_timed(&mut world, |w| w.inject_crash(machine), survivors);
     let events = world.telemetry().events();
     let breakdown = compute_breakdown(&events, &timing);
     TraceRun {

@@ -59,6 +59,6 @@ pub mod testkit;
 pub mod tree;
 
 pub use cost::{CostModel, OpCounts};
-pub use member::SecureMember;
-pub use protocols::{GkaError, GkaProtocol, ProtocolKind};
+pub use member::{AgreementPhase, SecureMember, DEFAULT_MAX_RESTARTS};
+pub use protocols::{GkaError, GkaProtocol, ProtocolError, ProtocolKind};
 pub use suite::{CryptoSuite, SigMode};

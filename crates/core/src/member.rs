@@ -42,6 +42,41 @@ impl Transport for GcsTransport<'_, '_> {
     }
 }
 
+/// Where a member's current key agreement stands.
+///
+/// Views drive the transitions: entering a view starts an agreement
+/// (`Running`); establishing its key converges it; a newer view
+/// arriving first aborts it and — within the restart budget — restarts
+/// it in the new epoch. Exhausting the budget is *reported* (a
+/// [`GkaError`] plus a `give_up` fault event), never hidden.
+///
+/// ```text
+/// Idle → Running → Converged
+///          ↓  ↑ (next view)
+///       Aborted → Restarting → Running → …
+///          ↓ (budget exhausted)
+///       GivenUp (terminal)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgreementPhase {
+    /// No view has been delivered yet.
+    Idle,
+    /// A re-keying for the current epoch is in flight.
+    Running,
+    /// The in-flight agreement was superseded by a newer view.
+    Aborted,
+    /// A superseded agreement is being re-run in the newer epoch.
+    Restarting,
+    /// The current epoch's group key is established.
+    Converged,
+    /// The restart budget is exhausted; this member stopped trying.
+    GivenUp,
+}
+
+/// Default number of consecutive aborted agreements a member tolerates
+/// before giving up (see [`SecureMember::set_max_restarts`]).
+pub const DEFAULT_MAX_RESTARTS: u64 = 16;
+
 /// A member of a secure group: protocol engine + measurement hooks.
 pub struct SecureMember {
     id: Option<ClientId>,
@@ -74,6 +109,13 @@ pub struct SecureMember {
     pending_confirms: Vec<(u64, Vec<u8>)>,
     /// First protocol error, if any (experiments assert none).
     error: Option<GkaError>,
+    /// Where the current agreement stands.
+    phase: AgreementPhase,
+    /// Consecutive agreements aborted by a superseding view (reset to
+    /// zero on convergence).
+    restarts: u64,
+    /// Restart budget: one more abort than this gives up.
+    max_restarts: u64,
     /// Telemetry sink (disabled by default; the experiment harness
     /// shares the world's handle here when tracing is requested).
     telemetry: Telemetry,
@@ -128,6 +170,9 @@ impl SecureMember {
             confirmations: Vec::new(),
             pending_confirms: Vec::new(),
             error: None,
+            phase: AgreementPhase::Idle,
+            restarts: 0,
+            max_restarts: DEFAULT_MAX_RESTARTS,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -233,6 +278,29 @@ impl SecureMember {
         self.error.as_ref()
     }
 
+    /// Where the current agreement stands.
+    pub fn phase(&self) -> AgreementPhase {
+        self.phase
+    }
+
+    /// Consecutive agreements aborted by superseding views (zeroed on
+    /// every convergence).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Caps how many consecutive aborted agreements this member rides
+    /// out before entering [`AgreementPhase::GivenUp`].
+    pub fn set_max_restarts(&mut self, n: u64) {
+        self.max_restarts = n;
+    }
+
+    /// The epoch of the last view installed at this member (the
+    /// view-synchrony invariant compares this across survivors).
+    pub fn last_view_epoch(&self) -> Option<u64> {
+        self.view_times.last().map(|&(e, _)| e)
+    }
+
     /// Which protocol this member runs.
     pub fn protocol_kind(&self) -> ProtocolKind {
         self.protocol.kind()
@@ -262,6 +330,8 @@ impl SecureMember {
         let epoch = self.epoch;
         self.secrets.push((epoch, secret.clone()));
         self.awaiting_stamp = Some(epoch);
+        self.phase = AgreementPhase::Converged;
+        self.restarts = 0;
         // Settle confirmations that raced ahead of our own key.
         let pending: Vec<Vec<u8>> = {
             let (now, later): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending_confirms)
@@ -375,6 +445,50 @@ impl SecureMember {
 impl Client for SecureMember {
     fn on_view(&mut self, ctx: &mut ClientCtx<'_>, view: &View) {
         self.id = Some(ctx.id());
+
+        // A view arriving while the previous epoch's agreement is
+        // still in flight supersedes it: abort, then (budget
+        // permitting) restart in the new epoch.
+        if self.phase == AgreementPhase::Running {
+            self.phase = AgreementPhase::Aborted;
+            self.note_event(
+                ctx,
+                EventKind::Fault {
+                    action: "abort",
+                    target: ctx.id(),
+                },
+            );
+            self.restarts += 1;
+            if self.restarts > self.max_restarts {
+                self.phase = AgreementPhase::GivenUp;
+                self.record_error(GkaError::Protocol("restart budget exhausted"));
+                self.note_event(
+                    ctx,
+                    EventKind::Fault {
+                        action: "give_up",
+                        target: ctx.id(),
+                    },
+                );
+            } else {
+                self.phase = AgreementPhase::Restarting;
+                self.note_event(
+                    ctx,
+                    EventKind::Fault {
+                        action: "restart",
+                        target: ctx.id(),
+                    },
+                );
+            }
+        }
+
+        // Rejoin after a partition healed: this member merges back as
+        // a fresh singleton — stale keys from before the partition
+        // must not leak into the new agreement.
+        if view.joined.contains(&ctx.id()) && !self.view_times.is_empty() {
+            self.protocol.reset();
+            self.pending.clear();
+        }
+
         self.epoch = view.id;
         self.view_times.push((view.id, ctx.now()));
         self.note_event(
@@ -384,6 +498,10 @@ impl Client for SecureMember {
                 group_size: view.members.len(),
             },
         );
+        if self.phase == AgreementPhase::GivenUp {
+            return; // reported above; stop participating
+        }
+        self.phase = AgreementPhase::Running;
 
         let is_initial = view.joined.len() == view.members.len();
         if is_initial {
@@ -429,6 +547,9 @@ impl Client for SecureMember {
     }
 
     fn on_message(&mut self, ctx: &mut ClientCtx<'_>, msg: &Delivery) {
+        if self.phase == AgreementPhase::GivenUp {
+            return; // no longer participating
+        }
         let env = match Envelope::decode(&msg.payload) {
             Ok(e) => e,
             Err(_) => {

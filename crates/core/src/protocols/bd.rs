@@ -73,8 +73,16 @@ impl Bd {
         let pos = self.position(me)?;
         let next = self.neighbour(pos, 1);
         let prev = self.neighbour(pos, -1);
-        let z_next = self.z[&next].clone();
-        let z_prev = self.z[&prev].clone();
+        let z_next = self
+            .z
+            .get(&next)
+            .cloned()
+            .ok_or(GkaError::MissingState("neighbour z value"))?;
+        let z_prev = self
+            .z
+            .get(&prev)
+            .cloned()
+            .ok_or(GkaError::MissingState("neighbour z value"))?;
         let p = ctx.suite.group().modulus().clone();
         // Group-element inversion of z_prev (extended Euclid, charged
         // as an inverse, not an exponentiation).
@@ -86,7 +94,7 @@ impl Bd {
         let r = self
             .my_r
             .clone()
-            .ok_or(GkaError::Protocol("no session random"))?;
+            .ok_or(GkaError::MissingState("no session random"))?;
         let x = ctx.exp(&ratio, &r);
         self.x.insert(me, x.clone());
         self.sent_round2 = true;
@@ -106,18 +114,26 @@ impl Bd {
         let r = self
             .my_r
             .clone()
-            .ok_or(GkaError::Protocol("no session random"))?;
+            .ok_or(GkaError::MissingState("no session random"))?;
         let q = ctx.suite.group().order();
         // A = z_{i-1}^{n * r_i}: one full exponentiation.
         let e = r.modmul(&Ubig::from(n as u64), q);
-        let z_prev = self.z[&prev].clone();
+        let z_prev = self
+            .z
+            .get(&prev)
+            .cloned()
+            .ok_or(GkaError::MissingState("neighbour z value"))?;
         let mut acc = ctx.exp(&z_prev, &e);
         // Multiply X_{i+j}^{n-1-j} for j = 0..n-1 (the last factor has
         // exponent 1 — a plain multiplication).
         for j in 0..(n.saturating_sub(1)) {
             let m = self.neighbour(pos, j as isize);
             let exp = (n - 1 - j) as u64;
-            let xv = self.x[&m].clone();
+            let xv = self
+                .x
+                .get(&m)
+                .cloned()
+                .ok_or(GkaError::MissingState("member X value"))?;
             let term = if exp == 1 {
                 xv
             } else {
@@ -212,6 +228,10 @@ impl GkaProtocol for Bd {
         self.members = members.to_vec();
         self.my_r = members.iter().position(|&m| m == me).map(|i| rs[i].clone());
         self.secret = Some(suite.group().exp_g(&e));
+    }
+
+    fn reset(&mut self) {
+        *self = Bd::new();
     }
 }
 

@@ -41,13 +41,22 @@ fn blob_nonce(epoch: u64, member: ClientId) -> [u8; 12] {
     h.update(b"ckd-nonce");
     h.update(&epoch.to_be_bytes());
     h.update(&(member as u64).to_be_bytes());
-    h.finalize()[..12].try_into().expect("12 bytes")
+    let mut nonce = [0u8; 12];
+    for (dst, src) in nonce.iter_mut().zip(h.finalize()) {
+        *dst = src;
+    }
+    nonce
 }
 
 fn blob_key(pairwise: &Ubig) -> [u8; 16] {
-    kdf::derive(pairwise, b"ckd-pairwise", 16)
-        .try_into()
-        .expect("16 bytes")
+    let mut key = [0u8; 16];
+    for (dst, src) in key
+        .iter_mut()
+        .zip(kdf::derive(pairwise, b"ckd-pairwise", 16))
+    {
+        *dst = src;
+    }
+    key
 }
 
 /// CKD protocol engine for one member.
@@ -86,8 +95,10 @@ impl Ckd {
         }
     }
 
-    fn controller(&self) -> ClientId {
-        *self.members.first().expect("non-empty group")
+    /// The controller — the oldest member — or `None` for an empty
+    /// membership (a cascaded view can leave a member with no group).
+    fn controller(&self) -> Option<ClientId> {
+        self.members.first().copied()
     }
 
     /// Controller-side: distribute a fresh secret to all members,
@@ -98,11 +109,10 @@ impl Ckd {
         let x = self
             .controller_exp
             .clone()
-            .ok_or(GkaError::Protocol("controller has no fresh exponent"))?;
-        let controller_pub = self
-            .controller_pub
-            .clone()
-            .ok_or(GkaError::Protocol("controller public value not derived"))?;
+            .ok_or(GkaError::MissingState("controller has no fresh exponent"))?;
+        let controller_pub = self.controller_pub.clone().ok_or(GkaError::MissingState(
+            "controller public value not derived",
+        ))?;
         // Fresh group secret (a random value; not contributory).
         let secret = ctx.rng.next_ubig_in_range(ctx.suite.group().modulus());
         let secret_bytes = secret.to_be_bytes_padded(BLOB_LEN);
@@ -141,13 +151,13 @@ impl Ckd {
     fn start_rekey(&mut self, ctx: &mut GkaCtx<'_>, invite: Vec<ClientId>) -> Result<(), GkaError> {
         ctx.mark_round("CKD", 1);
         let x = ctx.fresh_exponent();
-        self.controller_pub = Some(ctx.exp_g(&x));
+        let controller_pub = ctx.exp_g(&x);
+        self.controller_pub = Some(controller_pub.clone());
         self.controller_exp = Some(x);
         self.awaiting = invite.iter().copied().collect();
         if self.awaiting.is_empty() {
             return self.distribute(ctx);
         }
-        let controller_pub = self.controller_pub.clone().expect("just derived");
         let msg = ProtocolMsg::CkdInvite {
             controller_pub,
             invited: invite.clone(),
@@ -181,7 +191,10 @@ impl GkaProtocol for Ckd {
         for l in &view.left {
             self.pubs.remove(l);
         }
-        if ctx.me() != self.controller() {
+        let Some(controller) = self.controller() else {
+            return Ok(()); // empty view: nothing to key
+        };
+        if me != controller {
             return Ok(()); // wait for invite / key distribution
         }
 
@@ -211,7 +224,7 @@ impl GkaProtocol for Ckd {
     ) -> Result<(), GkaError> {
         match msg {
             ProtocolMsg::CkdInvite { invited, .. } => {
-                if sender != self.controller() {
+                if Some(sender) != self.controller() {
                     return Err(GkaError::UnexpectedMessage("invite from a non-controller"));
                 }
                 if !invited.contains(&ctx.me()) {
@@ -231,7 +244,7 @@ impl GkaProtocol for Ckd {
                 Ok(())
             }
             ProtocolMsg::CkdResponse { member_pub } => {
-                if self.me != Some(self.controller()) {
+                if self.controller().is_none() || self.me != self.controller() {
                     return Err(GkaError::UnexpectedMessage("response at a non-controller"));
                 }
                 ctx.suite
@@ -249,7 +262,7 @@ impl GkaProtocol for Ckd {
                 controller_pub,
                 blobs,
             } => {
-                if sender != self.controller() {
+                if Some(sender) != self.controller() {
                     return Err(GkaError::UnexpectedMessage(
                         "key dist from a non-controller",
                     ));
@@ -258,7 +271,7 @@ impl GkaProtocol for Ckd {
                 let x = self
                     .my_exp
                     .clone()
-                    .ok_or(GkaError::Protocol("no pairwise exponent"))?;
+                    .ok_or(GkaError::MissingState("no pairwise exponent"))?;
                 let pairwise = ctx.exp(&controller_pub, &x);
                 let (_, ct) = blobs
                     .iter()
@@ -306,6 +319,10 @@ impl GkaProtocol for Ckd {
         };
         let shared = group.exp_g(&cx.modmul(&cx, group.order()));
         self.secret = Some(shared);
+    }
+
+    fn reset(&mut self) {
+        *self = Ckd::new();
     }
 }
 

@@ -107,7 +107,7 @@ impl Gdh {
             .collect();
         let controller = *old_members
             .last()
-            .ok_or(GkaError::Protocol("no surviving members"))?;
+            .ok_or(GkaError::MissingState("no surviving members"))?;
         if ctx.me() != controller {
             self.stage = Stage::AwaitPartialKeys;
             return Ok(());
@@ -117,9 +117,11 @@ impl Gdh {
         let old_r = self
             .my_exp
             .clone()
-            .ok_or(GkaError::Protocol("controller lacks a contribution"))?;
+            .ok_or(GkaError::MissingState("controller lacks a contribution"))?;
         if self.partial_keys.len() != old_members.len() {
-            return Err(GkaError::Protocol("controller lacks the partial-key list"));
+            return Err(GkaError::MissingState(
+                "controller lacks the partial-key list",
+            ));
         }
         let fresh = ctx.fresh_exponent();
         let q = ctx.suite.group().order().clone();
@@ -155,7 +157,9 @@ impl Gdh {
         self.secret = None;
         let me = ctx.me();
         let old = self.old_members();
-        let old_controller = *old.last().expect("merge needs an existing group");
+        let old_controller = *old
+            .last()
+            .ok_or(GkaError::MissingState("merge without an existing group"))?;
         if me == old_controller {
             // Refresh contribution: token = K_me^{r'} = g^{∏ old}.
             ctx.mark_round("GDH", 1);
@@ -163,11 +167,14 @@ impl Gdh {
                 .partial_keys
                 .get(&me)
                 .cloned()
-                .ok_or(GkaError::Protocol("controller lacks its partial key"))?;
+                .ok_or(GkaError::MissingState("controller lacks its partial key"))?;
+            let first_new = *self
+                .new_members
+                .first()
+                .ok_or(GkaError::MissingState("merge without new members"))?;
             let fresh = ctx.fresh_exponent();
             let token = ctx.exp(&k_me, &fresh);
             self.my_exp = Some(fresh);
-            let first_new = self.new_members[0];
             ctx.send(
                 SendKind::UnicastAgreed(first_new),
                 &ProtocolMsg::GdhChainToken { token },
@@ -192,14 +199,14 @@ impl Gdh {
     /// The new controller (last new member) finishes the protocol once
     /// every factor-out has arrived.
     fn try_finish_collection(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
-        let expected = self.members.len() - 1;
+        let expected = self.members.len().saturating_sub(1);
         if self.factor_outs.len() < expected {
             return Ok(());
         }
         let token = self
             .broadcast_token
             .clone()
-            .ok_or(GkaError::Protocol("missing broadcast token"))?;
+            .ok_or(GkaError::MissingState("missing broadcast token"))?;
         ctx.mark_round("GDH", 4);
         let fresh = ctx.fresh_exponent();
         let mut entries: Vec<(ClientId, Ubig)> = Vec::with_capacity(self.members.len());
@@ -254,7 +261,10 @@ impl GkaProtocol for Gdh {
             }
             if joined.is_empty() {
                 // A group of one: the secret is g^{r}.
-                let r = self.my_exp.clone().expect("own exponent");
+                let r = self
+                    .my_exp
+                    .clone()
+                    .ok_or(GkaError::MissingState("own exponent"))?;
                 let g = ctx.suite.group().generator().clone();
                 self.secret = Some(ctx.exp(&g, &r));
                 self.stage = Stage::Idle;
@@ -298,7 +308,7 @@ impl GkaProtocol for Gdh {
                     .new_members
                     .iter()
                     .position(|&m| m == me)
-                    .ok_or(GkaError::Protocol("chain token at a non-new member"))?;
+                    .ok_or(GkaError::MissingState("chain token at a non-new member"))?;
                 let last = self.new_members.len() - 1;
                 if pos < last {
                     // Add our contribution and forward.
@@ -332,7 +342,7 @@ impl GkaProtocol for Gdh {
                 let r = self
                     .my_exp
                     .clone()
-                    .ok_or(GkaError::Protocol("no contribution to factor out"))?;
+                    .ok_or(GkaError::MissingState("no contribution to factor out"))?;
                 ctx.mark_round("GDH", 3);
                 let r_inv = ctx.invert_exponent(&r);
                 let value = ctx.exp(&token, &r_inv);
@@ -365,11 +375,11 @@ impl GkaProtocol for Gdh {
                     .partial_keys
                     .get(&me)
                     .cloned()
-                    .ok_or(GkaError::Protocol("partial-key list misses me"))?;
+                    .ok_or(GkaError::MissingState("partial-key list misses me"))?;
                 let r = self
                     .my_exp
                     .clone()
-                    .ok_or(GkaError::Protocol("no contribution"))?;
+                    .ok_or(GkaError::MissingState("no contribution"))?;
                 self.secret = Some(ctx.exp(&k_me, &r));
                 self.stage = Stage::Idle;
                 self.maybe_start_pending_merge(ctx)
@@ -396,7 +406,12 @@ impl GkaProtocol for Gdh {
         }
         self.partial_keys.clear();
         for (m, r) in &exps {
-            let r_inv = r.mod_inverse(&q).expect("prime order");
+            // q is prime and exponents are nonzero, so the inverse
+            // always exists; skipping (instead of panicking) merely
+            // leaves one partial key out, surfaced later as a GkaError.
+            let Some(r_inv) = r.mod_inverse(&q) else {
+                continue;
+            };
             let e = product.modmul(&r_inv, &q);
             self.partial_keys.insert(*m, group.exp_g(&e));
             if *m == me {
@@ -407,6 +422,10 @@ impl GkaProtocol for Gdh {
         self.members = members.to_vec();
         self.secret = Some(group.exp_g(&product));
         self.stage = Stage::Idle;
+    }
+
+    fn reset(&mut self) {
+        *self = Gdh::new();
     }
 }
 

@@ -84,10 +84,19 @@ impl std::fmt::Display for ProtocolKind {
 }
 
 /// Errors surfaced by protocol state machines.
+///
+/// Every driver returns these instead of panicking, so a cascaded
+/// membership event (a view superseding a round that was still in
+/// flight) degrades into an abort-and-restart at the session layer
+/// rather than tearing the process down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GkaError {
     /// A message arrived that the current state cannot accept.
     UnexpectedMessage(&'static str),
+    /// State a handler needs is absent — typically because a cascaded
+    /// membership event superseded the round that would have produced
+    /// it. Recoverable by restarting the agreement in the new epoch.
+    MissingState(&'static str),
     /// Internal invariant violated (indicates a bug or a Byzantine
     /// peer, which the paper's threat model excludes).
     Protocol(&'static str),
@@ -97,12 +106,16 @@ impl std::fmt::Display for GkaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GkaError::UnexpectedMessage(what) => write!(f, "unexpected protocol message: {what}"),
+            GkaError::MissingState(what) => write!(f, "missing protocol state: {what}"),
             GkaError::Protocol(what) => write!(f, "protocol invariant violated: {what}"),
         }
     }
 }
 
 impl std::error::Error for GkaError {}
+
+/// The error type protocol drivers surface to the session layer.
+pub type ProtocolError = GkaError;
 
 /// How a protocol message is to be delivered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -325,6 +338,13 @@ pub trait GkaProtocol: std::any::Any {
     /// DESIGN.md). `seed` must be identical across the members of the
     /// component.
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64);
+
+    /// Discards all group state, returning the engine to its freshly
+    /// constructed condition (tuning knobs like the TGDH tree policy
+    /// survive). The session layer calls this when a member rejoins
+    /// after a partition healed: the rejoiner participates in the merge
+    /// as a fresh singleton instead of replaying stale keys.
+    fn reset(&mut self);
 }
 
 /// Derives member `m`'s deterministic bootstrap exponent for a

@@ -78,7 +78,11 @@ impl Chain {
                 None => h.update(b"?"),
             }
         }
-        h.finalize().try_into().expect("32 bytes")
+        let mut fp = [0u8; 32];
+        for (dst, src) in fp.iter_mut().zip(h.finalize()) {
+            *dst = src;
+        }
+        fp
     }
 
     fn remove_members(&mut self, leaving: &[ClientId]) -> usize {
@@ -150,11 +154,14 @@ impl Str {
         }
     }
 
-    fn refresh_my_leaf(&mut self, ctx: &mut GkaCtx<'_>) {
+    fn refresh_my_leaf(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
         let me = ctx.me();
         let r = ctx.fresh_exponent();
         let b = ctx.exp_g(&r);
-        let p = self.chain.position(me).expect("own position");
+        let p = self
+            .chain
+            .position(me)
+            .ok_or(GkaError::MissingState("own position in the STR chain"))?;
         self.chain.leaf_bkeys[p] = Some(b);
         // Everything at or above our level is stale.
         for i in p..self.chain.len() {
@@ -162,6 +169,7 @@ impl Str {
             self.chain.internal_bkeys[i] = None;
         }
         self.my_r = Some(r);
+        Ok(())
     }
 
     /// Recomputes as much of the key chain as possible; publishes
@@ -173,12 +181,39 @@ impl Str {
         let p = self
             .chain
             .position(me)
-            .ok_or(GkaError::Protocol("not in the STR chain"))?;
+            .ok_or(GkaError::MissingState("not in the STR chain"))?;
         let r = self
             .my_r
             .clone()
-            .ok_or(GkaError::Protocol("no session random"))?;
+            .ok_or(GkaError::MissingState("no session random"))?;
         let mut published = false;
+
+        // Our leaf's blinded key is ours alone to regenerate; a
+        // cascaded view change can cut the round that would have
+        // circulated it, and an assembled merge chain then lacks it
+        // everywhere else. Restoring it is news the group needs:
+        // force a broadcast.
+        if self.chain.leaf_bkeys[p].is_none() {
+            let b = ctx.exp_g(&r);
+            self.chain.leaf_bkeys[p] = Some(b);
+            published = true;
+        }
+
+        // Dynamic sponsorship — the STR analog of TGDH's
+        // lowest-incomplete rule: the member sitting at the lowest
+        // level whose internal blinded key is missing takes over
+        // publication. After a cascaded cut the statically designated
+        // sponsor can sit *above* the wound, blocked on exactly those
+        // keys. (In clean runs this resolves to the static sponsor.)
+        if !self.publisher {
+            if let Some(w) =
+                (1..n.saturating_sub(1)).find(|&i| self.chain.internal_bkeys[i].is_none())
+            {
+                if self.chain.order[w] == me {
+                    self.publisher = true;
+                }
+            }
+        }
 
         // Establish k at our own level.
         if self.keys[p].is_none() {
@@ -215,7 +250,9 @@ impl Str {
                     let Some(bleaf) = self.chain.leaf_bkeys[i].clone() else {
                         return Ok(published); // blocked
                     };
-                    let below = self.keys[i - 1].clone().expect("chained");
+                    let Some(below) = self.keys[i - 1].clone() else {
+                        return Ok(published); // blocked lower down
+                    };
                     let k = ctx.exp(&bleaf, &below);
                     self.cache.insert(fp, k.clone());
                     self.keys[i] = Some(k);
@@ -224,9 +261,10 @@ impl Str {
             if self.publisher && self.chain.internal_bkeys[i].is_none() && i < n - 1 {
                 // Blind every internal key except the root ("up to the
                 // intermediate node just below the root", §4.4).
-                let k = self.keys[i].clone().expect("just set");
-                self.chain.internal_bkeys[i] = Some(ctx.exp_g(&k));
-                published = true;
+                if let Some(k) = self.keys[i].clone() {
+                    self.chain.internal_bkeys[i] = Some(ctx.exp_g(&k));
+                    published = true;
+                }
             }
         }
         // The publisher also blinds its own-level node (needed by the
@@ -265,7 +303,7 @@ impl Str {
         comps.sort_by_key(|c| {
             (
                 std::cmp::Reverse(c.len()),
-                *c.order.iter().min().expect("non-empty"),
+                c.order.iter().min().copied().unwrap_or(ClientId::MAX),
             )
         });
         // Stack: largest at the bottom, the rest on top (their internal
@@ -287,7 +325,9 @@ impl Str {
         // Round-2 sponsor: top member of the bottom (largest) component.
         // (Keep any publisher role acquired earlier — e.g. the leave
         // sponsor of a combined leave+join.)
-        let sponsor = self.chain.order[bottom_len - 1];
+        let Some(&sponsor) = self.chain.order.get(bottom_len.wrapping_sub(1)) else {
+            return Err(GkaError::MissingState("empty merged STR chain"));
+        };
         self.publisher = self.publisher || ctx.me() == sponsor;
         if self.progress(ctx)? {
             self.broadcast(ctx);
@@ -356,7 +396,7 @@ impl GkaProtocol for Str {
                     let r = self
                         .my_r
                         .clone()
-                        .ok_or(GkaError::Protocol("no session random"))?;
+                        .ok_or(GkaError::MissingState("no session random"))?;
                     self.secret = Some(r);
                     return Ok(());
                 }
@@ -368,7 +408,7 @@ impl GkaProtocol for Str {
                     // group even when no internal key needs publishing
                     // (e.g. the sponsor ends up at the top).
                     self.publisher = true;
-                    self.refresh_my_leaf(ctx);
+                    self.refresh_my_leaf(ctx)?;
                     let _ = self.progress(ctx)?;
                     self.broadcast(ctx);
                 } else {
@@ -402,20 +442,26 @@ impl GkaProtocol for Str {
                 self.keys = vec![None; 1];
             }
             // Component sponsor: the top member.
-            let top = *self.chain.order.last().expect("non-empty");
+            let top = *self
+                .chain
+                .order
+                .last()
+                .ok_or(GkaError::MissingState("empty STR component"))?;
             if top == me {
                 self.publisher = true;
-                self.refresh_my_leaf(ctx);
+                self.refresh_my_leaf(ctx)?;
                 let _ = self.progress(ctx)?;
                 let mut key: Vec<ClientId> = self.chain.order.clone();
                 key.sort_unstable();
                 self.components.insert(key, self.chain.clone());
                 self.broadcast(ctx);
             } else {
-                let pos = self.chain.position(top).expect("top in chain");
-                self.chain.leaf_bkeys[pos] = None;
-                for i in pos..self.chain.len() {
-                    self.chain.internal_bkeys[i] = None;
+                // `top` came from the chain, so its position exists.
+                if let Some(pos) = self.chain.position(top) {
+                    self.chain.leaf_bkeys[pos] = None;
+                    for i in pos..self.chain.len() {
+                        self.chain.internal_bkeys[i] = None;
+                    }
                 }
             }
             return self.try_assemble(ctx);
@@ -489,22 +535,25 @@ impl GkaProtocol for Str {
             }
             chain.order.push(m);
             chain.leaf_bkeys.push(Some(group.exp_g(&r)));
-            k = Some(match k {
+            let next = match k {
                 None => r,
                 Some(prev) => group.exp(&group.exp_g(&r), &prev),
-            });
-            keys.push(k.clone());
+            };
             chain.internal_bkeys.push(if i > 0 && i < n - 1 {
-                Some(group.exp_g(keys[i].as_ref().expect("key")))
+                Some(group.exp_g(&next))
             } else {
                 None
             });
+            keys.push(Some(next.clone()));
+            k = Some(next);
         }
         // Seed the cache with every prefix key.
         self.cache.clear();
         for (i, k) in keys.iter().enumerate().skip(1) {
-            let fp = chain.prefix_fingerprint(i);
-            self.cache.insert(fp, k.clone().expect("key"));
+            if let Some(k) = k {
+                let fp = chain.prefix_fingerprint(i);
+                self.cache.insert(fp, k.clone());
+            }
         }
         self.me = Some(me);
         self.view_members = members.to_vec();
@@ -512,6 +561,10 @@ impl GkaProtocol for Str {
         self.chain = chain;
         self.keys = keys;
         self.merging = false;
+    }
+
+    fn reset(&mut self) {
+        *self = Str::new();
     }
 }
 

@@ -111,15 +111,19 @@ impl Tgdh {
         }
     }
 
-    fn refresh_my_leaf(&mut self, ctx: &mut GkaCtx<'_>) {
+    fn refresh_my_leaf(&mut self, ctx: &mut GkaCtx<'_>) -> Result<(), GkaError> {
         let me = ctx.me();
         let r = ctx.fresh_exponent();
         let bkey = ctx.exp_g(&r);
-        let leaf = self.tree.leaf_of(me).expect("own leaf present");
+        let leaf = self
+            .tree
+            .leaf_of(me)
+            .ok_or(GkaError::MissingState("own leaf missing from tree"))?;
         self.tree.invalidate_to_root(leaf);
         self.tree.node_mut(leaf).key = Some(r.clone());
         self.tree.node_mut(leaf).bkey = Some(bkey);
         self.my_r = Some(r);
+        Ok(())
     }
 
     /// Marks another member's refresh: its leaf bkey and path become
@@ -137,7 +141,7 @@ impl Tgdh {
     fn progress(&mut self, ctx: &mut GkaCtx<'_>) -> Result<bool, GkaError> {
         let me = ctx.me();
         let Some(mut cur) = self.tree.leaf_of(me) else {
-            return Err(GkaError::Protocol("own leaf missing from tree"));
+            return Err(GkaError::MissingState("own leaf missing from tree"));
         };
         // Sponsor determination: the rightmost leaf under the lowest
         // recomputable incomplete node takes over publication duties
@@ -157,6 +161,19 @@ impl Tgdh {
             self.tree.node_mut(cur).key = self.my_r.clone();
         }
         let mut published = false;
+        // Our leaf's blinded key is information only we can regenerate.
+        // A cascaded view change can cut the round that would have
+        // circulated it (everyone else invalidated our path when we
+        // refreshed), leaving adopted trees without it — and our
+        // sibling then has no way to compute our shared parent.
+        // Restoring it is news the group needs: force a broadcast.
+        if self.tree.node(cur).bkey.is_none() {
+            if let Some(r) = self.my_r.clone() {
+                let bkey = ctx.exp_g(&r);
+                self.tree.node_mut(cur).bkey = Some(bkey);
+                published = true;
+            }
+        }
         while let Some(parent) = self.tree.node(cur).parent {
             if self.tree.node(parent).key.is_none() {
                 let fp = self.tree.fingerprint(parent);
@@ -166,7 +183,10 @@ impl Tgdh {
                         self.tree.node_mut(parent).bkey = entry.bkey.clone();
                     }
                 } else {
-                    let sib = self.tree.sibling(cur).expect("internal parent");
+                    let sib = self
+                        .tree
+                        .sibling(cur)
+                        .ok_or(GkaError::MissingState("sibling of a path node"))?;
                     let Some(sib_bkey) = self.tree.node(sib).bkey.clone() else {
                         break; // cannot proceed past this point yet
                     };
@@ -175,7 +195,7 @@ impl Tgdh {
                         .node(cur)
                         .key
                         .clone()
-                        .ok_or(GkaError::Protocol("missing key on own path"))?;
+                        .ok_or(GkaError::MissingState("missing key on own path"))?;
                     let key = ctx.exp(&sib_bkey, &my_key);
                     self.tree.node_mut(parent).key = Some(key.clone());
                     self.cache.insert(fp, CacheEntry { key, bkey: None });
@@ -268,7 +288,7 @@ impl Tgdh {
         let leaf = self
             .tree
             .leaf_of(me)
-            .ok_or(GkaError::Protocol("own leaf missing after merge"))?;
+            .ok_or(GkaError::MissingState("own leaf missing after merge"))?;
         self.tree.node_mut(leaf).key = self.my_r.clone();
         self.merging = false;
         self.components.clear();
@@ -298,7 +318,7 @@ impl Tgdh {
             // We sponsor our component: refresh, recompute our path
             // (keys + blinded keys) and broadcast.
             self.publisher = true;
-            self.refresh_my_leaf(ctx);
+            self.refresh_my_leaf(ctx)?;
             let _ = self.progress(ctx)?;
             let mut key = self.tree.members();
             key.sort_unstable();
@@ -308,7 +328,11 @@ impl Tgdh {
             // Our sponsor refreshed; its path is stale for us until
             // its broadcast arrives. We rely on the broadcast copy of
             // our own component, so nothing to do here.
-            let sponsor = self.tree.node(sponsor_leaf).member.expect("leaf");
+            let sponsor = self
+                .tree
+                .node(sponsor_leaf)
+                .member
+                .ok_or(GkaError::MissingState("rightmost node is not a leaf"))?;
             self.invalidate_member_path(sponsor);
         }
         self.try_assemble(ctx)
@@ -351,7 +375,7 @@ impl GkaProtocol for Tgdh {
             let r = self
                 .my_r
                 .clone()
-                .ok_or(GkaError::Protocol("no session random"))?;
+                .ok_or(GkaError::MissingState("no session random"))?;
             self.secret = Some(r);
             return Ok(());
         }
@@ -361,18 +385,18 @@ impl GkaProtocol for Tgdh {
         let anchor = self
             .tree
             .lowest_incomplete()
-            .ok_or(GkaError::Protocol("leave without an affected node"))?;
+            .ok_or(GkaError::MissingState("leave without an affected node"))?;
         let refresher_leaf = self.tree.rightmost_leaf(anchor);
         let refresher = self
             .tree
             .node(refresher_leaf)
             .member
-            .ok_or(GkaError::Protocol("rightmost node is not a leaf"))?;
+            .ok_or(GkaError::MissingState("rightmost node is not a leaf"))?;
         if refresher == me {
             // Our refreshed leaf blinded key is itself news the group
             // needs: broadcast regardless of internal publications.
             self.publisher = true;
-            self.refresh_my_leaf(ctx);
+            self.refresh_my_leaf(ctx)?;
             let _ = self.progress(ctx)?;
             self.broadcast_tree(ctx);
         } else {
@@ -412,7 +436,7 @@ impl GkaProtocol for Tgdh {
                 let leaf = self
                     .tree
                     .leaf_of(me)
-                    .ok_or(GkaError::Protocol("own leaf missing in adopted tree"))?;
+                    .ok_or(GkaError::MissingState("own leaf missing in adopted tree"))?;
                 self.tree.node_mut(leaf).key = self.my_r.clone();
                 self.merging = false;
                 self.components.clear();
@@ -451,20 +475,23 @@ impl GkaProtocol for Tgdh {
                 self.my_r = Some(r);
             }
         }
-        // Fill every internal key bottom-up.
-        fn fill(tree: &mut KeyTree, idx: usize, group: &gkap_crypto::dh::DhGroup) -> Ubig {
+        // Fill every internal key bottom-up. Bootstrap trees always
+        // carry leaf bkeys and two children per internal node, so the
+        // `None` arms are unreachable; they degrade to a missing
+        // secret (surfaced as a GkaError later) instead of a panic.
+        fn fill(tree: &mut KeyTree, idx: usize, group: &gkap_crypto::dh::DhGroup) -> Option<Ubig> {
             if let Some(k) = tree.node(idx).key.clone() {
-                return k;
+                return Some(k);
             }
-            let (l, r) = tree.node(idx).children.expect("internal node");
-            let _ = fill(tree, l, group);
-            let rk = fill(tree, r, group);
-            let l_bk = tree.node(l).bkey.clone().expect("bootstrap bkey");
+            let (l, r) = tree.node(idx).children?;
+            let _ = fill(tree, l, group)?;
+            let rk = fill(tree, r, group)?;
+            let l_bk = tree.node(l).bkey.clone()?;
             let key = group.exp(&l_bk, &rk);
             let bkey = group.exp_g(&key);
             tree.node_mut(idx).key = Some(key.clone());
             tree.node_mut(idx).bkey = Some(bkey);
-            key
+            Some(key)
         }
         let root = tree.root();
         let secret = fill(&mut tree, root, group);
@@ -487,9 +514,16 @@ impl GkaProtocol for Tgdh {
         self.me = Some(me);
         self.view_members = members.to_vec();
         self.tree = tree;
-        self.secret = Some(secret);
+        self.secret = secret;
         self.merging = false;
         self.components.clear();
+    }
+
+    fn reset(&mut self) {
+        *self = Tgdh {
+            policy: self.policy,
+            ..Tgdh::new()
+        };
     }
 }
 

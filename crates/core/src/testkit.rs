@@ -43,6 +43,9 @@ struct Slot {
     protocol: Box<dyn GkaProtocol>,
     counts: OpCounts,
     rng: SplitMix64,
+    /// View epochs delivered to this member, in delivery order
+    /// (cascade tests assert strict monotonicity).
+    epochs: Vec<u64>,
 }
 
 /// The loopback world: engines + a FIFO message queue standing in for
@@ -80,6 +83,7 @@ impl Loopback {
                     protocol: factory(),
                     counts: OpCounts::default(),
                     rng: SplitMix64::new(0xbeef ^ (id as u64) << 4),
+                    epochs: Vec::new(),
                 })
                 .collect(),
             suite,
@@ -154,6 +158,46 @@ impl Loopback {
         joined: Vec<ClientId>,
         left: Vec<ClientId>,
     ) {
+        self.begin_view(members, joined, left);
+        self.drain();
+        // Every member must hold the key now.
+        for s in &self.members {
+            if self.view.contains(&s.id) {
+                assert!(
+                    s.protocol.group_secret().is_some(),
+                    "member {} did not reach a key (protocol deadlock?)",
+                    s.id
+                );
+            }
+        }
+    }
+
+    /// Installs a view but cuts the agreement mid-round: only the
+    /// first `deliver` queued messages are handed out, then control
+    /// returns with the round incomplete. Messages still queued belong
+    /// to the now-superseded epoch; the next `install_view*` call
+    /// discards them — the view-synchronous cut, where receivers
+    /// already in the next epoch drop stale traffic (exactly
+    /// [`crate::member::SecureMember`]'s epoch filter). Returns how
+    /// many messages were actually delivered (may be under `deliver`
+    /// if the round finished early).
+    pub fn install_view_interrupted(
+        &mut self,
+        members: Vec<ClientId>,
+        joined: Vec<ClientId>,
+        left: Vec<ClientId>,
+        deliver: usize,
+    ) -> usize {
+        self.begin_view(members, joined, left);
+        self.deliver_some(deliver)
+    }
+
+    /// Delivers the new view to every surviving member (discarding
+    /// traffic left over from an interrupted round first).
+    fn begin_view(&mut self, members: Vec<ClientId>, joined: Vec<ClientId>, left: Vec<ClientId>) {
+        // Anything still queued was sent in the superseded epoch;
+        // receivers would drop it as stale.
+        self.queue.clear();
         self.epoch += 1;
         let view = View {
             id: self.epoch,
@@ -167,20 +211,10 @@ impl Loopback {
             if !view.members.contains(&id) {
                 continue;
             }
+            self.members[idx].epochs.push(view.id);
             self.with_ctx(idx, |protocol, ctx| {
                 protocol.on_view(ctx, &view).expect("on_view failed");
             });
-        }
-        self.drain();
-        // Every member must hold the key now.
-        for s in &self.members {
-            if self.view.contains(&s.id) {
-                assert!(
-                    s.protocol.group_secret().is_some(),
-                    "member {} did not reach a key (protocol deadlock?)",
-                    s.id
-                );
-            }
         }
     }
 
@@ -206,10 +240,19 @@ impl Loopback {
 
     /// Delivers queued messages (in total order) until quiescent.
     fn drain(&mut self) {
-        let mut guard = 0;
-        while let Some((sender, kind, wire)) = self.queue.pop_front() {
-            guard += 1;
-            assert!(guard < 100_000, "loopback runaway message loop");
+        self.deliver_some(usize::MAX);
+    }
+
+    /// Delivers at most `budget` queued messages (in total order);
+    /// returns how many were delivered.
+    fn deliver_some(&mut self, budget: usize) -> usize {
+        let mut handed_out = 0;
+        while handed_out < budget {
+            let Some((sender, kind, wire)) = self.queue.pop_front() else {
+                break;
+            };
+            handed_out += 1;
+            assert!(handed_out < 100_000, "loopback runaway message loop");
             let env = Envelope::decode(&wire).expect("well-formed envelope");
             let targets: Vec<ClientId> = match kind {
                 SendKind::Multicast => self.view.iter().copied().filter(|&m| m != sender).collect(),
@@ -246,6 +289,7 @@ impl Loopback {
                 });
             }
         }
+        handed_out
     }
 
     /// All current members' secrets, asserting they agree; returns the
@@ -293,5 +337,20 @@ impl Loopback {
     /// The current view members.
     pub fn view(&self) -> &[ClientId] {
         &self.view
+    }
+
+    /// The view epochs delivered to `id`, in order (cascade tests
+    /// assert these are strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown id.
+    pub fn epochs_of(&self, id: ClientId) -> &[u64] {
+        &self
+            .members
+            .iter()
+            .find(|s| s.id == id)
+            .expect("unknown member")
+            .epochs
     }
 }

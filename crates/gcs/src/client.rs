@@ -63,6 +63,14 @@ impl ClientCtx<'_> {
         }
     }
 
+    /// A detached context for driving a [`Client`] outside the
+    /// simulator — unit tests of client state machines that need
+    /// precise control over view delivery. Messages sent through it
+    /// are collected but go nowhere.
+    pub fn detached(id: ClientId, now: SimTime, view_id: u64) -> Self {
+        ClientCtx::new(id, now, view_id, 1.0)
+    }
+
     /// This client's identifier.
     pub fn id(&self) -> ClientId {
         self.id

@@ -38,6 +38,18 @@ pub struct GcsConfig {
     pub loss_rate: f64,
     /// Seed for the deterministic loss process.
     pub loss_seed: u64,
+    /// Maximum missing sequence numbers a daemon may request per token
+    /// visit during gap recovery (Spread caps the per-visit
+    /// retransmission batch so one lossy link cannot monopolise the
+    /// token). Larger gaps recover over multiple token rotations;
+    /// `WorldStats::retransmission_rounds` counts them.
+    pub recovery_batch: usize,
+    /// How long the surviving daemons take to detect a crashed daemon
+    /// and reform the ring (Totem's token-loss timeout). Until
+    /// detection the token may be lost at the dead daemon; at
+    /// detection the ring is reformed, the token regenerated, and the
+    /// crashed daemon's clients leave via a view change.
+    pub crash_detection_timeout: Duration,
 }
 
 impl GcsConfig {
@@ -58,6 +70,10 @@ impl GcsConfig {
         assert!(
             (0.0..1.0).contains(&self.loss_rate),
             "loss rate must be in [0, 1)"
+        );
+        assert!(
+            self.recovery_batch > 0,
+            "recovery batch must allow at least one retransmission per visit"
         );
     }
 }

@@ -58,6 +58,14 @@ pub struct WorldStats {
     pub messages_lost: u64,
     /// Retransmissions performed to recover losses.
     pub retransmissions: u64,
+    /// Token visits on which a daemon issued at least one
+    /// retransmission request (a gap wider than
+    /// [`GcsConfig::recovery_batch`] needs several rounds).
+    pub retransmission_rounds: u64,
+    /// Daemons crashed via fault injection.
+    pub daemon_crashes: u64,
+    /// Ring reformations performed after crash detection.
+    pub ring_reformations: u64,
 }
 
 /// One observability record (enabled via [`SimWorld::enable_trace`]).
@@ -137,8 +145,9 @@ struct Submission {
 
 #[derive(Debug)]
 enum Ev {
-    /// The token arrives at `ring_idx`.
-    Token { ring_idx: usize },
+    /// The token of generation `gen` arrives at `daemon`. Stale
+    /// generations (superseded by a ring reformation) are ignored.
+    Token { daemon: DaemonId, gen: u64 },
     /// A sequenced Agreed message reaches a daemon.
     DaemonRecv { daemon: DaemonId, msg: Rc<WireMsg> },
     /// A client's send reaches its local daemon.
@@ -156,16 +165,30 @@ enum Ev {
     },
     /// A view change is handed to a client.
     ViewDeliver { client: ClientId, view: Rc<View> },
-    /// A retransmission request for `seq` reaches the daemon holding
-    /// the message, which re-sends it to `to`.
-    Retransmit { seq: u64, to: DaemonId },
+    /// A retransmission request for `seq` reaches `from` (an alive
+    /// daemon holding the message), which re-sends it to `to`.
+    Retransmit {
+        seq: u64,
+        to: DaemonId,
+        from: DaemonId,
+    },
     /// A causal multicast arrives at a client's daemon for causal
     /// delivery filtering.
     CausalArrive { client: ClientId, msg: CausalMsg },
+    /// The surviving daemons detect that `daemon` crashed: the ring
+    /// reforms, the token regenerates, the dead machine's members are
+    /// evicted via a view change.
+    CrashDetect { daemon: DaemonId },
+    /// A scheduled fault from a [`FaultPlan`] fires.
+    Fault { fault: crate::fault::Fault },
 }
 
 struct DaemonState {
     machine: MachineId,
+    /// False once the daemon has crashed: it stops sequencing,
+    /// delivering and forwarding the token, and the ring reforms
+    /// without it after the detection timeout.
+    alive: bool,
     pending: VecDeque<Submission>,
     received: BTreeMap<u64, Rc<WireMsg>>,
     /// Highest seq such that this daemon holds all messages `1..=seq`.
@@ -234,6 +257,12 @@ pub struct SimWorld {
     sent_msgs: HashMap<u64, Rc<WireMsg>>,
     /// Deterministic loss process.
     loss_rng: SplitMix64,
+    /// Token generation: bumped on every ring reformation so tokens
+    /// already in flight at crash detection are invalidated (exactly
+    /// one token survives a reformation).
+    token_gen: u64,
+    /// Temporary loss-rate override from a fault plan: `(rate, until)`.
+    loss_burst: Option<(f64, SimTime)>,
     /// Telemetry sink (disabled by default; recording never advances
     /// virtual time, so enabling it cannot change simulation results).
     telemetry: Telemetry,
@@ -263,6 +292,7 @@ impl SimWorld {
         let daemons = (0..machine_count)
             .map(|m| DaemonState {
                 machine: m,
+                alive: true,
                 pending: VecDeque::new(),
                 received: BTreeMap::new(),
                 contiguous: 0,
@@ -292,6 +322,8 @@ impl SimWorld {
             token_started: false,
             sent_msgs: HashMap::new(),
             loss_rng: SplitMix64::new(cfg.loss_seed),
+            token_gen: 0,
+            loss_burst: None,
             telemetry: Telemetry::disabled(),
             cfg,
         }
@@ -447,19 +479,11 @@ impl SimWorld {
     pub fn inject_change(&mut self, joined: Vec<ClientId>, left: Vec<ClientId>) {
         // Validate against the membership as it will stand once every
         // queued change has installed.
-        let mut members: Vec<ClientId> = match &self.active {
-            Some(active) => active.new_view.members.clone(),
-            None => self
-                .current_view
-                .as_ref()
-                .expect("no initial view installed")
-                .members
-                .clone(),
-        };
-        for ch in &self.pending_changes {
-            members.retain(|m| !ch.left.contains(m));
-            members.extend_from_slice(&ch.joined);
-        }
+        assert!(
+            self.active.is_some() || self.current_view.is_some(),
+            "no initial view installed"
+        );
+        let members = self.projected_members();
         for &j in &joined {
             assert!(j < self.clients.len(), "unknown client {j}");
             assert!(!members.contains(&j), "client {j} already a member");
@@ -490,6 +514,130 @@ impl SimWorld {
     /// Convenience: a merge adds several members at once.
     pub fn inject_merge(&mut self, joining: Vec<ClientId>) {
         self.inject_change(joining, vec![]);
+    }
+
+    /// The membership as it will stand once the active and every queued
+    /// change has installed (empty before any initial view). Fault
+    /// injectors consult this to aim joins/leaves at clients whose
+    /// membership status is already settled in-flight.
+    pub fn projected_members(&self) -> Vec<ClientId> {
+        let mut members: Vec<ClientId> = match &self.active {
+            Some(active) => active.new_view.members.clone(),
+            None => self
+                .current_view
+                .as_ref()
+                .map(|v| v.members.clone())
+                .unwrap_or_default(),
+        };
+        for ch in &self.pending_changes {
+            members.retain(|m| !ch.left.contains(m));
+            members.extend_from_slice(&ch.joined);
+        }
+        members
+    }
+
+    /// Crashes a daemon mid-token-rotation: it stops sequencing and
+    /// delivering instantly (pending submissions die with it, and a
+    /// token in flight towards it is lost), and its local clients die
+    /// with the machine. After
+    /// [`GcsConfig::crash_detection_timeout`] the surviving daemons
+    /// reform the ring, regenerate the token, and evict the dead
+    /// machine's members via a membership change — in-flight messages
+    /// that only the dead daemon held are recovered from the
+    /// retransmission buffers during subsequent token rotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `daemon` is out of range or has already crashed.
+    pub fn inject_crash(&mut self, daemon: DaemonId) {
+        assert!(daemon < self.daemons.len(), "unknown daemon {daemon}");
+        assert!(
+            self.daemons[daemon].alive,
+            "daemon {daemon} already crashed"
+        );
+        self.daemons[daemon].alive = false;
+        self.daemons[daemon].pending.clear();
+        self.stats.daemon_crashes += 1;
+        let at = self.queue.now();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Daemon(daemon),
+            kind: EventKind::Fault {
+                action: "crash",
+                target: daemon,
+            },
+        });
+        // The machine died: its client processes die with it.
+        let machine = self.daemons[daemon].machine;
+        for c in 0..self.clients.len() {
+            if self.clients[c].machine == machine {
+                self.clients[c].alive = false;
+            }
+        }
+        self.schedule(self.cfg.crash_detection_timeout, Ev::CrashDetect { daemon });
+    }
+
+    /// Overrides the copy-loss probability with `rate` for `duration`
+    /// of virtual time (the configured `loss_rate` resumes afterwards).
+    /// Gaps opened by the burst are recovered by token-driven
+    /// retransmission once it ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_loss_burst(&mut self, rate: f64, duration: Duration) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "burst loss rate must be in [0, 1]"
+        );
+        let until = self.queue.now() + duration;
+        self.loss_burst = Some((rate, until));
+        let at = self.queue.now();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::World,
+            kind: EventKind::Fault {
+                action: "loss_burst",
+                target: (rate * 100.0) as usize,
+            },
+        });
+    }
+
+    /// Schedules every fault in `plan` as a simulation event at its
+    /// virtual-time offset from now. Deterministic: the same plan
+    /// applied to the same world yields the same run.
+    pub fn apply_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        for planned in plan.faults {
+            self.schedule(
+                planned.after,
+                Ev::Fault {
+                    fault: planned.fault,
+                },
+            );
+        }
+    }
+
+    /// Whether a daemon is still alive (has not crashed).
+    pub fn daemon_alive(&self, daemon: DaemonId) -> bool {
+        daemon < self.daemons.len() && self.daemons[daemon].alive
+    }
+
+    /// Whether a client process is still alive (its machine has not
+    /// crashed).
+    pub fn client_alive(&self, client: ClientId) -> bool {
+        client < self.clients.len() && self.clients[client].alive
+    }
+
+    /// Number of daemons that have not crashed.
+    pub fn alive_daemon_count(&self) -> usize {
+        self.daemons.iter().filter(|d| d.alive).count()
+    }
+
+    /// Current size of the token ring (shrinks on reformation).
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
     }
 
     // ------------------------------------------------------------------
@@ -596,7 +744,9 @@ impl SimWorld {
         }
     }
 
-    /// `true` when nothing but the idle token remains.
+    /// `true` when nothing but the idle token remains. Crashed daemons
+    /// are excluded: they will never deliver again, and the reformed
+    /// ring no longer waits on them.
     pub fn quiescent(&self) -> bool {
         self.outstanding == 0
             && self.active.is_none()
@@ -604,6 +754,7 @@ impl SimWorld {
             && self
                 .daemons
                 .iter()
+                .filter(|d| d.alive)
                 .all(|d| d.pending.is_empty() && d.delivered == self.next_seq - 1)
     }
 
@@ -621,8 +772,14 @@ impl SimWorld {
     fn start_token_if_needed(&mut self) {
         if !self.token_started {
             self.token_started = true;
-            self.queue
-                .schedule(Duration::ZERO, Ev::Token { ring_idx: 0 });
+            let gen = self.token_gen;
+            self.queue.schedule(
+                Duration::ZERO,
+                Ev::Token {
+                    daemon: self.ring[0],
+                    gen,
+                },
+            );
         }
     }
 
@@ -665,22 +822,128 @@ impl SimWorld {
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Token { ring_idx } => self.on_token(ring_idx),
+            Ev::Token { daemon, gen } => self.on_token(daemon, gen),
             Ev::DaemonRecv { daemon, msg } => self.on_daemon_recv(daemon, msg),
             Ev::ClientSubmit { client, out } => self.on_client_submit(client, out),
             Ev::FifoArrive { daemon, delivery } => self.on_fifo_arrive(daemon, delivery),
             Ev::ClientDeliver { client, delivery } => self.deliver_to_client(client, delivery),
             Ev::ViewDeliver { client, view } => self.deliver_view_to_client(client, &view),
-            Ev::Retransmit { seq, to } => self.on_retransmit(seq, to),
+            Ev::Retransmit { seq, to, from } => self.on_retransmit(seq, to, from),
             Ev::CausalArrive { client, msg } => self.on_causal_arrive(client, msg),
+            Ev::CrashDetect { daemon } => self.on_crash_detect(daemon),
+            Ev::Fault { fault } => self.on_fault(fault),
         }
     }
 
-    fn on_token(&mut self, ring_idx: usize) {
-        let daemon_id = self.ring[ring_idx];
+    /// Ring reformation, `crash_detection_timeout` after a crash: the
+    /// dead daemon leaves the ring, the token regenerates at the ring
+    /// head (invalidating any token still in flight), and the dead
+    /// machine's members are evicted via a membership change.
+    fn on_crash_detect(&mut self, daemon: DaemonId) {
+        self.ring.retain(|&d| d != daemon);
+        self.stats.ring_reformations += 1;
+        let at = self.queue.now();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Daemon(daemon),
+            kind: EventKind::Fault {
+                action: "crash_detected",
+                target: daemon,
+            },
+        });
+        self.token_gen += 1;
+        if let Some(&head) = self.ring.first() {
+            let gen = self.token_gen;
+            self.queue
+                .schedule(Duration::ZERO, Ev::Token { daemon: head, gen });
+        }
+        // The dead daemon can never install a pending view; a
+        // membership waiting only on it completes now.
+        self.check_membership_complete();
+        // Its members leave via a view change (if any view exists yet).
+        let machine = self.daemons[daemon].machine;
+        let lost: Vec<ClientId> = self
+            .projected_members()
+            .into_iter()
+            .filter(|&c| self.clients[c].machine == machine)
+            .collect();
+        if !lost.is_empty() {
+            self.inject_change(vec![], lost);
+        }
+    }
+
+    /// Executes one scheduled fault from a [`crate::FaultPlan`]. Faults
+    /// that no longer apply (daemon already dead, members already
+    /// gone/present) degrade to no-ops so randomized plans stay valid.
+    fn on_fault(&mut self, fault: crate::fault::Fault) {
+        use crate::fault::Fault;
+        match fault {
+            Fault::Crash { daemon } => {
+                if daemon < self.daemons.len() && self.daemons[daemon].alive {
+                    self.inject_crash(daemon);
+                }
+            }
+            Fault::LossBurst { rate, duration } => self.set_loss_burst(rate, duration),
+            Fault::Partition { members } => {
+                let current = self.projected_members();
+                let leaving: Vec<ClientId> = members
+                    .into_iter()
+                    .filter(|m| current.contains(m))
+                    .collect();
+                if !leaving.is_empty() {
+                    let at = self.queue.now();
+                    let count = leaving.len();
+                    self.telemetry.record(|| Event {
+                        at,
+                        dur: Duration::ZERO,
+                        actor: Actor::World,
+                        kind: EventKind::Fault {
+                            action: "partition",
+                            target: count,
+                        },
+                    });
+                    self.inject_partition(leaving);
+                }
+            }
+            Fault::Heal { members } => {
+                let current = self.projected_members();
+                let joining: Vec<ClientId> = members
+                    .into_iter()
+                    .filter(|&m| {
+                        m < self.clients.len()
+                            && !current.contains(&m)
+                            && self.daemons[self.clients[m].machine].alive
+                    })
+                    .collect();
+                if !joining.is_empty() {
+                    let at = self.queue.now();
+                    let count = joining.len();
+                    self.telemetry.record(|| Event {
+                        at,
+                        dur: Duration::ZERO,
+                        actor: Actor::World,
+                        kind: EventKind::Fault {
+                            action: "heal",
+                            target: count,
+                        },
+                    });
+                    self.inject_merge(joining);
+                }
+            }
+        }
+    }
+
+    fn on_token(&mut self, daemon_id: DaemonId, gen: u64) {
+        // A stale token (superseded by a ring reformation) or a token
+        // reaching a crashed daemon vanishes; crash detection
+        // regenerates exactly one replacement.
+        if gen != self.token_gen || !self.daemons[daemon_id].alive {
+            return;
+        }
 
         // Rotation boundary bookkeeping at the ring head.
-        if ring_idx == 0 {
+        if self.ring.first() == Some(&daemon_id) {
             self.stats.token_rotations += 1;
             let rotation = self.stats.token_rotations;
             let at = self.queue.now();
@@ -700,6 +963,7 @@ impl SimWorld {
                 && self
                     .daemons
                     .iter()
+                    .filter(|d| d.alive)
                     .all(|d| d.pending.is_empty() && d.delivered == self.next_seq - 1);
             if let Some(active) = &mut self.active {
                 if !active.installing {
@@ -743,7 +1007,7 @@ impl SimWorld {
             self.store_at_daemon(daemon_id, Rc::clone(&msg));
             let size_cost = self.payload_cost(&msg.payload);
             for peer in 0..self.daemons.len() {
-                if peer == daemon_id {
+                if peer == daemon_id || !self.daemons[peer].alive {
                     continue;
                 }
                 if self.lose_copy() {
@@ -768,20 +1032,20 @@ impl SimWorld {
 
         // 1b. Request retransmission of any gap this daemon observes
         //     (the token reveals that higher sequence numbers exist —
-        //     Totem-style negative acknowledgement).
-        if self.cfg.loss_rate > 0.0 {
+        //     Totem-style negative acknowledgement). Armed whenever the
+        //     world can actually lose copies (configured loss, a loss
+        //     burst, or a crash) so clean runs never issue spurious
+        //     requests for messages that are merely in flight.
+        let lossy =
+            self.cfg.loss_rate > 0.0 || self.loss_burst.is_some() || self.stats.daemon_crashes > 0;
+        if lossy && self.daemons[daemon_id].contiguous < self.next_seq - 1 {
             self.request_missing(daemon_id);
         }
 
         // 2. Report our contiguous mark and recompute the aru (the
-        //    minimum over every daemon's latest report).
+        //    minimum over every alive daemon's latest report).
         self.daemons[daemon_id].reported = self.daemons[daemon_id].contiguous;
-        self.token_aru = self
-            .daemons
-            .iter()
-            .map(|d| d.reported)
-            .min()
-            .expect("at least one daemon");
+        self.recompute_aru();
 
         // 3. Deliver stable messages to local clients.
         self.deliver_stable(daemon_id);
@@ -798,57 +1062,131 @@ impl SimWorld {
             self.install_view_at_daemon(daemon_id, &view);
         }
 
-        // 5. Forward the token.
-        let next_idx = (ring_idx + 1) % self.ring.len();
-        let hop = self.cfg.topology.machine_latency(
-            self.daemons[daemon_id].machine,
-            self.daemons[self.ring[next_idx]].machine,
-        );
+        // 5. Forward the token to the ring successor. (A daemon that
+        //    crashed between dispatch and here has already returned
+        //    above; one removed from the ring at detection no longer
+        //    receives tokens of the current generation.)
+        let Some(pos) = self.ring.iter().position(|&d| d == daemon_id) else {
+            return;
+        };
+        let next = self.ring[(pos + 1) % self.ring.len()];
+        let hop = self
+            .cfg
+            .topology
+            .machine_latency(self.daemons[daemon_id].machine, self.daemons[next].machine);
         let hold = self.cfg.token_processing + self.cfg.per_message_processing * sent as u64;
         self.queue
-            .schedule(hop + hold, Ev::Token { ring_idx: next_idx });
+            .schedule(hop + hold, Ev::Token { daemon: next, gen });
+    }
+
+    /// Recomputes the token's aru over the alive daemons. When every
+    /// daemon has crashed there is no ring left to agree on stability:
+    /// the aru is left untouched — a graceful no-op instead of a panic
+    /// on the empty minimum.
+    fn recompute_aru(&mut self) {
+        if let Some(min) = self
+            .daemons
+            .iter()
+            .filter(|d| d.alive)
+            .map(|d| d.reported)
+            .min()
+        {
+            self.token_aru = min;
+        }
+    }
+
+    /// The loss probability in force right now (a burst overrides the
+    /// configured rate while it lasts).
+    fn effective_loss_rate(&self) -> f64 {
+        match self.loss_burst {
+            Some((rate, until)) if self.queue.now() < until => self.cfg.loss_rate.max(rate),
+            _ => self.cfg.loss_rate,
+        }
     }
 
     /// Deterministic Bernoulli draw for one message copy.
     fn lose_copy(&mut self) -> bool {
-        if self.cfg.loss_rate <= 0.0 {
+        let rate = self.effective_loss_rate();
+        if rate <= 0.0 {
             return false;
         }
         let x = (self.loss_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        x < self.cfg.loss_rate
+        x < rate
     }
 
-    /// Ask origins to re-send every message this daemon is missing
-    /// below the global high-water mark.
+    /// An alive daemon able to re-send `seq` to `requester`: the origin
+    /// if it survives, otherwise any other surviving ring member (the
+    /// retransmission buffers are global — every daemon that received
+    /// the message can source it).
+    fn retransmit_source(&self, origin: DaemonId, requester: DaemonId) -> Option<DaemonId> {
+        if self.daemons[origin].alive {
+            return Some(origin);
+        }
+        self.ring
+            .iter()
+            .copied()
+            .find(|&d| d != requester && self.daemons[d].alive)
+    }
+
+    /// Ask retransmission sources to re-send up to
+    /// [`GcsConfig::recovery_batch`] messages this daemon is missing
+    /// below the global high-water mark. Wider gaps recover over
+    /// several token visits; each visit that issues at least one
+    /// request counts as one retransmission round.
     fn request_missing(&mut self, daemon: DaemonId) {
         let have_upto = self.daemons[daemon].contiguous;
         let missing: Vec<u64> = ((have_upto + 1)..self.next_seq)
             .filter(|seq| !self.daemons[daemon].received.contains_key(seq))
-            .take(32)
+            .take(self.cfg.recovery_batch)
             .collect();
+        let mut requested = 0u64;
         for seq in missing {
             let Some(msg) = self.sent_msgs.get(&seq) else {
                 continue;
             };
-            let origin = msg.origin;
-            if origin == daemon {
+            if msg.origin == daemon {
                 continue;
             }
-            // Request travels to the origin; it re-sends from there.
+            let Some(source) = self.retransmit_source(msg.origin, daemon) else {
+                // Sole survivor: nobody is left to recover from, so
+                // synthesize the copy from the global buffer (in a
+                // real deployment the reformation would drop the
+                // message from the order; the simulation keeps the
+                // order intact for determinism).
+                let msg = Rc::clone(self.sent_msgs.get(&seq).expect("checked above"));
+                self.store_at_daemon(daemon, msg);
+                requested += 1;
+                continue;
+            };
+            // Request travels to the source; it re-sends from there.
             let latency = self
                 .cfg
                 .topology
-                .machine_latency(self.daemons[daemon].machine, self.daemons[origin].machine);
+                .machine_latency(self.daemons[daemon].machine, self.daemons[source].machine);
             self.schedule(
                 latency + self.cfg.per_message_processing,
-                Ev::Retransmit { seq, to: daemon },
+                Ev::Retransmit {
+                    seq,
+                    to: daemon,
+                    from: source,
+                },
             );
+            requested += 1;
+        }
+        if requested > 0 {
+            self.stats.retransmission_rounds += 1;
         }
     }
 
-    fn on_retransmit(&mut self, seq: u64, to: DaemonId) {
+    fn on_retransmit(&mut self, seq: u64, to: DaemonId, from: DaemonId) {
         if self.daemons[to].received.contains_key(&seq) {
             return; // already recovered meanwhile
+        }
+        if !self.daemons[to].alive {
+            return; // requester crashed while the request was in flight
+        }
+        if !self.daemons[from].alive {
+            return; // source crashed; the next token visit re-requests
         }
         let Some(msg) = self.sent_msgs.get(&seq).cloned() else {
             return;
@@ -870,7 +1208,7 @@ impl SimWorld {
         let latency = self
             .cfg
             .topology
-            .machine_latency(self.daemons[msg.origin].machine, self.daemons[to].machine);
+            .machine_latency(self.daemons[from].machine, self.daemons[to].machine);
         let size_cost = self.payload_cost(&msg.payload);
         self.schedule(
             latency + size_cost + self.cfg.per_message_processing,
@@ -893,6 +1231,9 @@ impl SimWorld {
     }
 
     fn on_daemon_recv(&mut self, daemon: DaemonId, msg: Rc<WireMsg>) {
+        if !self.daemons[daemon].alive {
+            return; // the copy arrived at a crashed daemon
+        }
         self.store_at_daemon(daemon, msg);
     }
 
@@ -945,6 +1286,9 @@ impl SimWorld {
 
     fn on_client_submit(&mut self, client: ClientId, out: Outgoing) {
         let machine = self.clients[client].machine;
+        if !self.clients[client].alive || !self.daemons[machine].alive {
+            return; // the client or its daemon died while this was in flight
+        }
         // View-synchrony: the message belongs to the view its sender
         // had installed at send time (not the engine's global view,
         // which flips only once every daemon has installed).
@@ -1107,11 +1451,22 @@ impl SimWorld {
                 self.clients[l].alive = false;
             }
         }
-        // Cluster-wide completion: when every daemon has installed.
+        self.check_membership_complete();
+    }
+
+    /// Cluster-wide membership completion: the new view is adopted once
+    /// every *alive* daemon has installed it (a crashed daemon never
+    /// will, and the reformed ring does not wait on it).
+    fn check_membership_complete(&mut self) {
         let done = self
             .active
             .as_ref()
-            .map(|a| a.installed.iter().all(|&i| i))
+            .map(|a| {
+                a.installed
+                    .iter()
+                    .zip(&self.daemons)
+                    .all(|(&installed, d)| installed || !d.alive)
+            })
             .unwrap_or(false);
         if done {
             let new_view = self.active.take().expect("active membership").new_view;

@@ -1,0 +1,134 @@
+//! Scheduled fault injection: the configuration half of the chaos
+//! engine.
+//!
+//! A [`FaultPlan`] is a list of faults keyed by virtual time offsets.
+//! Handing one to [`crate::SimWorld::apply_fault_plan`] schedules every
+//! fault as a simulation event, so a plan composes with ordinary
+//! membership injections and stays fully deterministic: the same plan
+//! against the same world produces the same run.
+//!
+//! Four fault shapes cover the failure modes of the paper's Spread
+//! deployment (§4, §7):
+//!
+//! * [`Fault::Crash`] — a daemon process dies mid-token-rotation. Its
+//!   clients die with it; after the configured detection timeout the
+//!   surviving daemons reform the ring, regenerate the token, and evict
+//!   the dead machine's members via a view change.
+//! * [`Fault::LossBurst`] — the link loss probability is temporarily
+//!   overridden (up to 1.0, a full blackout); token-driven
+//!   retransmission recovers the gaps afterwards.
+//! * [`Fault::Partition`] / [`Fault::Heal`] — a set of members drops
+//!   out of the view together and later rejoins (the cascaded
+//!   partition/merge pairs of §7).
+
+use gkap_sim::Duration;
+
+use crate::{ClientId, DaemonId};
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// A daemon crashes (see [`crate::SimWorld::inject_crash`]).
+    Crash {
+        /// The daemon that dies.
+        daemon: DaemonId,
+    },
+    /// The daemon-to-daemon copy loss probability becomes `rate` for
+    /// `duration` of virtual time, then reverts to the configured
+    /// `loss_rate`.
+    LossBurst {
+        /// Loss probability during the burst (`0.0..=1.0`).
+        rate: f64,
+        /// How long the burst lasts.
+        duration: Duration,
+    },
+    /// `members` drop out of the view together (a network partition
+    /// seen from the primary component). Members not currently in the
+    /// view are skipped.
+    Partition {
+        /// The members cut off.
+        members: Vec<ClientId>,
+    },
+    /// Previously partitioned `members` rejoin the view. Members whose
+    /// machine's daemon has crashed, or who are already in the view,
+    /// are skipped.
+    Heal {
+        /// The members coming back.
+        members: Vec<ClientId>,
+    },
+}
+
+/// A fault scheduled at a virtual-time offset from plan application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedFault {
+    /// Virtual time between [`crate::SimWorld::apply_fault_plan`] and
+    /// the fault firing.
+    pub after: Duration,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A deterministic schedule of faults, keyed by virtual time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults (firing order is by `after`; ties resolve
+    /// in push order via the event queue's stable ordering).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules anything.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a fault at the given offset (builder style).
+    pub fn push(mut self, after: Duration, fault: Fault) -> Self {
+        self.faults.push(PlannedFault { after, fault });
+        self
+    }
+
+    /// Schedules a daemon crash.
+    pub fn crash(self, after: Duration, daemon: DaemonId) -> Self {
+        self.push(after, Fault::Crash { daemon })
+    }
+
+    /// Schedules a loss burst.
+    pub fn loss_burst(self, after: Duration, rate: f64, duration: Duration) -> Self {
+        self.push(after, Fault::LossBurst { rate, duration })
+    }
+
+    /// Schedules a partition.
+    pub fn partition(self, after: Duration, members: Vec<ClientId>) -> Self {
+        self.push(after, Fault::Partition { members })
+    }
+
+    /// Schedules a heal.
+    pub fn heal(self, after: Duration, members: Vec<ClientId>) -> Self {
+        self.push(after, Fault::Heal { members })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .crash(Duration::from_millis(1), 3)
+            .loss_burst(Duration::from_millis(2), 0.5, Duration::from_millis(4))
+            .partition(Duration::from_millis(3), vec![1, 2])
+            .heal(Duration::from_millis(9), vec![1, 2]);
+        assert_eq!(plan.faults.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.faults[0].fault, Fault::Crash { daemon: 3 });
+        assert_eq!(plan.faults[3].after, Duration::from_millis(9));
+        assert!(FaultPlan::new().is_empty());
+    }
+}

@@ -72,6 +72,7 @@
 mod client;
 mod config;
 mod engine;
+mod fault;
 mod message;
 pub mod testbed;
 mod topology;
@@ -79,6 +80,7 @@ mod topology;
 pub use client::{Client, ClientCtx};
 pub use config::GcsConfig;
 pub use engine::{SimWorld, TraceEvent, WorldStats};
+pub use fault::{Fault, FaultPlan, PlannedFault};
 pub use message::{Delivery, Dest, Service, View, ViewId};
 pub use topology::{MachineCfg, SiteCfg, Topology};
 

@@ -28,6 +28,8 @@ pub fn lan() -> GcsConfig {
         membership_per_member: us(35),
         loss_rate: 0.0,
         loss_seed: 0x10_55,
+        recovery_batch: 32,
+        crash_detection_timeout: Duration::from_millis(5),
     }
 }
 
@@ -84,6 +86,8 @@ pub fn wan() -> GcsConfig {
         membership_per_member: us(35),
         loss_rate: 0.0,
         loss_seed: 0x10_55,
+        recovery_batch: 32,
+        crash_detection_timeout: Duration::from_millis(1000),
     }
 }
 
@@ -124,6 +128,8 @@ pub fn medium_wan(one_way: Duration) -> GcsConfig {
         membership_per_member: us(35),
         loss_rate: 0.0,
         loss_seed: 0x10_55,
+        recovery_batch: 32,
+        crash_detection_timeout: Duration::from_millis(500),
     }
 }
 

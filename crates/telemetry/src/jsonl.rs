@@ -67,6 +67,9 @@ pub fn event_to_json(ev: &Event) -> String {
             write!(s, ",\"wait_ms\":{:.6}", wait.as_millis_f64())
         }
         EventKind::MessageSend { class } => write!(s, ",\"class\":\"{}\"", class.as_str()),
+        EventKind::Fault { action, target } => {
+            write!(s, ",\"action\":\"{action}\",\"target\":{target}")
+        }
     }
     .expect("write to String");
     s.push('}');
@@ -154,6 +157,10 @@ mod tests {
             },
             EventKind::MessageSend {
                 class: SendClass::Multicast,
+            },
+            EventKind::Fault {
+                action: "crash",
+                target: 4,
             },
         ];
         for kind in kinds {

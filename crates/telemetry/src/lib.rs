@@ -39,6 +39,7 @@
 //! | `ViewInstalled` | GCS engine | a daemon installed a membership view |
 //! | `HandlerSpan` | CPU model | a client handler occupied a core (`dur`), after queueing (`wait`) |
 //! | `MessageSend` | protocol driver | a protocol message entered the transport |
+//! | `Fault` | chaos layer | a fault-injection or recovery action (crash, heal, restart, abort) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -194,6 +195,21 @@ pub enum EventKind {
         /// Multicast or unicast.
         class: SendClass,
     },
+    /// A fault-injection or recovery action from the chaos layer.
+    ///
+    /// `action` is a stable snake_case label: `"crash"` (a daemon
+    /// died), `"crash_detected"` (ring reformed, token regenerated),
+    /// `"loss_burst"` (temporary loss-rate override began), `"heal"`
+    /// (partitioned members rejoined), `"restart"` (a member restarted
+    /// an aborted agreement), `"abort"` (a view superseded an
+    /// in-flight agreement), `"give_up"` (restart budget exhausted).
+    Fault {
+        /// What happened (stable snake_case label).
+        action: &'static str,
+        /// The affected entity (daemon id, client id, or group size —
+        /// whichever the action concerns).
+        target: usize,
+    },
 }
 
 impl EventKind {
@@ -210,6 +226,7 @@ impl EventKind {
             EventKind::ViewInstalled { .. } => "view_installed",
             EventKind::HandlerSpan { .. } => "handler_span",
             EventKind::MessageSend { .. } => "message_send",
+            EventKind::Fault { .. } => "fault",
         }
     }
 }
@@ -324,6 +341,9 @@ impl Recorder {
                 self.metrics.observe_ms("cpu/wait_ms", wait.as_millis_f64());
             }
             EventKind::MembershipEvent { .. } => self.metrics.inc("membership/events", 1),
+            EventKind::Fault { action, .. } => {
+                self.metrics.inc(&format!("fault/{action}"), 1);
+            }
         }
         self.events.push(ev);
     }
