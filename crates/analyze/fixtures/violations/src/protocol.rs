@@ -1,0 +1,10 @@
+//! Seeded L1 violations (panic-freedom). Parsed, never compiled.
+
+pub fn drive(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if *first == 0 {
+        panic!("zero first element");
+    }
+    first + second + xs[2]
+}

@@ -1,0 +1,11 @@
+//! Seeded L4 violations (sim determinism). Parsed, never compiled.
+
+use std::collections::HashMap;
+
+pub fn order_events(ids: &[u64]) -> HashMap<u64, u64> {
+    let started = std::time::Instant::now();
+    let _ = started;
+    let jitter = thread_rng();
+    let _ = jitter;
+    ids.iter().map(|&i| (i, i)).collect()
+}

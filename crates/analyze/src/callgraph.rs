@@ -1,0 +1,331 @@
+//! Per-function call graph plus a lightweight dataflow over function
+//! signatures.
+//!
+//! The graph is name-based (no type resolution): each function body is
+//! scanned for `ident(` free-function calls and `.ident(` method
+//! calls, each with the token span of its argument list. That is
+//! enough for the two analyses built on top:
+//!
+//! * **sink reachability** — which functions' parameters eventually
+//!   flow into a formatting / serialization sink (rule `L2-FLOW`), and
+//! * **call-site argument mapping** — which identifiers appear in
+//!   which argument position, so taint can be propagated one signature
+//!   at a time rather than through full expressions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::{FnItem, ParsedFile};
+
+/// A call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee simple name (last path segment / method name).
+    pub callee: String,
+    /// Whether it was a method call (`recv.name(..)`).
+    pub is_method: bool,
+    /// Token span of the argument list (inside the parens).
+    pub args: std::ops::Range<usize>,
+    /// Line of the callee token.
+    pub line: u32,
+}
+
+/// The call graph over every parsed file.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `(file index, fn index)` → call sites.
+    pub calls: BTreeMap<(usize, usize), Vec<CallSite>>,
+    /// fn simple name → list of `(file index, fn index)` definitions.
+    pub defs: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+/// Formatting / output macros considered leak sinks.
+pub const SINK_MACROS: &[&str] = &[
+    "format", "println", "print", "eprintln", "eprint", "write", "writeln", "panic", "log",
+];
+
+/// Method / function names considered serialization or telemetry
+/// sinks.
+pub const SINK_CALLS: &[&str] = &["serialize", "to_json", "record", "emit"];
+
+impl CallGraph {
+    /// Builds the graph from parsed files.
+    pub fn build(files: &[(String, ParsedFile)]) -> Self {
+        let mut g = CallGraph::default();
+        for (fi, (_, pf)) in files.iter().enumerate() {
+            for (fj, f) in pf.fns.iter().enumerate() {
+                g.defs.entry(f.name.clone()).or_default().push((fi, fj));
+                g.calls.insert((fi, fj), scan_calls(&pf.tokens, f));
+            }
+        }
+        g
+    }
+
+    /// Computes, for every function, the set of parameter names that
+    /// can reach a sink: directly (the parameter appears inside a sink
+    /// macro / call argument span) or transitively (it is passed in an
+    /// argument position whose callee parameter reaches a sink).
+    ///
+    /// This is the "lightweight dataflow over function signatures":
+    /// names, positions and a fixpoint — no expression semantics.
+    pub fn sink_reaching_params(
+        &self,
+        files: &[(String, ParsedFile)],
+    ) -> BTreeMap<(usize, usize), BTreeSet<String>> {
+        let mut reach: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+
+        // Seed: parameters that appear directly inside a sink span.
+        for ((fi, fj), sites) in &self.calls {
+            let f = &files[*fi].1.fns[*fj];
+            let tokens = &files[*fi].1.tokens;
+            let mut set = BTreeSet::new();
+            for site in sites {
+                let is_sink = SINK_CALLS.contains(&site.callee.as_str())
+                    || SINK_MACROS.contains(&site.callee.as_str());
+                if !is_sink {
+                    continue;
+                }
+                for p in &f.params {
+                    if p.name != "self" && span_mentions(tokens, &site.args, &p.name) {
+                        set.insert(p.name.clone());
+                    }
+                }
+            }
+            if !set.is_empty() {
+                reach.insert((*fi, *fj), set);
+            }
+        }
+
+        // Fixpoint: propagate through call argument positions.
+        for _ in 0..8 {
+            let mut changed = false;
+            for ((fi, fj), sites) in &self.calls {
+                let f = &files[*fi].1.fns[*fj];
+                let tokens = &files[*fi].1.tokens;
+                for site in sites {
+                    let Some(defs) = self.defs.get(&site.callee) else {
+                        continue;
+                    };
+                    for &(di, dj) in defs {
+                        let callee = &files[di].1.fns[dj];
+                        let callee_reach = reach.get(&(di, dj)).cloned().unwrap_or_default();
+                        if callee_reach.is_empty() {
+                            continue;
+                        }
+                        // Map argument positions to callee params
+                        // (method receivers shift positions by one).
+                        let arg_spans = split_args(tokens, &site.args);
+                        let skip = usize::from(
+                            site.is_method
+                                && callee.params.first().is_some_and(|p| p.name == "self"),
+                        );
+                        for (pos, span) in arg_spans.iter().enumerate() {
+                            let Some(cp) = callee.params.get(pos + skip) else {
+                                continue;
+                            };
+                            if !callee_reach.contains(&cp.name) {
+                                continue;
+                            }
+                            for p in &f.params {
+                                if p.name == "self" {
+                                    continue;
+                                }
+                                if span_mentions_range(tokens, span, &p.name) {
+                                    let e = reach.entry((*fi, *fj)).or_default();
+                                    if e.insert(p.name.clone()) {
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach
+    }
+}
+
+/// Scans one function body for call sites.
+fn scan_calls(tokens: &[Token], f: &FnItem) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let body = f.body.clone();
+    let mut i = body.start;
+    while i < body.end {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !matches!(
+                t.text.as_str(),
+                "fn" | "if" | "while" | "for" | "match" | "return" | "loop"
+            )
+        {
+            let is_method = i > 0 && tokens[i - 1].is_punct(".");
+            // Find the matching close paren.
+            let open = i + 1;
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < body.end {
+                if tokens[j].is_punct("(") {
+                    depth += 1;
+                } else if tokens[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push(CallSite {
+                callee: t.text.clone(),
+                is_method,
+                args: open + 1..j,
+                line: t.line,
+            });
+        }
+        // Macro sinks: `ident !( … )` or `ident ![…]` / `ident !{…}`.
+        if t.kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+        {
+            let (open_s, close_s) = match tokens[i + 2].text.as_str() {
+                "(" => ("(", ")"),
+                "[" => ("[", "]"),
+                _ => ("{", "}"),
+            };
+            let open = i + 2;
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < body.end {
+                if tokens[j].is_punct(open_s) {
+                    depth += 1;
+                } else if tokens[j].is_punct(close_s) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push(CallSite {
+                callee: t.text.clone(),
+                is_method: false,
+                args: open + 1..j,
+                line: t.line,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether one token "mentions" `name`: an identifier match, or an
+/// inline format capture (`"{name}"` / `"{name:?}"`) inside a string
+/// literal.
+pub fn token_mentions(t: &Token, name: &str) -> bool {
+    if t.is_ident(name) {
+        return true;
+    }
+    if t.kind == TokKind::Lit {
+        let open = format!("{{{name}");
+        for (pos, _) in t.text.match_indices(&open) {
+            let rest = &t.text[pos + open.len()..];
+            if rest.starts_with('}') || rest.starts_with(':') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether `name` occurs (as identifier or inline capture) inside the span.
+fn span_mentions(tokens: &[Token], span: &std::ops::Range<usize>, name: &str) -> bool {
+    tokens[span.start.min(tokens.len())..span.end.min(tokens.len())]
+        .iter()
+        .any(|t| token_mentions(t, name))
+}
+
+fn span_mentions_range(tokens: &[Token], span: &std::ops::Range<usize>, name: &str) -> bool {
+    span_mentions(tokens, span, name)
+}
+
+/// Splits an argument span on top-level commas.
+fn split_args(tokens: &[Token], span: &std::ops::Range<usize>) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut start = span.start;
+    for i in span.clone() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                out.push(start..i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < span.end {
+        out.push(start..span.end);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn one(src: &str) -> Vec<(String, ParsedFile)> {
+        vec![("test.rs".to_string(), parse(src))]
+    }
+
+    #[test]
+    fn collects_calls_and_macros() {
+        let files = one("fn f(x: u8) { g(x); h.m(x); println!(\"{}\", x); }");
+        let g = CallGraph::build(&files);
+        let sites = &g.calls[&(0, 0)];
+        let names: Vec<&str> = sites.iter().map(|s| s.callee.as_str()).collect();
+        assert!(names.contains(&"g"));
+        assert!(names.contains(&"m"));
+        assert!(names.contains(&"println"));
+    }
+
+    #[test]
+    fn direct_sink_reachability() {
+        let files = one("fn leak(secret_exp: &Secret<Ubig>) { println!(\"{:?}\", secret_exp); }");
+        let g = CallGraph::build(&files);
+        let reach = g.sink_reaching_params(&files);
+        assert!(reach[&(0, 0)].contains("secret_exp"));
+    }
+
+    #[test]
+    fn transitive_sink_reachability() {
+        let files = one(
+            "fn inner(v: &Ubig) { format!(\"{v}\"); }\nfn outer(k: &Secret<Ubig>) { inner(k.expose()); }",
+        );
+        let g = CallGraph::build(&files);
+        let reach = g.sink_reaching_params(&files);
+        // inner's param v reaches a sink; outer's k is passed into it.
+        let outer_idx = files[0]
+            .1
+            .fns
+            .iter()
+            .position(|f| f.name == "outer")
+            .unwrap();
+        assert!(reach[&(0, outer_idx)].contains("k"));
+    }
+
+    #[test]
+    fn non_sink_is_clean() {
+        let files = one("fn fine(secret: &Secret<Ubig>) -> u64 { secret.expose().bits() }");
+        let g = CallGraph::build(&files);
+        let reach = g.sink_reaching_params(&files);
+        assert!(!reach.contains_key(&(0, 0)));
+    }
+}

@@ -1,0 +1,146 @@
+//! `gkap-analyze` — the workspace static analyzer.
+//!
+//! Parses every in-scope Rust source file in the workspace (own lexer +
+//! item parser; the build environment is offline so there is no `syn`),
+//! builds a per-function call graph with a lightweight signature-level
+//! dataflow, and enforces four rule families:
+//!
+//! * **L1 panic-freedom** — no `unwrap`/`expect`/`panic!`/raw indexing
+//!   in protocol drivers, the secure session layer or the GCS engine.
+//! * **L2 secret hygiene** — DH exponents, RSA private keys and group
+//!   keys live in `Secret<T>`, never derive `Debug`, and never flow
+//!   into formatting / serialization sinks.
+//! * **L3 constant-time discipline** — verification paths compare with
+//!   `ct_eq`; `ct_*` kernels have no early exits or data-dependent
+//!   indexing.
+//! * **L4 sim determinism** — no wall-clock time, ambient RNG or
+//!   hash-order iteration in event-ordering paths.
+//!
+//! Diagnostics are rustc-style `file:line: error[RULE]: message`; the
+//! CLI exits non-zero when any finding survives the allowlist. See
+//! `DESIGN.md` §11 for scope rationale and the allowlist policy.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod callgraph;
+pub mod config;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+pub use config::Config;
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule id (`"L1-PANIC"`, …).
+    pub rule: String,
+    /// Root-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Directories never descended into during discovery.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Recursively collects `.rs` files under `root` whose root-relative
+/// path is matched by at least one scope glob. Paths come back sorted
+/// so runs are deterministic.
+pub fn discover_files(root: &Path, cfg: &Config) -> Result<Vec<(String, String)>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let rel = config::rel_path(root, &p);
+        if !cfg.is_interesting(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        out.push((rel, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every in-scope file under `root` and returns the surviving
+/// findings, sorted by `(file, line, rule)`.
+pub fn analyze_root(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let sources = discover_files(root, cfg)?;
+    Ok(analyze_sources(&sources, cfg))
+}
+
+/// Analyzes pre-loaded `(rel_path, contents)` pairs. Split out so the
+/// fixture tests can drive the analyzer without touching the real
+/// filesystem layout.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let files: Vec<(String, parse::ParsedFile)> = sources
+        .iter()
+        .map(|(rel, text)| (rel.clone(), parse::parse(text)))
+        .collect();
+    let graph = callgraph::CallGraph::build(&files);
+    rules::check_all(&files, cfg, &graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_is_rustc_style() {
+        let f = Finding {
+            rule: "L1-PANIC".to_string(),
+            file: "crates/core/src/session.rs".to_string(),
+            line: 83,
+            msg: "`.expect()` in protocol path".to_string(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/core/src/session.rs:83: error[L1-PANIC]: `.expect()` in protocol path"
+        );
+    }
+
+    #[test]
+    fn analyze_sources_end_to_end() {
+        let cfg = Config::parse_conf("scope L1 src/**").unwrap();
+        let sources = vec![(
+            "src/driver.rs".to_string(),
+            "fn step(v: Option<u8>) -> u8 { v.unwrap() }".to_string(),
+        )];
+        let findings = analyze_sources(&sources, &cfg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "L1-PANIC");
+        assert_eq!(findings[0].file, "src/driver.rs");
+    }
+}

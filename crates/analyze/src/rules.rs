@@ -1,0 +1,536 @@
+//! The four rule families.
+//!
+//! | id        | family                  | what it flags                                     |
+//! |-----------|-------------------------|---------------------------------------------------|
+//! | L1-PANIC  | panic-freedom           | `.unwrap()` / `.expect()` / `panic!`-class macros |
+//! | L1-INDEX  | panic-freedom           | postfix slice / array indexing                    |
+//! | L2-DERIVE | secret hygiene          | secret-bearing structs deriving Debug/Serialize   |
+//! | L2-RAW    | secret hygiene          | secret-named fields stored outside `Secret<T>`    |
+//! | L2-FLOW   | secret hygiene          | secret values flowing into format/serialize sinks |
+//! | L3-EQ     | constant-time           | `==` / `!=` in verification / confirmation paths  |
+//! | L3-CT     | constant-time           | early exit / data indexing inside `ct_*` fns      |
+//! | L4-HASH   | sim determinism         | `HashMap` / `HashSet` in event-ordering paths     |
+//! | L4-TIME   | sim determinism         | wall-clock time (`Instant`, `SystemTime`, …)      |
+//! | L4-RNG    | sim determinism         | ambient RNG (`thread_rng`, `OsRng`, …)            |
+//!
+//! All token-level checks skip `#[cfg(test)]` regions; findings are
+//! deduplicated per `(rule, file, line)` so one offending line yields
+//! one diagnostic.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, SINK_CALLS, SINK_MACROS};
+use crate::config::Config;
+use crate::lexer::{TokKind, Token};
+use crate::parse::ParsedFile;
+use crate::Finding;
+
+/// Field / binding names treated as secret material for L2.
+pub const SECRET_NAMES: &[&str] = &[
+    "secret",
+    "group_secret",
+    "enc_key",
+    "mac_key",
+    "group_key",
+    "private_key",
+    "secret_exponent",
+    "priv_exp",
+];
+
+/// Macros that panic at runtime.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that, immediately before `[`, mean the bracket is not a
+/// postfix index expression.
+const NON_INDEX_PREV: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move", "as",
+    "dyn", "impl", "for", "where", "const", "static", "type", "fn", "pub", "crate", "super", "use",
+    "struct", "enum", "trait", "mod", "unsafe", "while", "loop", "await", "async", "yield", "box",
+];
+
+/// Runs every rule family over the parsed files.
+pub fn check_all(files: &[(String, ParsedFile)], cfg: &Config, graph: &CallGraph) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for (fi, (path, pf)) in files.iter().enumerate() {
+        check_l1(path, pf, cfg, &mut raw);
+        check_l2_structs(path, pf, cfg, &mut raw);
+        check_l2_flow(fi, files, graph, cfg, &mut raw);
+        check_l3(path, pf, cfg, &mut raw);
+        check_l4(path, pf, cfg, &mut raw);
+    }
+
+    // Dedup per (rule, file, line), drop allowlisted, sort.
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for f in raw {
+        if cfg.allowed(&f.rule, &f.file) {
+            continue;
+        }
+        if seen.insert((f.rule.clone(), f.file.clone(), f.line)) {
+            out.push(f);
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}
+
+fn finding(rule: &str, file: &str, line: u32, msg: impl Into<String>) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        file: file.to_string(),
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Whether the `[` at token index `i` is a postfix index expression.
+fn is_postfix_index(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct("[") {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident => !NON_INDEX_PREV.contains(&prev.text.as_str()),
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------- L1
+
+fn check_l1(path: &str, pf: &ParsedFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let panic_scoped = cfg.in_scope("L1-PANIC", path);
+    let index_scoped = cfg.in_scope("L1-INDEX", path);
+    if !panic_scoped && !index_scoped {
+        return;
+    }
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        if pf.in_test_region(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if panic_scoped {
+            // `.unwrap(` / `.expect(`
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(finding(
+                    "L1-PANIC",
+                    path,
+                    t.line,
+                    format!(
+                        "`.{}()` in protocol path — return a GkaError instead",
+                        t.text
+                    ),
+                ));
+            }
+            // `panic!` class macros.
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                out.push(finding(
+                    "L1-PANIC",
+                    path,
+                    t.line,
+                    format!("`{}!` in protocol path — return a GkaError instead", t.text),
+                ));
+            }
+        }
+        if index_scoped && is_postfix_index(toks, i) {
+            out.push(finding(
+                "L1-INDEX",
+                path,
+                t.line,
+                "slice/array indexing can panic — use `.get()` and handle the miss",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L2
+
+/// Whether a struct field holds secret material.
+fn field_is_secret(name: &str, ty: &str) -> bool {
+    SECRET_NAMES.contains(&name) || ty.contains("Secret <") || ty.contains("Secret<")
+}
+
+fn check_l2_structs(path: &str, pf: &ParsedFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.in_scope("L2-DERIVE", path) {
+        return;
+    }
+    for s in &pf.structs {
+        if s.is_test {
+            continue;
+        }
+        let secret_fields: Vec<&(String, String)> = s
+            .fields
+            .iter()
+            .filter(|(n, t)| field_is_secret(n, t))
+            .collect();
+        if secret_fields.is_empty() {
+            continue;
+        }
+        for bad in ["Debug", "Serialize"] {
+            if s.derives.iter().any(|d| d == bad) {
+                out.push(finding(
+                    "L2-DERIVE",
+                    path,
+                    s.line,
+                    format!(
+                        "struct `{}` holds secret material but derives {bad} — implement it manually and redact",
+                        s.name
+                    ),
+                ));
+            }
+        }
+        for (fname, fty) in &s.fields {
+            if SECRET_NAMES.contains(&fname.as_str())
+                && !fty.contains("Secret <")
+                && !fty.contains("Secret<")
+            {
+                out.push(finding(
+                    "L2-RAW",
+                    path,
+                    s.line,
+                    format!(
+                        "field `{}.{}` stores secret material outside the zeroizing `Secret<T>` wrapper",
+                        s.name, fname
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_l2_flow(
+    fi: usize,
+    files: &[(String, ParsedFile)],
+    graph: &CallGraph,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    let (path, pf) = &files[fi];
+    if !cfg.in_scope("L2-FLOW", path) {
+        return;
+    }
+    let reach = graph.sink_reaching_params(files);
+    for (fj, f) in pf.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        // Secret-typed parameters that reach a sink (directly or via
+        // callees).
+        if let Some(params) = reach.get(&(fi, fj)) {
+            for p in &f.params {
+                if params.contains(&p.name)
+                    && (p.ty.contains("Secret") || SECRET_NAMES.contains(&p.name.as_str()))
+                {
+                    out.push(finding(
+                        "L2-FLOW",
+                        path,
+                        f.line,
+                        format!(
+                            "secret parameter `{}` of `{}` flows into a formatting/serialization sink",
+                            p.name, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        // Direct: a secret-named identifier (or an `.expose()` call)
+        // inside a sink's argument span.
+        if let Some(sites) = graph.calls.get(&(fi, fj)) {
+            for site in sites {
+                let is_sink = SINK_MACROS.contains(&site.callee.as_str())
+                    || SINK_CALLS.contains(&site.callee.as_str());
+                if !is_sink {
+                    continue;
+                }
+                let span = site.args.clone();
+                let toks =
+                    &pf.tokens[span.start.min(pf.tokens.len())..span.end.min(pf.tokens.len())];
+                let mention = SECRET_NAMES
+                    .iter()
+                    .find(|name| {
+                        toks.iter()
+                            .any(|t| crate::callgraph::token_mentions(t, name))
+                    })
+                    .copied()
+                    .or_else(|| {
+                        toks.iter()
+                            .any(|t| t.is_ident("expose"))
+                            .then_some("expose")
+                    });
+                if let Some(m) = mention {
+                    out.push(finding(
+                        "L2-FLOW",
+                        path,
+                        site.line,
+                        format!("secret value `{m}` passed to sink `{}`", site.callee),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L3
+
+/// Whether a function name marks a verification / key-confirmation path.
+fn is_verify_fn(name: &str) -> bool {
+    name.starts_with("verify") || name.starts_with("confirm") || name.ends_with("_verify")
+}
+
+fn check_l3(path: &str, pf: &ParsedFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.in_scope("L3-EQ", path) {
+        return;
+    }
+    let toks = &pf.tokens;
+    for f in &pf.fns {
+        if f.is_test {
+            continue;
+        }
+        if is_verify_fn(&f.name) {
+            for i in f.body.clone() {
+                let t = &toks[i];
+                if t.is_punct("==") || t.is_punct("!=") {
+                    // Length comparisons are public information.
+                    let lo = i.saturating_sub(4);
+                    let hi = (i + 5).min(toks.len());
+                    let near_len = toks[lo..hi]
+                        .iter()
+                        .any(|t| t.is_ident("len") || t.is_ident("is_empty"));
+                    if !near_len {
+                        out.push(finding(
+                            "L3-EQ",
+                            path,
+                            t.line,
+                            format!(
+                                "variable-time `{}` in verification path `{}` — use `ct_eq`",
+                                t.text, f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if f.name.starts_with("ct_") {
+            let loops = loop_ranges(toks, &f.body);
+            for i in f.body.clone() {
+                let t = &toks[i];
+                let bad = if t.is_ident("return") || t.is_ident("break") || t.is_ident("continue") {
+                    Some(format!("early exit `{}`", t.text))
+                } else if t.is_punct("?") {
+                    Some("early exit `?`".to_string())
+                } else if is_postfix_index(toks, i) {
+                    Some("data-dependent table/slice indexing".to_string())
+                } else if (t.is_punct("==") || t.is_punct("!="))
+                    && loops.iter().any(|r| r.contains(&i))
+                {
+                    Some(format!("branching comparison `{}` inside loop", t.text))
+                } else {
+                    None
+                };
+                if let Some(what) = bad {
+                    out.push(finding(
+                        "L3-CT",
+                        path,
+                        t.line,
+                        format!("{what} in constant-time fn `{}`", f.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Token ranges of loop bodies (`for` / `while` / `loop`) inside `body`.
+fn loop_ranges(toks: &[Token], body: &std::ops::Range<usize>) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        let t = &toks[i];
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        // Find the loop's opening brace, then match it.
+        let mut j = i + 1;
+        while j < body.end && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        while j < body.end {
+            if toks[j].is_punct("{") {
+                depth += 1;
+            } else if toks[j].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        out.push(open + 1..j);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L4
+
+fn check_l4(path: &str, pf: &ParsedFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let hash = cfg.in_scope("L4-HASH", path);
+    let time = cfg.in_scope("L4-TIME", path);
+    let rng = cfg.in_scope("L4-RNG", path);
+    if !hash && !time && !rng {
+        return;
+    }
+    let toks = &pf.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if pf.in_test_region(i) {
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if hash => out.push(finding(
+                "L4-HASH",
+                path,
+                t.line,
+                format!(
+                    "`{}` in event-ordering path — iteration order is nondeterministic; use BTreeMap/BTreeSet",
+                    t.text
+                ),
+            )),
+            "Instant" | "SystemTime" if time => out.push(finding(
+                "L4-TIME",
+                path,
+                t.line,
+                format!("wall-clock `{}` in simulation path — use the virtual clock", t.text),
+            )),
+            "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" if rng => out.push(finding(
+                "L4-RNG",
+                path,
+                t.line,
+                format!("ambient RNG `{}` in simulation path — use the seeded simulator RNG", t.text),
+            )),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::parse::parse;
+
+    fn run(src: &str, scope: &str) -> Vec<Finding> {
+        let cfg = Config::parse_conf(scope).unwrap();
+        let files = vec![("src/x.rs".to_string(), parse(src))];
+        let graph = CallGraph::build(&files);
+        check_all(&files, &cfg, &graph)
+    }
+
+    #[test]
+    fn l1_flags_unwrap_and_macros() {
+        let f = run(
+            "fn f(v: Option<u8>) -> u8 {\n    let x = v.unwrap();\n    if x > 9 { panic!(\"no\") }\n    x\n}",
+            "scope L1 src/**",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "L1-PANIC").count(), 2);
+    }
+
+    #[test]
+    fn l1_flags_indexing_but_not_attrs_or_macros() {
+        let f = run(
+            "#[derive(Clone)]\nstruct S { a: [u8; 4] }\nfn g(s: &S, i: usize) -> u8 { let v = vec![1]; s.a[i] }",
+            "scope L1 src/**",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "L1-INDEX").count(), 1);
+    }
+
+    #[test]
+    fn l1_skips_tests() {
+        let f = run(
+            "#[cfg(test)]\nmod t { fn h(v: Option<u8>) { v.unwrap(); } }",
+            "scope L1 src/**",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l2_derive_and_raw() {
+        let f = run(
+            "#[derive(Clone, Debug)]\nstruct K { secret: Ubig }\nstruct Ok2 { secret: Secret<Ubig> }",
+            "scope L2 src/**",
+        );
+        assert!(f.iter().any(|f| f.rule == "L2-DERIVE"));
+        assert!(f.iter().any(|f| f.rule == "L2-RAW"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn l2_flow_direct_and_param() {
+        let f = run(
+            "fn leak(mac_key: &Secret<[u8; 32]>) { println!(\"{:?}\", mac_key); }",
+            "scope L2 src/**",
+        );
+        assert!(f.iter().any(|f| f.rule == "L2-FLOW"));
+    }
+
+    #[test]
+    fn l3_eq_in_verify() {
+        let f = run(
+            "fn verify_tag(a: &[u8], b: &[u8]) -> bool { if a.len() != b.len() { return false; } a == b }",
+            "scope L3 src/**",
+        );
+        // len compare exempt; `a == b` flagged once.
+        assert_eq!(f.iter().filter(|f| f.rule == "L3-EQ").count(), 1);
+    }
+
+    #[test]
+    fn l3_ct_discipline() {
+        let bad = run(
+            "fn ct_bad(a: &[u8], b: &[u8]) -> bool { for i in 0..a.len() { if a[i] != b[i] { return false; } } true }",
+            "scope L3 src/**",
+        );
+        assert!(bad.iter().any(|f| f.rule == "L3-CT"));
+        let good = run(
+            "fn ct_eq(a: &[u8], b: &[u8]) -> bool { let mut acc = a.len() ^ b.len(); for i in 0..a.len().max(b.len()) { let x = a.get(i).copied().unwrap_or(0); let y = b.get(i).copied().unwrap_or(0); acc |= usize::from(x ^ y); } acc == 0 }",
+            "scope L3 src/**",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn l4_flags_nondeterminism() {
+        let f = run(
+            "use std::collections::HashMap;\nfn f() { let t = Instant::now(); let r = thread_rng(); }",
+            "scope L4 src/**",
+        );
+        assert!(f.iter().any(|f| f.rule == "L4-HASH"));
+        assert!(f.iter().any(|f| f.rule == "L4-TIME"));
+        assert!(f.iter().any(|f| f.rule == "L4-RNG"));
+    }
+
+    #[test]
+    fn allowlist_suppresses() {
+        let mut cfg = Config::parse_conf("scope L1 src/**").unwrap();
+        cfg.parse_allowlist("L1-PANIC src/x.rs # audited\n")
+            .unwrap();
+        let files = vec![(
+            "src/x.rs".to_string(),
+            parse("fn f(v: Option<u8>) { v.unwrap(); }"),
+        )];
+        let graph = CallGraph::build(&files);
+        assert!(check_all(&files, &cfg, &graph).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end analyzer tests: the seeded-violations fixture must
+//! produce exactly the pinned finding set (every rule family fires at
+//! the expected `file:line`), and the real workspace must analyze
+//! clean under the embedded default scopes plus the checked-in
+//! allowlist.
+
+use std::path::{Path, PathBuf};
+
+use gkap_analyze::{analyze_root, Config};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/violations")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has a workspace two levels up")
+        .to_path_buf()
+}
+
+/// The complete expected finding set for the fixture, sorted the way
+/// the analyzer reports: by (file, line, rule). A missing entry means
+/// a rule stopped firing; an extra entry means a false positive crept
+/// in. Either way the diff in the assertion message is the fix list.
+const EXPECTED: &[(&str, &str, u32)] = &[
+    ("L3-EQ", "src/ct.rs", 7),
+    ("L3-CT", "src/ct.rs", 12),
+    ("L3-CT", "src/ct.rs", 14),
+    ("L1-PANIC", "src/protocol.rs", 4),
+    ("L1-PANIC", "src/protocol.rs", 5),
+    ("L1-PANIC", "src/protocol.rs", 7),
+    ("L1-INDEX", "src/protocol.rs", 9),
+    ("L2-RAW", "src/secrets.rs", 3),
+    ("L2-DERIVE", "src/secrets.rs", 8),
+    ("L2-RAW", "src/secrets.rs", 8),
+    ("L2-FLOW", "src/secrets.rs", 12),
+    ("L2-FLOW", "src/secrets.rs", 13),
+    ("L4-HASH", "src/sim.rs", 3),
+    ("L4-HASH", "src/sim.rs", 5),
+    ("L4-TIME", "src/sim.rs", 6),
+    ("L4-RNG", "src/sim.rs", 8),
+];
+
+#[test]
+fn fixture_produces_exactly_the_seeded_findings() {
+    let root = fixture_root();
+    let conf = std::fs::read_to_string(root.join("analyze.conf")).expect("fixture analyze.conf");
+    let cfg = Config::parse_conf(&conf).expect("fixture config parses");
+    let findings = analyze_root(&root, &cfg).expect("fixture analyzes");
+    let got: Vec<(String, String, u32)> = findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect();
+    let want: Vec<(String, String, u32)> = EXPECTED
+        .iter()
+        .map(|&(r, f, l)| (r.to_string(), f.to_string(), l))
+        .collect();
+    assert_eq!(
+        got,
+        want,
+        "fixture findings drifted; full report:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_family_fires_on_the_fixture() {
+    // Redundant with the exact pin above, but fails with a clearer
+    // message if a whole family is disabled by a scope regression.
+    let rules: std::collections::BTreeSet<&str> = EXPECTED.iter().map(|&(r, _, _)| r).collect();
+    for family in [
+        "L1-PANIC",
+        "L1-INDEX",
+        "L2-DERIVE",
+        "L2-RAW",
+        "L2-FLOW",
+        "L3-EQ",
+        "L3-CT",
+        "L4-HASH",
+        "L4-TIME",
+        "L4-RNG",
+    ] {
+        assert!(rules.contains(family), "fixture does not seed {family}");
+    }
+}
+
+#[test]
+fn workspace_analyzes_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root resolution broke: {}",
+        root.display()
+    );
+    let mut cfg = Config::workspace_default();
+    let allow = std::fs::read_to_string(root.join("analyze.allow")).expect("analyze.allow");
+    cfg.parse_allowlist(&allow).expect("allowlist parses");
+    let findings = analyze_root(&root, &cfg).expect("workspace analyzes");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay analyzer-clean; burn these down or allowlist with a reason:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -83,6 +83,23 @@ impl Ubig {
         &self.limbs
     }
 
+    /// Best-effort secret erasure: overwrites every limb with zero,
+    /// pins the stores behind [`std::hint::black_box`] so the
+    /// optimizer cannot elide them as dead writes, then truncates to
+    /// the canonical zero representation.
+    ///
+    /// "Best effort" because the crate forbids `unsafe`, so there is
+    /// no volatile-write guarantee, and intermediate reallocations
+    /// during earlier arithmetic may have left copies elsewhere on the
+    /// heap. The wrapper type `gkap-crypto::Secret` calls this on drop.
+    pub fn zeroize(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            *limb = 0;
+        }
+        std::hint::black_box(self.limbs.as_slice());
+        self.limbs.clear();
+    }
+
     /// Returns `true` if the value is zero.
     pub fn is_zero(&self) -> bool {
         self.limbs.is_empty()

@@ -212,7 +212,9 @@ impl SecureMember {
     fn record_confirmation(&mut self, epoch: u64, digest: &[u8]) {
         match self.secret(epoch) {
             Some(secret) => {
-                if Self::confirm_digest(epoch, secret) != digest {
+                // Constant-time: a digest mismatch must not leak how
+                // much of the expected digest a forgery matched.
+                if !gkap_crypto::hmac::ct_eq(&Self::confirm_digest(epoch, secret), digest) {
                     self.record_error(GkaError::Protocol("key confirmation mismatch"));
                     return;
                 }

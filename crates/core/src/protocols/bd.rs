@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use gkap_bignum::Ubig;
+use gkap_crypto::Secret;
 use gkap_gcs::{ClientId, View};
 
 use crate::protocols::{
@@ -25,7 +26,6 @@ use crate::protocols::{
 use crate::suite::CryptoSuite;
 
 /// BD protocol engine for one member.
-#[derive(Debug)]
 pub struct Bd {
     me: Option<ClientId>,
     members: Vec<ClientId>,
@@ -33,7 +33,16 @@ pub struct Bd {
     z: BTreeMap<ClientId, Ubig>,
     x: BTreeMap<ClientId, Ubig>,
     sent_round2: bool,
-    secret: Option<Ubig>,
+    secret: Option<Secret<Ubig>>,
+}
+
+impl std::fmt::Debug for Bd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bd")
+            .field("me", &self.me)
+            .field("secret", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Bd {
@@ -58,9 +67,9 @@ impl Bd {
     }
 
     fn neighbour(&self, pos: usize, offset: isize) -> ClientId {
-        let n = self.members.len() as isize;
+        let n = self.members.len().max(1) as isize;
         let idx = ((pos as isize + offset) % n + n) % n;
-        self.members[idx as usize]
+        self.members.get(idx as usize).copied().unwrap_or(0)
     }
 
     /// Round 2 once all z values are present.
@@ -141,7 +150,7 @@ impl Bd {
             };
             acc = ctx.modmul(&acc, &term);
         }
-        self.secret = Some(acc);
+        self.secret = Some(Secret::new(acc));
         Ok(())
     }
 }
@@ -175,7 +184,7 @@ impl GkaProtocol for Bd {
             let q = ctx.suite.group().order();
             let e = r.modmul(&r, q);
             let g = ctx.suite.group().generator().clone();
-            self.secret = Some(ctx.exp(&g, &e));
+            self.secret = Some(Secret::new(ctx.exp(&g, &e)));
             return Ok(());
         }
         ctx.send(SendKind::Multicast, &ProtocolMsg::BdRound1 { z });
@@ -208,7 +217,7 @@ impl GkaProtocol for Bd {
     }
 
     fn group_secret(&self) -> Option<&Ubig> {
-        self.secret.as_ref()
+        self.secret.as_ref().map(|s| s.expose())
     }
 
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
@@ -219,15 +228,17 @@ impl GkaProtocol for Bd {
             .map(|&m| bootstrap_exponent(suite, seed, m))
             .collect();
         let mut e = Ubig::zero();
-        let n = members.len();
-        for i in 0..n {
-            let term = rs[i].modmul(&rs[(i + 1) % n], q);
-            e = e.modadd(&term, q);
+        // Cyclic neighbour pairs (r_i, r_{i+1 mod n}).
+        for (a, b) in rs.iter().zip(rs.iter().cycle().skip(1)) {
+            e = e.modadd(&a.modmul(b, q), q);
         }
         self.me = Some(me);
         self.members = members.to_vec();
-        self.my_r = members.iter().position(|&m| m == me).map(|i| rs[i].clone());
-        self.secret = Some(suite.group().exp_g(&e));
+        self.my_r = members
+            .iter()
+            .position(|&m| m == me)
+            .and_then(|i| rs.get(i).cloned());
+        self.secret = Some(Secret::new(suite.group().exp_g(&e)));
     }
 
     fn reset(&mut self) {

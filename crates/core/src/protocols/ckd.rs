@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use gkap_bignum::{RandomSource, Ubig};
 use gkap_crypto::aes::ctr_xor;
 use gkap_crypto::kdf;
+use gkap_crypto::Secret;
 use gkap_gcs::{ClientId, View};
 
 use crate::protocols::{
@@ -60,7 +61,6 @@ fn blob_key(pairwise: &Ubig) -> [u8; 16] {
 }
 
 /// CKD protocol engine for one member.
-#[derive(Debug)]
 pub struct Ckd {
     me: Option<ClientId>,
     members: Vec<ClientId>,
@@ -76,7 +76,16 @@ pub struct Ckd {
     controller_exp: Option<Ubig>,
     /// `g^{controller_exp}` (computed once per re-key).
     controller_pub: Option<Ubig>,
-    secret: Option<Ubig>,
+    secret: Option<Secret<Ubig>>,
+}
+
+impl std::fmt::Debug for Ckd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ckd")
+            .field("me", &self.me)
+            .field("secret", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ckd {
@@ -142,7 +151,7 @@ impl Ckd {
                 blobs,
             },
         );
-        self.secret = Some(secret);
+        self.secret = Some(Secret::new(secret));
         Ok(())
     }
 
@@ -162,8 +171,8 @@ impl Ckd {
             controller_pub,
             invited: invite.clone(),
         };
-        if invite.len() == 1 {
-            ctx.send(SendKind::UnicastFifo(invite[0]), &msg);
+        if let [only] = invite.as_slice() {
+            ctx.send(SendKind::UnicastFifo(*only), &msg);
         } else {
             ctx.send(SendKind::Multicast, &msg);
         }
@@ -283,7 +292,7 @@ impl GkaProtocol for Ckd {
                 if pt.len() != BLOB_LEN {
                     return Err(GkaError::Protocol("blob length mismatch"));
                 }
-                self.secret = Some(Ubig::from_be_bytes(&pt));
+                self.secret = Some(Secret::new(Ubig::from_be_bytes(&pt)));
                 Ok(())
             }
             _ => Err(GkaError::UnexpectedMessage("not a CKD message")),
@@ -291,7 +300,7 @@ impl GkaProtocol for Ckd {
     }
 
     fn group_secret(&self) -> Option<&Ubig> {
-        self.secret.as_ref()
+        self.secret.as_ref().map(|s| s.expose())
     }
 
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
@@ -310,7 +319,9 @@ impl GkaProtocol for Ckd {
         }
         // The bootstrap controller's exponent doubles as the seed for
         // the initial group secret (derived, deterministic).
-        let controller = members[0];
+        let Some(&controller) = members.first() else {
+            return;
+        };
         let cx = bootstrap_exponent(suite, seed, controller);
         self.controller_exp = if me == controller {
             Some(cx.clone())
@@ -318,7 +329,7 @@ impl GkaProtocol for Ckd {
             None
         };
         let shared = group.exp_g(&cx.modmul(&cx, group.order()));
-        self.secret = Some(shared);
+        self.secret = Some(Secret::new(shared));
     }
 
     fn reset(&mut self) {

@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 
 use gkap_bignum::Ubig;
+use gkap_crypto::Secret;
 use gkap_gcs::{ClientId, View};
 
 use crate::protocols::{
@@ -43,7 +44,6 @@ enum Stage {
 }
 
 /// GDH IKA.3 protocol engine for one member.
-#[derive(Debug)]
 pub struct Gdh {
     me: Option<ClientId>,
     /// This member's current secret contribution `r`.
@@ -52,7 +52,7 @@ pub struct Gdh {
     /// (every member caches the controller's last broadcast so any
     /// member can take over as controller).
     partial_keys: BTreeMap<ClientId, Ubig>,
-    secret: Option<Ubig>,
+    secret: Option<Secret<Ubig>>,
     stage: Stage,
     members: Vec<ClientId>,
     new_members: Vec<ClientId>,
@@ -64,6 +64,15 @@ pub struct Gdh {
     /// Joiners to merge after a combined leave+join view finishes its
     /// leave phase (cascaded handling).
     pending_merge: Vec<ClientId>,
+}
+
+impl std::fmt::Debug for Gdh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gdh")
+            .field("me", &self.me)
+            .field("secret", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Gdh {
@@ -138,8 +147,12 @@ impl Gdh {
         }
         self.my_exp = Some(fresh.clone());
         self.partial_keys = new_list;
-        let k_me = self.partial_keys[&me].clone();
-        self.secret = Some(ctx.exp(&k_me, &fresh));
+        let k_me = self
+            .partial_keys
+            .get(&me)
+            .cloned()
+            .ok_or(GkaError::MissingState("own partial key"))?;
+        self.secret = Some(Secret::new(ctx.exp(&k_me, &fresh)));
         let entries: Vec<(ClientId, Ubig)> = self
             .partial_keys
             .iter()
@@ -218,7 +231,7 @@ impl Gdh {
         entries.push((ctx.me(), token.clone()));
         entries.sort_by_key(|(m, _)| *m);
         self.partial_keys = entries.iter().cloned().collect();
-        self.secret = Some(ctx.exp(&token, &fresh));
+        self.secret = Some(Secret::new(ctx.exp(&token, &fresh)));
         self.my_exp = Some(fresh);
         ctx.send(
             SendKind::Multicast,
@@ -266,7 +279,7 @@ impl GkaProtocol for Gdh {
                     .clone()
                     .ok_or(GkaError::MissingState("own exponent"))?;
                 let g = ctx.suite.group().generator().clone();
-                self.secret = Some(ctx.exp(&g, &r));
+                self.secret = Some(Secret::new(ctx.exp(&g, &r)));
                 self.stage = Stage::Idle;
                 return Ok(());
             }
@@ -316,7 +329,11 @@ impl GkaProtocol for Gdh {
                     let r = ctx.fresh_exponent();
                     let next_token = ctx.exp(&token, &r);
                     self.my_exp = Some(r);
-                    let next = self.new_members[pos + 1];
+                    let next = self
+                        .new_members
+                        .get(pos + 1)
+                        .copied()
+                        .ok_or(GkaError::MissingState("next member in the chain"))?;
                     ctx.send(
                         SendKind::UnicastAgreed(next),
                         &ProtocolMsg::GdhChainToken { token: next_token },
@@ -380,7 +397,7 @@ impl GkaProtocol for Gdh {
                     .my_exp
                     .clone()
                     .ok_or(GkaError::MissingState("no contribution"))?;
-                self.secret = Some(ctx.exp(&k_me, &r));
+                self.secret = Some(Secret::new(ctx.exp(&k_me, &r)));
                 self.stage = Stage::Idle;
                 self.maybe_start_pending_merge(ctx)
             }
@@ -389,7 +406,7 @@ impl GkaProtocol for Gdh {
     }
 
     fn group_secret(&self) -> Option<&Ubig> {
-        self.secret.as_ref()
+        self.secret.as_ref().map(|s| s.expose())
     }
 
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
@@ -420,7 +437,7 @@ impl GkaProtocol for Gdh {
         }
         self.me = Some(me);
         self.members = members.to_vec();
-        self.secret = Some(group.exp_g(&product));
+        self.secret = Some(Secret::new(group.exp_g(&product)));
         self.stage = Stage::Idle;
     }
 

@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use gkap_bignum::Ubig;
 use gkap_crypto::sha::{Digest, Sha256};
+use gkap_crypto::Secret;
 use gkap_gcs::{ClientId, View};
 
 use crate::protocols::{
@@ -109,7 +110,6 @@ impl Chain {
 }
 
 /// STR protocol engine for one member.
-#[derive(Debug)]
 pub struct Str {
     me: Option<ClientId>,
     view_members: Vec<ClientId>,
@@ -125,7 +125,16 @@ pub struct Str {
     components: BTreeMap<Vec<ClientId>, Chain>,
     merging: bool,
     cache: HashMap<[u8; 32], Ubig>,
-    secret: Option<Ubig>,
+    secret: Option<Secret<Ubig>>,
+}
+
+impl std::fmt::Debug for Str {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Str")
+            .field("me", &self.me)
+            .field("secret", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Str {
@@ -282,7 +291,7 @@ impl Str {
         // still just our component).
         if !self.merging {
             if let Some(k) = self.keys[n - 1].clone() {
-                self.secret = Some(k);
+                self.secret = Some(Secret::new(k));
             }
         }
         Ok(published)
@@ -397,7 +406,7 @@ impl GkaProtocol for Str {
                         .my_r
                         .clone()
                         .ok_or(GkaError::MissingState("no session random"))?;
-                    self.secret = Some(r);
+                    self.secret = Some(Secret::new(r));
                     return Ok(());
                 }
                 // Sponsor: the member just below the lowest leaver.
@@ -519,7 +528,7 @@ impl GkaProtocol for Str {
     }
 
     fn group_secret(&self) -> Option<&Ubig> {
-        self.secret.as_ref()
+        self.secret.as_ref().map(|s| s.expose())
     }
 
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
@@ -557,7 +566,7 @@ impl GkaProtocol for Str {
         }
         self.me = Some(me);
         self.view_members = members.to_vec();
-        self.secret = keys.last().cloned().flatten();
+        self.secret = keys.last().cloned().flatten().map(Secret::new);
         self.chain = chain;
         self.keys = keys;
         self.merging = false;

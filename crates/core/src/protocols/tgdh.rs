@@ -23,6 +23,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use gkap_bignum::Ubig;
+use gkap_crypto::Secret;
 use gkap_gcs::{ClientId, View};
 
 use crate::protocols::{
@@ -52,7 +53,6 @@ pub enum TreePolicy {
 }
 
 /// TGDH protocol engine for one member.
-#[derive(Debug)]
 pub struct Tgdh {
     me: Option<ClientId>,
     view_members: Vec<ClientId>,
@@ -73,7 +73,16 @@ pub struct Tgdh {
     rounds_started: u32,
     /// Subtree-fingerprint cache of previously computed keys.
     cache: HashMap<[u8; 32], CacheEntry>,
-    secret: Option<Ubig>,
+    secret: Option<Secret<Ubig>>,
+}
+
+impl std::fmt::Debug for Tgdh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tgdh")
+            .field("me", &self.me)
+            .field("secret", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Tgdh {
@@ -230,7 +239,7 @@ impl Tgdh {
         let root = self.tree.root();
         if cur == root && !self.merging {
             if let Some(k) = self.tree.node(root).key.clone() {
-                self.secret = Some(k);
+                self.secret = Some(Secret::new(k));
             }
         }
         Ok(published)
@@ -273,7 +282,7 @@ impl Tgdh {
             let m = t.members();
             (
                 std::cmp::Reverse(m.len()),
-                *m.iter().min().expect("non-empty"),
+                m.iter().min().copied().unwrap_or(ClientId::MAX),
             )
         });
         let mut assembled = comps.remove(0);
@@ -376,7 +385,7 @@ impl GkaProtocol for Tgdh {
                 .my_r
                 .clone()
                 .ok_or(GkaError::MissingState("no session random"))?;
-            self.secret = Some(r);
+            self.secret = Some(Secret::new(r));
             return Ok(());
         }
         // Deterministic refresher: the sponsor (rightmost leaf) of the
@@ -454,7 +463,7 @@ impl GkaProtocol for Tgdh {
     }
 
     fn group_secret(&self) -> Option<&Ubig> {
-        self.secret.as_ref()
+        self.secret.as_ref().map(|s| s.expose())
     }
 
     fn bootstrap(&mut self, suite: &CryptoSuite, members: &[ClientId], me: ClientId, seed: u64) {
@@ -514,7 +523,7 @@ impl GkaProtocol for Tgdh {
         self.me = Some(me);
         self.view_members = members.to_vec();
         self.tree = tree;
-        self.secret = secret;
+        self.secret = secret.map(Secret::new);
         self.merging = false;
         self.components.clear();
     }

@@ -80,7 +80,19 @@ fn nonce_for(epoch: u64, seq: u64, sender: ClientId) -> [u8; 12] {
     h.update(&epoch.to_be_bytes());
     h.update(&seq.to_be_bytes());
     h.update(&(sender as u64).to_be_bytes());
-    h.finalize()[..12].try_into().expect("12 bytes")
+    let digest = h.finalize();
+    let mut nonce = [0u8; 12];
+    for (dst, src) in nonce.iter_mut().zip(digest.iter()) {
+        *dst = *src;
+    }
+    nonce
+}
+
+/// Reads a big-endian `u64` at `at` without panicking paths.
+fn read_u64(body: &[u8], at: usize) -> Result<u64, SessionError> {
+    let bytes = body.get(at..at + 8).ok_or(SessionError::Malformed)?;
+    let fixed: [u8; 8] = bytes.try_into().map_err(|_| SessionError::Malformed)?;
+    Ok(u64::from_be_bytes(fixed))
 }
 
 impl SecureSession {
@@ -103,12 +115,12 @@ impl SecureSession {
         let seq = self.next_seq;
         self.next_seq += 1;
         let nonce = nonce_for(self.epoch, seq, sender);
-        let ct = ctr_xor(&self.keys.enc_key, &nonce, 0, plaintext.to_vec());
+        let ct = ctr_xor(self.keys.enc_key.expose(), &nonce, 0, plaintext.to_vec());
         let mut out = Vec::with_capacity(16 + ct.len() + 32);
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&seq.to_be_bytes());
         out.extend_from_slice(&ct);
-        let mac = hmac_sha256(&self.keys.mac_key, &out);
+        let mac = hmac_sha256(self.keys.mac_key.expose(), &out);
         out.extend_from_slice(&mac);
         out
     }
@@ -126,9 +138,7 @@ impl SecureSession {
         sender: ClientId,
         wire: &[u8],
     ) -> Result<Vec<u8>, SessionError> {
-        let plain = self.open(sender, wire)?;
-        let body = &wire[..wire.len() - 32];
-        let seq = u64::from_be_bytes(body[8..16].try_into().expect("checked by open"));
+        let (seq, plain) = self.open_parsed(sender, wire)?;
         guard.check(sender, seq)?;
         Ok(plain)
     }
@@ -140,23 +150,33 @@ impl SecureSession {
     /// [`SessionError::Malformed`], [`SessionError::WrongEpoch`], or
     /// [`SessionError::BadMac`].
     pub fn open(&self, sender: ClientId, wire: &[u8]) -> Result<Vec<u8>, SessionError> {
+        self.open_parsed(sender, wire).map(|(_, plain)| plain)
+    }
+
+    /// Verifies, decrypts, and also returns the sequence number (used
+    /// by [`SecureSession::open_checked`] for replay tracking).
+    fn open_parsed(&self, sender: ClientId, wire: &[u8]) -> Result<(u64, Vec<u8>), SessionError> {
         if wire.len() < 16 + 32 {
             return Err(SessionError::Malformed);
         }
         let (body, mac) = wire.split_at(wire.len() - 32);
-        if !ct_eq(&hmac_sha256(&self.keys.mac_key, body), mac) {
+        if !ct_eq(&hmac_sha256(self.keys.mac_key.expose(), body), mac) {
             return Err(SessionError::BadMac);
         }
-        let epoch = u64::from_be_bytes(body[0..8].try_into().expect("8"));
+        let epoch = read_u64(body, 0)?;
         if epoch != self.epoch {
             return Err(SessionError::WrongEpoch {
                 got: epoch,
                 expected: self.epoch,
             });
         }
-        let seq = u64::from_be_bytes(body[8..16].try_into().expect("8"));
+        let seq = read_u64(body, 8)?;
         let nonce = nonce_for(epoch, seq, sender);
-        Ok(ctr_xor(&self.keys.enc_key, &nonce, 0, body[16..].to_vec()))
+        let ct = body.get(16..).ok_or(SessionError::Malformed)?;
+        Ok((
+            seq,
+            ctr_xor(self.keys.enc_key.expose(), &nonce, 0, ct.to_vec()),
+        ))
     }
 }
 
@@ -182,12 +202,11 @@ impl ReplayGuard {
     /// Returns [`SessionError::Replayed`] if the pair was already
     /// accepted or is older than the 64-message window.
     pub fn check(&mut self, sender: ClientId, seq: u64) -> Result<(), SessionError> {
-        let entry = self.seen.entry(sender).or_insert((0, 0));
-        let (highest, bitmap) = *entry;
-        if self.seen_before(sender, seq, highest, bitmap) {
+        let (highest, bitmap) = self.seen.get(&sender).copied().unwrap_or((0, 0));
+        if Self::seen_before(seq, highest, bitmap) {
             return Err(SessionError::Replayed { sender, seq });
         }
-        let entry = self.seen.get_mut(&sender).expect("just inserted");
+        let entry = self.seen.entry(sender).or_insert((0, 0));
         if seq > entry.0 || (entry.0 == 0 && entry.1 & 1 == 0 && seq == 0) {
             let shift = seq - entry.0;
             entry.1 = if shift >= 64 { 0 } else { entry.1 << shift };
@@ -200,7 +219,7 @@ impl ReplayGuard {
         Ok(())
     }
 
-    fn seen_before(&self, _sender: ClientId, seq: u64, highest: u64, bitmap: u64) -> bool {
+    fn seen_before(seq: u64, highest: u64, bitmap: u64) -> bool {
         if bitmap == 0 && highest == 0 {
             return false; // nothing recorded yet
         }

@@ -13,14 +13,16 @@
 use gkap_bignum::{RandomSource, Ubig};
 
 use crate::dh::DhGroup;
+use crate::hmac::ct_eq;
+use crate::secret::Secret;
 use crate::sha::{Digest, Sha256};
 use crate::CryptoError;
 
 /// A DSA key pair over a [`DhGroup`].
 pub struct DsaKeyPair {
     group: DhGroup,
-    /// Secret exponent `x ∈ [1, q)`.
-    x: Ubig,
+    /// Secret exponent `x ∈ [1, q)`, zeroized on drop.
+    x: Secret<Ubig>,
     /// Public value `y = g^x mod p`.
     y: Ubig,
 }
@@ -91,7 +93,11 @@ impl DsaKeyPair {
     pub fn generate<R: RandomSource + ?Sized>(group: DhGroup, rng: &mut R) -> Self {
         let x = group.random_exponent(rng);
         let y = group.exp_g(&x);
-        DsaKeyPair { group, x, y }
+        DsaKeyPair {
+            group,
+            x: Secret::new(x),
+            y,
+        }
     }
 
     /// The public value `y`.
@@ -115,7 +121,7 @@ impl DsaKeyPair {
                 continue;
             }
             let k_inv = k.mod_inverse(q).expect("prime order");
-            let s = k_inv.modmul(&h.modadd(&self.x.modmul(&r, q), q), q);
+            let s = k_inv.modmul(&h.modadd(&self.x.expose().modmul(&r, q), q), q);
             if s.is_zero() {
                 continue;
             }
@@ -147,7 +153,13 @@ pub fn verify(
     let u2 = sig.r.modmul(&w, q);
     let p = group.modulus();
     let v = group.exp_g(&u1).modmul(&group.exp(y, &u2), p).rem(q);
-    if v == sig.r {
+    // Compare as fixed-width big-endian bytes in constant time; the
+    // limb-level `PartialEq` short-circuits on the first differing limb.
+    let width = q.bit_len().div_ceil(8);
+    if ct_eq(
+        &v.to_be_bytes_padded(width),
+        &sig.r.to_be_bytes_padded(width),
+    ) {
         Ok(())
     } else {
         Err(CryptoError::BadSignature)

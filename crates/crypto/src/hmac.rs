@@ -42,16 +42,19 @@ pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Vec<u8> {
     hmac::<Sha1>(key, data)
 }
 
-/// Constant-time byte comparison for MAC verification.
+/// Constant-time byte comparison for MAC / tag verification.
 ///
-/// Returns `true` if `a == b` without early exit on mismatch.
+/// Returns `true` iff `a == b`. The running time depends only on
+/// `max(a.len(), b.len())`, never on where the first mismatch sits: a
+/// length difference is folded into the accumulator instead of taken
+/// as an early return, and every byte position is visited with
+/// `get`-based loads so there is no data-dependent branch or index.
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut acc = 0u8;
-    for (x, y) in a.iter().zip(b) {
-        acc |= x ^ y;
+    let mut acc = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        acc |= usize::from(x ^ y);
     }
     acc == 0
 }

@@ -9,6 +9,8 @@
 
 use gkap_bignum::Ubig;
 
+use crate::hmac::ct_eq;
+use crate::secret::Secret;
 use crate::sha::{Digest, Sha256};
 
 /// Derives `len` bytes of key material from a group secret and a
@@ -42,12 +44,16 @@ pub fn derive(group_secret: &Ubig, label: &[u8], len: usize) -> Vec<u8> {
 
 /// The symmetric keys a secure group session needs, derived from one
 /// group secret.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// The encryption and MAC keys live in [`Secret`] so they are zeroized
+/// on drop; equality compares them in constant time (epoch checks run
+/// on attacker-timable paths).
+#[derive(Clone)]
 pub struct SessionKeys {
     /// AES-128 encryption key.
-    pub enc_key: [u8; 16],
+    pub enc_key: Secret<[u8; 16]>,
     /// HMAC-SHA-256 authentication key.
-    pub mac_key: [u8; 32],
+    pub mac_key: Secret<[u8; 32]>,
     /// Short key identifier for debugging/epoch checks (not secret).
     pub key_id: [u8; 8],
 }
@@ -58,6 +64,17 @@ impl std::fmt::Debug for SessionKeys {
     }
 }
 
+impl PartialEq for SessionKeys {
+    fn eq(&self, other: &Self) -> bool {
+        let enc = ct_eq(self.enc_key.expose(), other.enc_key.expose());
+        let mac = ct_eq(self.mac_key.expose(), other.mac_key.expose());
+        let kid = ct_eq(&self.key_id, &other.key_id);
+        enc & mac & kid
+    }
+}
+
+impl Eq for SessionKeys {}
+
 impl SessionKeys {
     /// Derives the full key set from a group secret.
     pub fn from_group_secret(secret: &Ubig) -> Self {
@@ -65,8 +82,8 @@ impl SessionKeys {
         let mac = derive(secret, b"secure-spread:mac", 32);
         let kid = derive(secret, b"secure-spread:kid", 8);
         SessionKeys {
-            enc_key: enc.try_into().expect("16 bytes"),
-            mac_key: mac.try_into().expect("32 bytes"),
+            enc_key: Secret::new(enc.try_into().expect("16 bytes")),
+            mac_key: Secret::new(mac.try_into().expect("32 bytes")),
             key_id: kid.try_into().expect("8 bytes"),
         }
     }
@@ -97,7 +114,7 @@ mod tests {
     #[test]
     fn session_keys_distinct() {
         let keys = SessionKeys::from_group_secret(&Ubig::from(99u64));
-        assert_ne!(&keys.enc_key[..], &keys.mac_key[..16]);
+        assert_ne!(&keys.enc_key.expose()[..], &keys.mac_key.expose()[..16]);
         let other = SessionKeys::from_group_secret(&Ubig::from(100u64));
         assert_ne!(keys.key_id, other.key_id);
         assert_eq!(keys, SessionKeys::from_group_secret(&Ubig::from(99u64)));
@@ -108,6 +125,6 @@ mod tests {
         let keys = SessionKeys::from_group_secret(&Ubig::from(1u64));
         let s = format!("{keys:?}");
         assert!(s.contains("key_id"));
-        assert!(!s.contains(&format!("{:02x?}", keys.enc_key)));
+        assert!(!s.contains(&format!("{:02x?}", keys.enc_key.expose())));
     }
 }

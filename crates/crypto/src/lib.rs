@@ -50,7 +50,10 @@ pub mod dsa;
 pub mod hmac;
 pub mod kdf;
 pub mod rsa;
+pub mod secret;
 pub mod sha;
+
+pub use secret::{Secret, Zeroize};
 
 /// Errors produced by cryptographic operations in this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -9,6 +9,8 @@
 
 use gkap_bignum::{prime, Montgomery, RandomSource, Ubig};
 
+use crate::hmac::ct_eq;
+use crate::secret::Secret;
 use crate::sha::{Digest, Sha256};
 use crate::CryptoError;
 
@@ -42,12 +44,12 @@ impl Eq for RsaPublicKey {}
 /// An RSA private key with CRT parameters.
 pub struct RsaPrivateKey {
     public: RsaPublicKey,
-    p: Ubig,
-    q: Ubig,
-    d: Ubig,
-    dp: Ubig,
-    dq: Ubig,
-    q_inv: Ubig,
+    p: Secret<Ubig>,
+    q: Secret<Ubig>,
+    d: Secret<Ubig>,
+    dp: Secret<Ubig>,
+    dq: Secret<Ubig>,
+    q_inv: Secret<Ubig>,
     mont_p: Montgomery,
     mont_q: Montgomery,
 }
@@ -97,7 +99,10 @@ impl RsaPublicKey {
             .modexp(&s, &self.e)
             .to_be_bytes_padded(self.modulus_len());
         let expected = pkcs1_v15_encode(message, self.modulus_len());
-        if em == expected {
+        // Compare the full encoded block in constant time: a
+        // position-dependent early exit here would leak how much of a
+        // forged block matched.
+        if ct_eq(&em, &expected) {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
@@ -142,12 +147,12 @@ impl RsaPrivateKey {
             let mont_q = Montgomery::new(&q).expect("q is an odd prime");
             return RsaPrivateKey {
                 public: RsaPublicKey { n, e, mont },
-                p,
-                q,
-                d,
-                dp,
-                dq,
-                q_inv,
+                p: Secret::new(p),
+                q: Secret::new(q),
+                d: Secret::new(d),
+                dp: Secret::new(dp),
+                dq: Secret::new(dq),
+                q_inv: Secret::new(q_inv),
                 mont_p,
                 mont_q,
             };
@@ -165,12 +170,17 @@ impl RsaPrivateKey {
         let em = Ubig::from_be_bytes(&pkcs1_v15_encode(message, k));
         // CRT: m1 = em^dp mod p, m2 = em^dq mod q,
         //      h = q_inv (m1 - m2) mod p, s = m2 + h q.
-        let m1 = self.mont_p.modexp(&em, &self.dp);
-        let m2 = self.mont_q.modexp(&em, &self.dq);
-        let diff = m1.modsub(&m2.rem(&self.p), &self.p);
-        let h = self.q_inv.modmul(&diff, &self.p);
-        let s = &m2 + &(&h * &self.q);
-        debug_assert_eq!(s, self.public.mont.modexp(&em, &self.d), "CRT consistency");
+        let (p, q) = (self.p.expose(), self.q.expose());
+        let m1 = self.mont_p.modexp(&em, self.dp.expose());
+        let m2 = self.mont_q.modexp(&em, self.dq.expose());
+        let diff = m1.modsub(&m2.rem(p), p);
+        let h = self.q_inv.expose().modmul(&diff, p);
+        let s = &m2 + &(&h * q);
+        debug_assert_eq!(
+            s,
+            self.public.mont.modexp(&em, self.d.expose()),
+            "CRT consistency"
+        );
         s.to_be_bytes_padded(k)
     }
 }
@@ -270,7 +280,7 @@ mod tests {
         let key = small_key(9, 3);
         let s = format!("{key:?}");
         assert!(s.contains("redacted"));
-        assert!(!s.contains(&key.d.to_hex()));
+        assert!(!s.contains(&key.d.expose().to_hex()));
     }
 
     #[test]

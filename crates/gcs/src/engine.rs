@@ -28,7 +28,7 @@
 //! the token passes it and notifies its local clients. Changes queue
 //! FIFO if injected while another is in progress.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -244,7 +244,7 @@ pub struct SimWorld {
     /// visit. Messages at or below it are held by every daemon.
     token_aru: u64,
     current_view: Option<Rc<View>>,
-    view_history: HashMap<ViewId, Rc<View>>,
+    view_history: BTreeMap<ViewId, Rc<View>>,
     next_view_id: ViewId,
     pending_changes: VecDeque<PendingChange>,
     active: Option<ActiveMembership>,
@@ -254,7 +254,7 @@ pub struct SimWorld {
     token_started: bool,
     /// Every sequenced message (the origin daemons' retransmission
     /// buffers, kept globally for simulation convenience).
-    sent_msgs: HashMap<u64, Rc<WireMsg>>,
+    sent_msgs: BTreeMap<u64, Rc<WireMsg>>,
     /// Deterministic loss process.
     loss_rng: SplitMix64,
     /// Token generation: bumped on every ring reformation so tokens
@@ -313,14 +313,14 @@ impl SimWorld {
             next_seq: 1,
             token_aru: 0,
             current_view: None,
-            view_history: HashMap::new(),
+            view_history: BTreeMap::new(),
             next_view_id: 1,
             pending_changes: VecDeque::new(),
             active: None,
             outstanding: 0,
             stats: WorldStats::default(),
             token_started: false,
-            sent_msgs: HashMap::new(),
+            sent_msgs: BTreeMap::new(),
             loss_rng: SplitMix64::new(cfg.loss_seed),
             token_gen: 0,
             loss_burst: None,
@@ -793,10 +793,13 @@ impl SimWorld {
         if self.active.is_some() {
             return;
         }
+        let Some(view) = self.current_view.clone() else {
+            return;
+        };
         let Some(change) = self.pending_changes.pop_front() else {
             return;
         };
-        let view = self.current_view.as_ref().expect("view installed");
+        let view = &view;
         let mut members: Vec<ClientId> = view
             .members
             .iter()
@@ -1153,7 +1156,9 @@ impl SimWorld {
                 // real deployment the reformation would drop the
                 // message from the order; the simulation keeps the
                 // order intact for determinism).
-                let msg = Rc::clone(self.sent_msgs.get(&seq).expect("checked above"));
+                let Some(msg) = self.sent_msgs.get(&seq).map(Rc::clone) else {
+                    continue;
+                };
                 self.store_at_daemon(daemon, msg);
                 requested += 1;
                 continue;
@@ -1243,10 +1248,9 @@ impl SimWorld {
         let upto = self.token_aru.min(self.daemons[daemon].contiguous);
         while self.daemons[daemon].delivered < upto {
             let seq = self.daemons[daemon].delivered + 1;
-            let msg = self.daemons[daemon]
-                .received
-                .remove(&seq)
-                .expect("stable message must be present");
+            let Some(msg) = self.daemons[daemon].received.remove(&seq) else {
+                break;
+            };
             self.daemons[daemon].delivered = seq;
             self.deliver_wire_msg(daemon, &msg);
         }
@@ -1469,8 +1473,10 @@ impl SimWorld {
             })
             .unwrap_or(false);
         if done {
-            let new_view = self.active.take().expect("active membership").new_view;
-            self.adopt_view(&new_view);
+            let Some(active) = self.active.take() else {
+                return;
+            };
+            self.adopt_view(&active.new_view);
             self.maybe_start_membership();
         }
     }
@@ -1540,10 +1546,9 @@ impl SimWorld {
         if !self.clients[client].alive {
             return;
         }
-        let mut handler = self.clients[client]
-            .handler
-            .take()
-            .expect("re-entrant client handler");
+        let Some(mut handler) = self.clients[client].handler.take() else {
+            return;
+        };
         let start = self.queue.now().max(self.clients[client].busy_until);
         let speed = self
             .cfg
@@ -1568,10 +1573,9 @@ impl SimWorld {
             actor: Actor::Client(client),
             kind: EventKind::Delivered { sender, service },
         });
-        let mut handler = self.clients[client]
-            .handler
-            .take()
-            .expect("re-entrant client handler");
+        let Some(mut handler) = self.clients[client].handler.take() else {
+            return;
+        };
         let start = self.queue.now().max(self.clients[client].busy_until);
         let speed = self
             .cfg
