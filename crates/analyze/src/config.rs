@@ -75,6 +75,12 @@ impl Config {
                     "crates/gcs/src/engine.rs",
                 ],
             ),
+            // The repro surface must degrade to error returns, never
+            // panic — so the panic rule (and only it: indexing over
+            // static tables is idiomatic in figure builders, so
+            // L1-INDEX stays out) extends to the whole bench crate,
+            // including `bin/repro.rs`.
+            ("L1-PANIC", &["crates/bench/src/**"]),
             // L2 secret hygiene: everywhere secrets or telemetry live.
             (
                 "L2",
@@ -295,6 +301,10 @@ mod tests {
         assert!(!cfg.in_scope("L1-PANIC", "crates/core/src/tree.rs"));
         assert!(cfg.in_scope("L4-HASH", "crates/sim/src/queue.rs"));
         assert!(!cfg.in_scope("L4-HASH", "crates/core/src/session.rs"));
+        // The bench crate is in scope for the panic rule only.
+        assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/bin/repro.rs"));
+        assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/figures.rs"));
+        assert!(!cfg.in_scope("L1-INDEX", "crates/bench/src/figures.rs"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! cargo run --release -p gkap-bench --bin repro -- all
 //! cargo run --release -p gkap-bench --bin repro -- fig11 --jobs 8
 //! cargo run --release -p gkap-bench --bin repro -- trace-summary fig14
+//! cargo run --release -p gkap-bench --bin repro -- scale --groups 1000 --churn 0.05
 //! ```
 //!
 //! Output: aligned tables on stdout and CSV files under `results/`;
@@ -15,11 +16,17 @@
 //! and serial-equivalent times. The `trace`/`trace-summary` commands
 //! additionally export per-run telemetry: a latency-breakdown table +
 //! CSV, and (for `trace`) one JSONL event log per protocol × event.
+//!
+//! Failures (an unwritable `results/` directory, a malformed flag, an
+//! unknown protocol) exit non-zero with a one-line diagnostic — never
+//! a panic.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use gkap_bench::{chaos, cli, emit, figure_sizes, figures, micro, trace, wan_sizes, Console};
+use gkap_bench::{
+    chaos, cli, emit, figure_sizes, figures, micro, scale, trace, wan_sizes, write_output, Console,
+};
 use gkap_core::costs_table::render_table1;
 use gkap_core::experiment::SuiteKind;
 use gkap_gcs::testbed;
@@ -28,13 +35,13 @@ fn out_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
-fn cmd_table1(con: &mut Console) {
+fn cmd_table1(con: &mut Console) -> Result<(), String> {
     for (n, m, p) in [(20usize, 5usize, 5usize), (50, 10, 10)] {
         con.say(render_table1(n, m, p));
     }
-    std::fs::create_dir_all(out_dir()).expect("results dir");
-    std::fs::write(out_dir().join("table1.txt"), render_table1(50, 10, 10)).expect("write");
+    write_output(&out_dir(), "table1.txt", &render_table1(50, 10, 10))?;
     con.say("[written: results/table1.txt]");
+    Ok(())
 }
 
 fn cmd_testbed(con: &mut Console) {
@@ -70,7 +77,7 @@ fn cmd_microwan(con: &mut Console) {
     con.say(micro::render(&micro::wan_micro()));
 }
 
-fn cmd_fig11(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_fig11(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
         let fig = figures::fig11_join_lan(suite, &sizes, reps, jobs);
@@ -78,11 +85,12 @@ fn cmd_fig11(reps: u32, jobs: usize, con: &mut Console) {
             SuiteKind::Sim512 => "fig11_join_lan_512",
             _ => "fig11_join_lan_1024",
         };
-        emit(&fig, &out_dir(), stem, con);
+        emit(&fig, &out_dir(), stem, con)?;
     }
+    Ok(())
 }
 
-fn cmd_fig12(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_fig12(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes = figure_sizes();
     for suite in [SuiteKind::Sim512, SuiteKind::Sim1024] {
         let fig = figures::fig12_leave_lan(suite, &sizes, reps, jobs);
@@ -90,27 +98,29 @@ fn cmd_fig12(reps: u32, jobs: usize, con: &mut Console) {
             SuiteKind::Sim512 => "fig12_leave_lan_512",
             _ => "fig12_leave_lan_1024",
         };
-        emit(&fig, &out_dir(), stem, con);
+        emit(&fig, &out_dir(), stem, con)?;
     }
+    Ok(())
 }
 
-fn cmd_fig14(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_fig14(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes = wan_sizes();
     emit(
         &figures::fig14_join_wan(&sizes, reps, jobs),
         &out_dir(),
         "fig14_join_wan_512",
         con,
-    );
+    )?;
     emit(
         &figures::fig14_leave_wan(&sizes, reps, jobs),
         &out_dir(),
         "fig14_leave_wan_512",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes: Vec<usize> = vec![4, 8, 12, 20, 30, 40, 50];
     emit(
         &figures::partition_figure(
@@ -123,7 +133,7 @@ fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_partition_lan_512",
         con,
-    );
+    )?;
     emit(
         &figures::merge_figure(
             &testbed::lan(),
@@ -135,7 +145,7 @@ fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_merge_lan_512",
         con,
-    );
+    )?;
     let wan_sizes: Vec<usize> = vec![4, 8, 14, 26, 40];
     emit(
         &figures::partition_figure(
@@ -148,7 +158,7 @@ fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_partition_wan_512",
         con,
-    );
+    )?;
     emit(
         &figures::merge_figure(
             &testbed::wan(),
@@ -160,84 +170,93 @@ fn cmd_partition_merge(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_merge_wan_512",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_crossover(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_crossover(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let delays: Vec<u64> = vec![0, 5, 10, 20, 35, 50, 75, 100, 150, 200];
     emit(
         &figures::crossover_figure(20, &delays, reps, jobs),
         &out_dir(),
         "ext_crossover_join_n20",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_flow(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_ablate_flow(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let budgets: Vec<usize> = vec![1, 2, 5, 10, 20, 50];
     emit(
         &figures::flow_control_ablation(50, &budgets, reps, jobs),
         &out_dir(),
         "ablate_flow_bd_wan_n50",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_sponsor(con: &mut Console) {
+fn cmd_ablate_sponsor(con: &mut Console) -> Result<(), String> {
     emit(
         &figures::sponsor_location_ablation(26),
         &out_dir(),
         "ablate_sponsor_wan_n26",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_tree(con: &mut Console) {
+fn cmd_ablate_tree(con: &mut Console) -> Result<(), String> {
     emit(
         &figures::tree_shape_ablation(24, 30),
         &out_dir(),
         "ablate_tree_shape_n24",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_sig(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_ablate_sig(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     emit(
         &figures::signature_scheme_ablation(26, reps, jobs),
         &out_dir(),
         "ablate_sig_join_n26",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_confirm(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_ablate_confirm(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     emit(
         &figures::key_confirmation_ablation(20, reps, jobs),
         &out_dir(),
         "ablate_confirm_join_n20",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_avl(con: &mut Console) {
+fn cmd_ablate_avl(con: &mut Console) -> Result<(), String> {
     emit(
         &figures::avl_policy_ablation(20, 25),
         &out_dir(),
         "ablate_avl_policy_n20",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ablate_hetero(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_ablate_hetero(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     emit(
         &figures::hetero_machine_ablation(26, reps, jobs),
         &out_dir(),
         "ablate_hetero_join_n26",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_ika(reps: u32, jobs: usize, con: &mut Console) {
+fn cmd_ika(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes: Vec<usize> = vec![2, 4, 8, 13, 20, 30, 40, 50];
     emit(
         &figures::ika_figure(
@@ -250,7 +269,7 @@ fn cmd_ika(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_ika_lan_512",
         con,
-    );
+    )?;
     let wan_sizes: Vec<usize> = vec![2, 4, 8, 14, 26];
     emit(
         &figures::ika_figure(
@@ -263,50 +282,88 @@ fn cmd_ika(reps: u32, jobs: usize, con: &mut Console) {
         &out_dir(),
         "ext_ika_wan_512",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_scale(reps: u32, jobs: usize, con: &mut Console) {
+/// `ext-scale`: the single-group size sweep (one group of up to 100
+/// members). The multi-group workload lives under `scale`.
+fn cmd_ext_scale(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let sizes: Vec<usize> = vec![10, 25, 50, 75, 100];
     emit(
         &figures::scale_figure(&sizes, reps, jobs),
         &out_dir(),
         "ext_scale_join_lan_512",
         con,
-    );
+    )?;
+    Ok(())
 }
 
-fn cmd_lossy(reps: u32, jobs: usize, con: &mut Console) {
+/// `scale`: the multi-group workload — N concurrent groups on one
+/// ring, batched membership churn, throughput/latency CSV per
+/// protocol. Bit-identical across `--jobs` values.
+fn cmd_scale(opts: &cli::CliOptions, con: &mut Console) -> Result<(), String> {
+    let protocol = match opts.protocol.as_deref() {
+        Some(name) => Some(scale::parse_protocol(name).ok_or_else(|| {
+            format!("unknown protocol: {name} (expected gdh, tgdh, str, bd or ckd)")
+        })?),
+        None => None,
+    };
+    let sopts = scale::ScaleOptions {
+        groups: opts.groups,
+        churn: opts.churn,
+        window_ms: opts.window_ms,
+        protocol,
+        seed: opts.seed,
+        jobs: opts.jobs,
+    };
+    let rows = scale::run_all(&sopts);
+    con.say(scale::scale_table(&sopts, &rows));
+    let csv_name = format!("scale_g{}_s{}.csv", sopts.groups, sopts.seed);
+    let path = write_output(&out_dir(), &csv_name, &scale::scale_csv(&sopts, &rows))?;
+    con.say(format!("[written: {}]", path.display()));
+    if let Some(row) = rows.iter().find(|r| !r.run.ok) {
+        return Err(format!(
+            "scale: {} left a group unkeyed or in error (see table)",
+            row.protocol.name()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_lossy(reps: u32, jobs: usize, con: &mut Console) -> Result<(), String> {
     let pcts: Vec<u32> = vec![0, 1, 2, 5, 10, 20];
     emit(
         &figures::lossy_links_figure(20, &pcts, reps, jobs),
         &out_dir(),
         "ext_lossy_wan_join_n20",
         con,
-    );
+    )?;
+    Ok(())
 }
 
 /// `trace <figure>` / `trace-summary <figure>`: traced runs with the
 /// per-protocol latency breakdown. `full` additionally writes one
 /// JSONL event log per protocol × event.
-fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
+fn cmd_trace(figure: &str, full: bool, con: &mut Console) -> Result<(), String> {
     let n = 50;
     let Some(rows) = trace::trace_figure(figure, n) else {
-        con.note(format!(
-            "unknown figure for trace: {figure} (expected fig11, fig12, fig14 or crash)"
-        ));
+        // A usage error, not a runtime failure: exit 2 like unknown
+        // commands and malformed flags do.
+        eprintln!(
+            "repro: unknown figure for trace: {figure} (expected fig11, fig12, fig14 or crash)"
+        );
         std::process::exit(2);
     };
-    std::fs::create_dir_all(out_dir()).expect("results dir");
     if full {
         for row in &rows {
-            let path = out_dir().join(format!(
+            let name = format!(
                 "trace_{figure}_{}_{}.jsonl",
                 row.protocol.to_lowercase(),
                 row.event
-            ));
+            );
             let jsonl = gkap_telemetry::jsonl::render_events(&row.run.events);
-            std::fs::write(&path, jsonl).expect("write jsonl");
+            let path = write_output(&out_dir(), &name, &jsonl)?;
             con.say(format!(
                 "[written: {} ({} events)]",
                 path.display(),
@@ -315,23 +372,23 @@ fn cmd_trace(figure: &str, full: bool, con: &mut Console) {
         }
     }
     con.say(trace::summary_table(figure, &rows));
-    let csv_path = out_dir().join(format!("trace_summary_{figure}.csv"));
-    std::fs::write(&csv_path, trace::summary_csv(figure, &rows)).expect("write csv");
-    con.say(format!("[written: {}]", csv_path.display()));
+    let csv_name = format!("trace_summary_{figure}.csv");
+    let path = write_output(&out_dir(), &csv_name, &trace::summary_csv(figure, &rows))?;
+    con.say(format!("[written: {}]", path.display()));
+    Ok(())
 }
 
 /// `chaos`: a seeded randomized fault campaign across all five
 /// protocols. Exits non-zero when any invariant is violated, printing
 /// the minimized failing schedule so CI logs carry the reproduction.
-fn cmd_chaos(seed: u64, runs: u32, con: &mut Console) {
+fn cmd_chaos(seed: u64, runs: u32, con: &mut Console) -> Result<(), String> {
     let cfg = chaos::ChaosConfig::default();
     let factory = chaos::default_factory();
     let report = chaos::run_campaign(seed, runs, &cfg, &factory, con);
     con.say(chaos::render_summary(&report));
-    std::fs::create_dir_all(out_dir()).expect("results dir");
-    let csv_path = out_dir().join(format!("chaos_seed{seed}.csv"));
-    std::fs::write(&csv_path, chaos::campaign_csv(&report)).expect("write csv");
-    con.say(format!("[written: {}]", csv_path.display()));
+    let csv_name = format!("chaos_seed{seed}.csv");
+    let path = write_output(&out_dir(), &csv_name, &chaos::campaign_csv(&report))?;
+    con.say(format!("[written: {}]", path.display()));
     if !report.passed() {
         for f in &report.failures {
             con.say(chaos::render_failure(f));
@@ -342,6 +399,7 @@ fn cmd_chaos(seed: u64, runs: u32, con: &mut Console) {
         ));
         std::process::exit(1);
     }
+    Ok(())
 }
 
 /// One timed step of the invocation, for `results/BENCH_perf.json`.
@@ -375,7 +433,7 @@ fn perf_json(jobs: usize, reps: u32, total_wall_s: f64, steps: &[PerfEntry]) -> 
 }
 
 /// The sub-steps `all` runs, in order.
-const ALL_STEPS: [&str; 19] = [
+const ALL_STEPS: [&str; 20] = [
     "table1",
     "testbed",
     "microlan",
@@ -394,46 +452,49 @@ const ALL_STEPS: [&str; 19] = [
     "ablate-hetero",
     "ablate-confirm",
     "ika",
+    "ext-scale",
     "scale",
 ];
 
 /// Runs one command, timing it and recording a perf entry. Returns
-/// `false` for unknown commands.
+/// `Ok(false)` for unknown commands, `Err` with a one-line diagnostic
+/// on failure.
 fn run_step(
     cmd: &str,
     opts: &cli::CliOptions,
     perf: &mut Vec<PerfEntry>,
     con: &mut Console,
-) -> bool {
+) -> Result<bool, String> {
     let (reps, jobs) = (opts.reps, opts.jobs);
     gkap_core::par::take_busy_nanos(); // reset the busy-time counter
     let t0 = std::time::Instant::now();
     match cmd {
-        "table1" => cmd_table1(con),
+        "table1" => cmd_table1(con)?,
         "testbed" => cmd_testbed(con),
         "microlan" => cmd_microlan(con),
         "microwan" => cmd_microwan(con),
-        "fig11" => cmd_fig11(reps, jobs, con),
-        "fig12" => cmd_fig12(reps, jobs, con),
-        "fig14" => cmd_fig14(reps, jobs, con),
-        "partition-merge" => cmd_partition_merge(reps, jobs, con),
-        "crossover" => cmd_crossover(reps, jobs, con),
-        "ablate-flow" => cmd_ablate_flow(reps, jobs, con),
-        "ablate-sponsor" => cmd_ablate_sponsor(con),
-        "ablate-tree" => cmd_ablate_tree(con),
-        "ablate-sig" => cmd_ablate_sig(reps, jobs, con),
-        "ablate-avl" => cmd_ablate_avl(con),
-        "ablate-confirm" => cmd_ablate_confirm(reps, jobs, con),
-        "lossy" => cmd_lossy(reps, jobs, con),
-        "ika" => cmd_ika(reps, jobs, con),
-        "scale" => cmd_scale(reps, jobs, con),
-        "ablate-hetero" => cmd_ablate_hetero(reps, jobs, con),
+        "fig11" => cmd_fig11(reps, jobs, con)?,
+        "fig12" => cmd_fig12(reps, jobs, con)?,
+        "fig14" => cmd_fig14(reps, jobs, con)?,
+        "partition-merge" => cmd_partition_merge(reps, jobs, con)?,
+        "crossover" => cmd_crossover(reps, jobs, con)?,
+        "ablate-flow" => cmd_ablate_flow(reps, jobs, con)?,
+        "ablate-sponsor" => cmd_ablate_sponsor(con)?,
+        "ablate-tree" => cmd_ablate_tree(con)?,
+        "ablate-sig" => cmd_ablate_sig(reps, jobs, con)?,
+        "ablate-avl" => cmd_ablate_avl(con)?,
+        "ablate-confirm" => cmd_ablate_confirm(reps, jobs, con)?,
+        "lossy" => cmd_lossy(reps, jobs, con)?,
+        "ika" => cmd_ika(reps, jobs, con)?,
+        "ext-scale" => cmd_ext_scale(reps, jobs, con)?,
+        "scale" => cmd_scale(opts, con)?,
+        "ablate-hetero" => cmd_ablate_hetero(reps, jobs, con)?,
         "trace" | "trace-summary" => {
             let figure = opts.figure.as_deref().unwrap_or("fig14");
-            cmd_trace(figure, cmd == "trace", con);
+            cmd_trace(figure, cmd == "trace", con)?;
         }
-        "chaos" => cmd_chaos(opts.seed, opts.runs, con),
-        _ => return false,
+        "chaos" => cmd_chaos(opts.seed, opts.runs, con)?,
+        _ => return Ok(false),
     }
     let wall_s = t0.elapsed().as_secs_f64();
     let serial_equivalent_s = gkap_core::par::take_busy_nanos() as f64 / 1e9;
@@ -445,13 +506,14 @@ fn run_step(
         wall_s,
         serial_equivalent_s,
     });
-    true
+    Ok(true)
 }
 
 const USAGE: &str = "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
      partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl \
-     ablate-hetero ablate-confirm lossy ika scale trace <figure> trace-summary <figure> \
+     ablate-hetero ablate-confirm lossy ika ext-scale trace <figure> trace-summary <figure> \
      chaos [--seed N] [--runs N] \
+     scale [--groups N] [--churn R] [--window MS] [--protocol NAME] [--seed N] \
      [--reps N] [--jobs N] [--quiet]";
 
 fn main() {
@@ -473,24 +535,43 @@ fn main() {
     let mut perf: Vec<PerfEntry> = Vec::new();
 
     let t0 = std::time::Instant::now();
-    if opts.cmd == "all" {
+    let outcome = if opts.cmd == "all" {
+        let mut res = Ok(true);
         for cmd in ALL_STEPS {
-            run_step(cmd, &opts, &mut perf, con);
+            res = run_step(cmd, &opts, &mut perf, con);
+            if res.is_err() {
+                break;
+            }
         }
-    } else if !run_step(&opts.cmd, &opts, &mut perf, con) {
-        con.note(format!("unknown command: {}", opts.cmd));
-        con.note(USAGE);
-        std::process::exit(2);
+        res
+    } else {
+        run_step(&opts.cmd, &opts, &mut perf, con)
+    };
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => {
+            con.note(format!("unknown command: {}", opts.cmd));
+            con.note(USAGE);
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            std::process::exit(1);
+        }
     }
     let total_wall_s = t0.elapsed().as_secs_f64();
 
-    std::fs::create_dir_all(out_dir()).expect("results dir");
-    let perf_path = out_dir().join("BENCH_perf.json");
-    std::fs::write(
-        &perf_path,
-        perf_json(opts.jobs, opts.reps, total_wall_s, &perf),
-    )
-    .expect("write perf json");
+    let perf_path = match write_output(
+        &out_dir(),
+        "BENCH_perf.json",
+        &perf_json(opts.jobs, opts.reps, total_wall_s, &perf),
+    ) {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            std::process::exit(1);
+        }
+    };
     con.note(format!("[written: {}]", perf_path.display()));
     con.note(format!(
         "[repro {} done in {total_wall_s:.1}s with --jobs {}]",

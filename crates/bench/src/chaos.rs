@@ -16,8 +16,8 @@
 use std::rc::Rc;
 
 use gkap_bignum::{RandomSource, SplitMix64, Ubig};
+use gkap_core::experiment::SuiteKind;
 use gkap_core::protocols::ProtocolKind;
-use gkap_core::suite::CryptoSuite;
 use gkap_core::{AgreementPhase, SecureMember};
 use gkap_gcs::{testbed, Fault, FaultPlan, PlannedFault, SimWorld};
 use gkap_sim::Duration;
@@ -59,7 +59,7 @@ impl Default for ChaosConfig {
 /// The default member population: DH 512 simulated-cost suite, one
 /// deterministic seed stream per client.
 pub fn default_factory() -> impl Fn(ProtocolKind, usize) -> SecureMember {
-    let suite = Rc::new(CryptoSuite::sim_512());
+    let suite = SuiteKind::Sim512.shared();
     move |kind, i| SecureMember::new(kind, Rc::clone(&suite), 900 + i as u64, Some(17))
 }
 
@@ -143,7 +143,20 @@ pub fn run_schedule(
         };
     }
 
-    let view = world.view().expect("initial view installed").clone();
+    let Some(view) = world.view().cloned() else {
+        // Cannot happen after a quiescent run that installed a view,
+        // but a missing view is itself an invariant violation — report
+        // it instead of panicking mid-campaign.
+        violations.push("view synchrony: no view installed after the campaign".into());
+        return RunReport {
+            violations,
+            final_epoch: 0,
+            survivors: 0,
+            gave_up: 0,
+            recovery_ms: recovery,
+            elapsed_ms,
+        };
+    };
     let members: Vec<usize> = view
         .members
         .iter()

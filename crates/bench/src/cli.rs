@@ -8,7 +8,7 @@
 use gkap_core::par;
 
 /// Parsed `repro` invocation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CliOptions {
     /// The command (first positional; defaults to `all`).
     pub cmd: String,
@@ -26,6 +26,17 @@ pub struct CliOptions {
     pub seed: u64,
     /// Number of chaos schedules per campaign (`--runs N`, default 8).
     pub runs: u32,
+    /// Concurrent groups for `scale` (`--groups N`, default 64).
+    pub groups: usize,
+    /// Expected churn events per group for `scale` (`--churn R`,
+    /// default 0.1).
+    pub churn: f64,
+    /// Batching window in milliseconds for `scale` (`--window MS`,
+    /// default 5; 0 disables batching).
+    pub window_ms: f64,
+    /// Restrict `scale` to one protocol (`--protocol NAME`; all five
+    /// when absent).
+    pub protocol: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -38,6 +49,10 @@ impl Default for CliOptions {
             quiet: false,
             seed: 7,
             runs: 8,
+            groups: 64,
+            churn: 0.1,
+            window_ms: 5.0,
+            protocol: None,
         }
     }
 }
@@ -91,6 +106,46 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--runs must be at least 1".into());
                 }
                 opts.runs = runs;
+            }
+            "--groups" => {
+                i += 1;
+                let v = args.get(i).ok_or("--groups requires a value")?;
+                let groups: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --groups value: {v}"))?;
+                if groups == 0 {
+                    return Err("--groups must be at least 1".into());
+                }
+                opts.groups = groups;
+            }
+            "--churn" => {
+                i += 1;
+                let v = args.get(i).ok_or("--churn requires a value")?;
+                let churn: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --churn value: {v}"))?;
+                if !churn.is_finite() || churn < 0.0 {
+                    return Err(format!("--churn must be a finite non-negative rate: {v}"));
+                }
+                opts.churn = churn;
+            }
+            "--window" => {
+                i += 1;
+                let v = args.get(i).ok_or("--window requires a value (ms)")?;
+                let window: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --window value: {v}"))?;
+                if !window.is_finite() || window < 0.0 {
+                    return Err(format!(
+                        "--window must be a finite non-negative ms value: {v}"
+                    ));
+                }
+                opts.window_ms = window;
+            }
+            "--protocol" => {
+                i += 1;
+                let v = args.get(i).ok_or("--protocol requires a name")?;
+                opts.protocol = Some(v.clone());
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             pos => positional.push(pos),
@@ -170,6 +225,37 @@ mod tests {
         assert!(parse(&args(&["--seed", "many"])).is_err());
         let err = parse(&args(&["chaos", "--runs", "0"])).unwrap_err();
         assert!(err.contains("--runs must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn scale_flags_parse_and_validate() {
+        let o = parse(&[]).unwrap();
+        assert_eq!((o.groups, o.churn, o.window_ms), (64, 0.1, 5.0));
+        assert_eq!(o.protocol, None);
+        let o = parse(&args(&[
+            "scale",
+            "--groups",
+            "1000",
+            "--churn",
+            "0.05",
+            "--window",
+            "2.5",
+            "--protocol",
+            "tgdh",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(o.cmd, "scale");
+        assert_eq!((o.groups, o.churn, o.window_ms), (1000, 0.05, 2.5));
+        assert_eq!(o.protocol.as_deref(), Some("tgdh"));
+        assert_eq!(o.seed, 9);
+        assert!(parse(&args(&["--groups", "0"])).is_err());
+        assert!(parse(&args(&["--groups", "many"])).is_err());
+        assert!(parse(&args(&["--churn", "-1"])).is_err());
+        assert!(parse(&args(&["--churn", "NaN"])).is_err());
+        assert!(parse(&args(&["--window", "-2"])).is_err());
+        assert!(parse(&args(&["--protocol"])).is_err());
     }
 
     #[test]

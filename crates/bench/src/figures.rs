@@ -123,8 +123,8 @@ pub fn scale_figure(sizes: &[usize], reps: u32, jobs: usize) -> Figure {
         let mut series = Series::new(kind.name());
         for &n in sizes {
             let mut summary = Summary::new();
-            for _rep in 0..reps {
-                summary.add(it.next().expect("cell").elapsed_ms);
+            for outcome in it.by_ref().take(reps as usize) {
+                summary.add(outcome.elapsed_ms);
             }
             series.push(n as f64, summary);
         }
@@ -207,8 +207,8 @@ pub fn crossover_figure(n: usize, delays_ms: &[u64], reps: u32, jobs: usize) -> 
         let mut series = Series::new(kind.name());
         for &d in delays_ms {
             let mut summary = Summary::new();
-            for _rep in 0..reps {
-                summary.add(it.next().expect("cell").elapsed_ms);
+            for outcome in it.by_ref().take(reps as usize) {
+                summary.add(outcome.elapsed_ms);
             }
             series.push(d as f64, summary);
         }
@@ -248,8 +248,8 @@ pub fn flow_control_ablation(n: usize, budgets: &[usize], reps: u32, jobs: usize
     let mut series = Series::new("BD");
     for &b in budgets {
         let mut summary = Summary::new();
-        for _rep in 0..reps {
-            summary.add(it.next().expect("cell").elapsed_ms);
+        for outcome in it.by_ref().take(reps as usize) {
+            summary.add(outcome.elapsed_ms);
         }
         series.push(b as f64, summary);
     }
@@ -336,8 +336,8 @@ pub fn signature_scheme_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
         let mut series = Series::new(kind.name());
         for (x, _suite) in variants {
             let mut summary = Summary::new();
-            for _rep in 0..reps {
-                summary.add(it.next().expect("cell").elapsed_ms);
+            for outcome in it.by_ref().take(reps as usize) {
+                summary.add(outcome.elapsed_ms);
             }
             series.push(x, summary);
         }
@@ -380,7 +380,9 @@ pub fn avl_policy_ablation(n: usize, churn: usize) -> Figure {
         s0.add(outcome.elapsed_ms);
         series.push(0.0, s0);
         let mut s1 = Summary::new();
-        s1.add(height.expect("tgdh height") as f64);
+        // TGDH runs always report a height; fall back to 0 rather
+        // than panicking if a future factory stops reporting one.
+        s1.add(height.unwrap_or(0) as f64);
         series.push(1.0, s1);
         fig.push(series);
     }
@@ -425,8 +427,8 @@ pub fn lossy_links_figure(n: usize, loss_pcts: &[u32], reps: u32, jobs: usize) -
         let mut series = Series::new(kind.name());
         for &pct in loss_pcts {
             let mut summary = Summary::new();
-            for _rep in 0..reps {
-                summary.add(it.next().expect("cell").elapsed_ms);
+            for outcome in it.by_ref().take(reps as usize) {
+                summary.add(outcome.elapsed_ms);
             }
             series.push(pct as f64, summary);
         }
@@ -491,8 +493,8 @@ pub fn hetero_machine_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
         let mut series = Series::new(kind.name());
         for pct in pcts {
             let mut summary = Summary::new();
-            for _rep in 0..reps {
-                summary.add(it.next().expect("cell").elapsed_ms);
+            for outcome in it.by_ref().take(reps as usize) {
+                summary.add(outcome.elapsed_ms);
             }
             series.push(pct as f64, summary);
         }
@@ -539,8 +541,8 @@ pub fn key_confirmation_ablation(n: usize, reps: u32, jobs: usize) -> Figure {
             let mut series = Series::new(format!("{}-{}", kind.name(), net));
             for (x, _confirm) in variants {
                 let mut summary = Summary::new();
-                for _rep in 0..reps {
-                    summary.add(it.next().expect("cell").elapsed_ms);
+                for outcome in it.by_ref().take(reps as usize) {
+                    summary.add(outcome.elapsed_ms);
                 }
                 series.push(x, summary);
             }

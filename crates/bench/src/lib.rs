@@ -10,6 +10,7 @@ pub mod chaos;
 pub mod cli;
 pub mod figures;
 pub mod micro;
+pub mod scale;
 pub mod trace;
 
 use std::io::Write;
@@ -92,21 +93,26 @@ impl Console {
     }
 }
 
+/// Writes `text` to `dir/name`, creating `dir` first, with one-line
+/// diagnostics naming the path on failure (a read-only results
+/// directory must degrade to an error message, not a panic).
+pub fn write_output(dir: &Path, name: &str, text: &str) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create output dir {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 /// Writes a figure as CSV + prints its table; returns the rendered
-/// table text.
-///
-/// # Panics
-///
-/// Panics if the output directory cannot be written.
-pub fn emit(fig: &Figure, out_dir: &Path, stem: &str, con: &mut Console) -> String {
-    std::fs::create_dir_all(out_dir).expect("create results dir");
-    let csv_path = out_dir.join(format!("{stem}.csv"));
-    let mut f = std::fs::File::create(&csv_path).expect("create csv");
-    f.write_all(fig.to_csv().as_bytes()).expect("write csv");
+/// table text, or a one-line diagnostic if the output directory or
+/// CSV cannot be written.
+pub fn emit(fig: &Figure, out_dir: &Path, stem: &str, con: &mut Console) -> Result<String, String> {
+    let csv_path = write_output(out_dir, &format!("{stem}.csv"), &fig.to_csv())?;
     let table = fig.to_table();
     con.say(&table);
     con.say(format!("[written: {}]", csv_path.display()));
-    table
+    Ok(table)
 }
 
 /// The group sizes sampled for figures (the paper plots 2..50; we

@@ -1,0 +1,176 @@
+//! The `repro scale` workload: N concurrent groups per protocol on
+//! one LAN ring, batched membership churn, throughput/latency CSV.
+//!
+//! The CSV is a deterministic function of (groups, churn, window,
+//! seed): protocols fan out over worker threads via
+//! [`gkap_core::par::run_indexed`], which returns results in protocol
+//! order regardless of `--jobs`, and each run is a serial
+//! discrete-event simulation — so the bytes written are identical for
+//! any jobs value and across repeated runs.
+
+use gkap_core::par;
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::scale::{percentile, run, ScaleConfig, ScaleRun};
+use gkap_sim::Duration;
+
+/// Parses a protocol name as the CLI accepts it (case-insensitive
+/// paper names: gdh, tgdh, str, bd, ckd).
+pub fn parse_protocol(name: &str) -> Option<ProtocolKind> {
+    ProtocolKind::all()
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
+/// Parameters of one `repro scale` invocation.
+#[derive(Clone, Debug)]
+pub struct ScaleOptions {
+    /// Concurrent groups per run.
+    pub groups: usize,
+    /// Expected churn events per group over the horizon.
+    pub churn: f64,
+    /// Batching window in milliseconds (0 disables batching).
+    pub window_ms: f64,
+    /// Restrict to one protocol (all five when `None`).
+    pub protocol: Option<ProtocolKind>,
+    /// Schedule and member seed.
+    pub seed: u64,
+    /// Worker threads for the per-protocol fan-out.
+    pub jobs: usize,
+}
+
+/// One CSV row: a protocol's scale run boiled down to the throughput
+/// and latency quantities the workload reports.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// The protocol measured.
+    pub protocol: ProtocolKind,
+    /// The full run outcome.
+    pub run: ScaleRun,
+}
+
+/// Runs the scale workload for every selected protocol, in Table 1
+/// order. Deterministic across `jobs` values: the fan-out preserves
+/// index order and each run is self-contained.
+pub fn run_all(opts: &ScaleOptions) -> Vec<ScaleRow> {
+    let protocols: Vec<ProtocolKind> = match opts.protocol {
+        Some(p) => vec![p],
+        None => ProtocolKind::all().to_vec(),
+    };
+    let window = Duration::from_millis_f64(opts.window_ms);
+    let runs = par::run_indexed(opts.jobs, protocols.len(), |i| {
+        let mut cfg = ScaleConfig::lan(protocols[i], opts.groups);
+        cfg.churn = opts.churn;
+        cfg.window = window;
+        cfg.seed = opts.seed;
+        run(&cfg)
+    });
+    protocols
+        .into_iter()
+        .zip(runs)
+        .map(|(protocol, run)| ScaleRow { protocol, run })
+        .collect()
+}
+
+/// CSV of the scale rows, fixed-precision so equal runs render equal
+/// bytes.
+pub fn scale_csv(opts: &ScaleOptions, rows: &[ScaleRow]) -> String {
+    let mut out = String::from(
+        "protocol,groups,churn,window_ms,seed,events,batches,rekeys,superseded,\
+         events_per_sec,rekey_p50_ms,rekey_p95_ms,batch_wait_mean_ms,\
+         transport_mean_ms,agreement_mean_ms,ok\n",
+    );
+    for row in rows {
+        let r = &row.run;
+        out.push_str(&format!(
+            "{},{},{:.4},{:.3},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
+            row.protocol.name(),
+            opts.groups,
+            opts.churn,
+            opts.window_ms,
+            opts.seed,
+            r.raw_events,
+            r.batches,
+            r.rekeys,
+            r.superseded,
+            r.events_per_sec(),
+            percentile(&r.rekey_ms, 0.50),
+            percentile(&r.rekey_ms, 0.95),
+            mean(&r.batch_wait_ms),
+            mean(&r.transport_ms),
+            mean(&r.agreement_ms),
+            r.ok,
+        ));
+    }
+    out
+}
+
+/// Human-readable summary table of the scale rows.
+pub fn scale_table(opts: &ScaleOptions, rows: &[ScaleRow]) -> String {
+    let mut out = format!(
+        "scale: {} groups, churn {:.2}/group, window {:.1} ms, seed {}\n\
+         {:<6} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}\n",
+        opts.groups,
+        opts.churn,
+        opts.window_ms,
+        opts.seed,
+        "proto",
+        "events",
+        "batches",
+        "rekeys",
+        "events/sec",
+        "p50 ms",
+        "p95 ms",
+    );
+    for row in rows {
+        let r = &row.run;
+        out.push_str(&format!(
+            "{:<6} {:>8} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2}{}\n",
+            row.protocol.name(),
+            r.raw_events,
+            r.batches,
+            r.rekeys,
+            r.events_per_sec(),
+            percentile(&r.rekey_ms, 0.50),
+            percentile(&r.rekey_ms, 0.95),
+            if r.ok { "" } else { "  [FAILED]" },
+        ));
+    }
+    out
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_parsing() {
+        assert_eq!(parse_protocol("tgdh"), Some(ProtocolKind::Tgdh));
+        assert_eq!(parse_protocol("BD"), Some(ProtocolKind::Bd));
+        assert_eq!(parse_protocol("nope"), None);
+    }
+
+    #[test]
+    fn csv_shape_and_determinism() {
+        let opts = ScaleOptions {
+            groups: 6,
+            churn: 1.0,
+            window_ms: 5.0,
+            protocol: Some(ProtocolKind::Bd),
+            seed: 7,
+            jobs: 1,
+        };
+        let a = scale_csv(&opts, &run_all(&opts));
+        let b = scale_csv(&opts, &run_all(&opts));
+        assert_eq!(a, b, "same seed renders identical bytes");
+        assert_eq!(a.lines().count(), 2, "header + one protocol row");
+        assert!(a.starts_with("protocol,groups,churn,window_ms,seed,"));
+    }
+}

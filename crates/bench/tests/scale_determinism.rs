@@ -1,0 +1,42 @@
+//! The multi-group workload's determinism contract: the `repro scale`
+//! CSV is a function of (groups, churn, window, seed) alone — `--jobs`
+//! must not change a single byte, and two same-seed runs must render
+//! identical output.
+
+use gkap_bench::scale::{run_all, scale_csv, scale_table, ScaleOptions};
+
+fn opts(jobs: usize) -> ScaleOptions {
+    ScaleOptions {
+        groups: 12,
+        churn: 0.5,
+        window_ms: 5.0,
+        protocol: None, // all five protocols
+        seed: 7,
+        jobs,
+    }
+}
+
+#[test]
+fn scale_csv_identical_jobs_1_vs_jobs_4() {
+    let o1 = opts(1);
+    let o4 = opts(4);
+    let serial = scale_csv(&o1, &run_all(&o1));
+    let par = scale_csv(&o4, &run_all(&o4));
+    assert_eq!(serial, par, "scale CSV must be bit-identical across --jobs");
+    // header + one row per protocol
+    assert_eq!(serial.lines().count(), 6);
+}
+
+#[test]
+fn scale_run_is_reproducible_and_reports_all_protocols() {
+    let o = opts(2);
+    let rows_a = run_all(&o);
+    let rows_b = run_all(&o);
+    assert_eq!(scale_csv(&o, &rows_a), scale_csv(&o, &rows_b));
+    assert!(rows_a.iter().all(|r| r.run.ok), "every protocol ends keyed");
+    let table = scale_table(&o, &rows_a);
+    for name in ["GDH", "TGDH", "STR", "BD", "CKD"] {
+        assert!(table.contains(name), "table lists {name}");
+    }
+    assert!(!table.contains("[FAILED]"));
+}

@@ -1,0 +1,222 @@
+//! Membership-event batching: coalescing joins and leaves that arrive
+//! close together in virtual time into one cascaded agreement round
+//! per group.
+//!
+//! The paper's §7 discussion of cascaded events — and the follow-on
+//! tree-GKA work — identify batching as the amortization lever for
+//! high-churn workloads: one agreement round over k changes costs far
+//! less than k rounds. The batcher is a pure function from a churn
+//! schedule to a batch schedule, so the same inputs always produce
+//! the same batches regardless of parallelism.
+//!
+//! A batch opens when the first event of a group arrives and closes
+//! `window` later; every event of that group inside the window joins
+//! the batch. A window of zero degenerates to exactly one event per
+//! batch, flushed at the event's own instant — byte-for-byte the
+//! engine's historical one-event-per-round behaviour.
+
+use gkap_gcs::{ClientId, GroupId};
+use gkap_sim::Duration;
+
+/// What a single churn event does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// A new client joins the group.
+    Join(ClientId),
+    /// An existing member leaves the group.
+    Leave(ClientId),
+}
+
+/// One scheduled membership event, at a virtual-time offset from the
+/// start of the measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEvent {
+    /// Offset from the start of the measured run.
+    pub at: Duration,
+    /// The group the event targets.
+    pub group: GroupId,
+    /// Join or leave, and of whom.
+    pub kind: ChurnKind,
+}
+
+/// A coalesced batch: every event of one group that fell inside one
+/// batching window, to be injected as a single membership change.
+#[derive(Clone, Debug, Default)]
+pub struct MembershipBatch {
+    /// The group this batch belongs to.
+    pub group: GroupId,
+    /// When the first event of the batch arrived.
+    pub opened_at: Duration,
+    /// When the batch flushes (injection instant): `opened_at +
+    /// window`, or `opened_at` itself for a zero window.
+    pub flush_at: Duration,
+    /// Clients joining in this batch.
+    pub joined: Vec<ClientId>,
+    /// Members leaving in this batch.
+    pub left: Vec<ClientId>,
+    /// Raw events coalesced into the batch, including join/leave
+    /// pairs that cancelled out.
+    pub events: usize,
+    /// Arrival offset of every coalesced event (for batch-wait
+    /// attribution), in arrival order; cancelled pairs included.
+    pub arrivals: Vec<Duration>,
+}
+
+/// Coalesces a churn schedule into per-group membership batches.
+#[derive(Clone, Copy, Debug)]
+pub struct EventBatcher {
+    window: Duration,
+}
+
+impl EventBatcher {
+    /// A batcher with the given coalescing window.
+    pub fn new(window: Duration) -> Self {
+        EventBatcher { window }
+    }
+
+    /// The coalescing window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Coalesces `events` (any order) into batches, returned in global
+    /// flush order (`flush_at`, then group id — a total order, so the
+    /// injection sequence is deterministic).
+    ///
+    /// A client that joins and leaves (or leaves and joins) within one
+    /// batch cancels out: the group never observes it, exactly as a
+    /// real batching daemon would collapse the pair. A batch whose
+    /// changes all cancel is dropped — its events still count toward
+    /// throughput via [`MembershipBatch::events`] of surviving batches
+    /// only, so callers should count raw events themselves.
+    pub fn coalesce(&self, events: &[ChurnEvent]) -> Vec<MembershipBatch> {
+        let mut sorted: Vec<&ChurnEvent> = events.iter().collect();
+        sorted.sort_by_key(|e| (e.at, e.group));
+
+        let mut open: std::collections::BTreeMap<GroupId, MembershipBatch> =
+            std::collections::BTreeMap::new();
+        let mut done: Vec<MembershipBatch> = Vec::new();
+        for ev in sorted {
+            if let Some(batch) = open.get_mut(&ev.group) {
+                if self.window > Duration::ZERO && ev.at <= batch.opened_at + self.window {
+                    apply(batch, ev);
+                    continue;
+                }
+                done.push(open.remove(&ev.group).unwrap_or_default());
+            }
+            let mut batch = MembershipBatch {
+                group: ev.group,
+                opened_at: ev.at,
+                flush_at: ev.at + self.window,
+                ..MembershipBatch::default()
+            };
+            apply(&mut batch, ev);
+            open.insert(ev.group, batch);
+        }
+        done.extend(open.into_values());
+
+        // Join/leave pairs inside one batch cancel; empty batches drop.
+        for batch in &mut done {
+            let cancelled: Vec<ClientId> = batch
+                .joined
+                .iter()
+                .copied()
+                .filter(|c| batch.left.contains(c))
+                .collect();
+            batch.joined.retain(|c| !cancelled.contains(c));
+            batch.left.retain(|c| !cancelled.contains(c));
+        }
+        done.retain(|b| !b.joined.is_empty() || !b.left.is_empty());
+        done.sort_by_key(|b| (b.flush_at, b.group));
+        done
+    }
+}
+
+fn apply(batch: &mut MembershipBatch, ev: &ChurnEvent) {
+    batch.events += 1;
+    batch.arrivals.push(ev.at);
+    match ev.kind {
+        ChurnKind::Join(c) => batch.joined.push(c),
+        ChurnKind::Leave(c) => batch.left.push(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64, group: GroupId, kind: ChurnKind) -> ChurnEvent {
+        ChurnEvent {
+            at: Duration::from_micros(at_us),
+            group,
+            kind,
+        }
+    }
+
+    #[test]
+    fn window_zero_is_one_event_per_batch() {
+        let batcher = EventBatcher::new(Duration::ZERO);
+        let events = [
+            ev(10, 0, ChurnKind::Join(5)),
+            ev(10, 0, ChurnKind::Leave(1)),
+            ev(20, 0, ChurnKind::Join(6)),
+        ];
+        let batches = batcher.coalesce(&events);
+        assert_eq!(batches.len(), 3);
+        for (batch, event) in batches.iter().zip(&events) {
+            assert_eq!(batch.events, 1);
+            assert_eq!(batch.flush_at, event.at);
+            assert_eq!(batch.opened_at, event.at);
+        }
+    }
+
+    #[test]
+    fn events_inside_window_coalesce_per_group() {
+        let batcher = EventBatcher::new(Duration::from_micros(100));
+        let batches = batcher.coalesce(&[
+            ev(10, 0, ChurnKind::Join(5)),
+            ev(60, 0, ChurnKind::Leave(1)),
+            ev(60, 1, ChurnKind::Join(9)),  // other group: own batch
+            ev(200, 0, ChurnKind::Join(6)), // outside group 0's window
+        ]);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].group, 0);
+        assert_eq!(batches[0].joined, vec![5]);
+        assert_eq!(batches[0].left, vec![1]);
+        assert_eq!(batches[0].events, 2);
+        assert_eq!(batches[0].flush_at, Duration::from_micros(110));
+        assert_eq!(batches[1].group, 1);
+        assert_eq!(batches[2].joined, vec![6]);
+    }
+
+    #[test]
+    fn join_leave_pair_cancels_and_empty_batches_drop() {
+        let batcher = EventBatcher::new(Duration::from_micros(100));
+        let batches = batcher.coalesce(&[
+            ev(10, 0, ChurnKind::Join(5)),
+            ev(20, 0, ChurnKind::Leave(5)),
+        ]);
+        assert!(batches.is_empty());
+
+        let batches = batcher.coalesce(&[
+            ev(10, 0, ChurnKind::Join(5)),
+            ev(20, 0, ChurnKind::Leave(5)),
+            ev(30, 0, ChurnKind::Leave(2)),
+        ]);
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].joined.is_empty());
+        assert_eq!(batches[0].left, vec![2]);
+        assert_eq!(batches[0].events, 3);
+    }
+
+    #[test]
+    fn flush_order_is_total() {
+        let batcher = EventBatcher::new(Duration::from_micros(50));
+        let batches =
+            batcher.coalesce(&[ev(10, 1, ChurnKind::Join(9)), ev(10, 0, ChurnKind::Join(5))]);
+        assert_eq!(batches.len(), 2);
+        // Same flush instant: group id breaks the tie.
+        assert_eq!(batches[0].group, 0);
+        assert_eq!(batches[1].group, 1);
+    }
+}

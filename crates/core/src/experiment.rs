@@ -42,6 +42,42 @@ impl SuiteKind {
         }
     }
 
+    /// Index into the per-thread suite cache.
+    fn cache_slot(self) -> usize {
+        match self {
+            SuiteKind::Sim512 => 0,
+            SuiteKind::Sim1024 => 1,
+            SuiteKind::Sim512Dsa => 2,
+            SuiteKind::FastZero => 3,
+        }
+    }
+
+    /// A shared, per-thread instance of this suite. Building a suite
+    /// precomputes fixed-base exponentiation tables and Montgomery
+    /// contexts; a multi-group world would otherwise rebuild them per
+    /// group. A [`CryptoSuite`] is immutable and holds no RNG state
+    /// (modeled signatures derive nonces from the data), so sharing
+    /// one instance across groups — and across runs on the same
+    /// worker thread — cannot change any result.
+    pub fn shared(self) -> Rc<CryptoSuite> {
+        thread_local! {
+            static CACHE: std::cell::RefCell<[Option<Rc<CryptoSuite>>; 4]> =
+                const { std::cell::RefCell::new([None, None, None, None]) };
+        }
+        CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let slot = &mut cache[self.cache_slot()];
+            match slot {
+                Some(suite) => Rc::clone(suite),
+                None => {
+                    let suite = Rc::new(self.build());
+                    *slot = Some(Rc::clone(&suite));
+                    suite
+                }
+            }
+        })
+    }
+
     /// Figure label ("DH 512 bits" / "DH 1024 bits").
     pub fn label(self) -> &'static str {
         match self {
@@ -153,7 +189,7 @@ fn build_world(
     initial: usize,
     extra: usize,
 ) -> (SimWorld, Rc<CryptoSuite>) {
-    let suite = Rc::new(cfg.suite.build());
+    let suite = cfg.suite.shared();
     let mut world = SimWorld::new(cfg.gcs.clone());
     let telemetry = if cfg.telemetry {
         Telemetry::enabled()
@@ -677,7 +713,7 @@ pub fn run_leave_churned(cfg: &ExperimentConfig, n: usize, churn: usize) -> Even
 /// bootstrap). Reported time runs from the initial view installation
 /// to the last member's key completion.
 pub fn run_real_formation(cfg: &ExperimentConfig, n: usize) -> EventOutcome {
-    let suite = Rc::new(cfg.suite.build());
+    let suite = cfg.suite.shared();
     let mut world = SimWorld::new(cfg.gcs.clone());
     let telemetry = if cfg.telemetry {
         Telemetry::enabled()
@@ -746,7 +782,7 @@ pub fn run_churned_with_factory(
     n: usize,
     churn: usize,
 ) -> (EventOutcome, Option<usize>) {
-    let suite = Rc::new(cfg.suite.build());
+    let suite = cfg.suite.shared();
     let mut world = SimWorld::new(cfg.gcs.clone());
     let extra = churn + 1;
     for i in 0..(n - 1 + extra) {

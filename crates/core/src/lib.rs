@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod batch;
 pub mod codec;
 pub mod cost;
 pub mod costs_table;
@@ -52,6 +53,7 @@ pub mod experiment;
 pub mod member;
 pub mod par;
 pub mod protocols;
+pub mod scale;
 pub mod scenario;
 pub mod session;
 pub mod suite;

@@ -1,0 +1,411 @@
+//! The multi-group scale workload: N independent groups on one
+//! simulated daemon ring, driven by a deterministic churn schedule
+//! whose events are coalesced by the [`crate::batch::EventBatcher`]
+//! into one cascaded agreement round per group and window.
+//!
+//! Everything here is a pure function of the [`ScaleConfig`]: the
+//! schedule derives from per-group `SplitMix64` streams, batching is
+//! deterministic, and the engine itself is a deterministic
+//! discrete-event simulation — so two runs with the same seed (on any
+//! `--jobs` setting) produce identical results byte for byte.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use gkap_gcs::{ClientId, GcsConfig, GroupId, SimWorld};
+use gkap_sim::{Duration, RandomSource, SimTime, SplitMix64};
+use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
+
+use crate::batch::{ChurnEvent, ChurnKind, EventBatcher, MembershipBatch};
+use crate::experiment::SuiteKind;
+use crate::member::SecureMember;
+use crate::protocols::ProtocolKind;
+
+/// Configuration of one scale run (one protocol, N groups).
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// The protocol every group runs.
+    pub protocol: ProtocolKind,
+    /// Number of independent groups sharing the ring.
+    pub groups: usize,
+    /// Initial members per group.
+    pub group_size: usize,
+    /// Expected churn events per group over the horizon (fractional:
+    /// `0.05` gives each group a 5% chance of one event).
+    pub churn: f64,
+    /// Batching window: joins/leaves of one group arriving within
+    /// this much virtual time coalesce into one agreement round.
+    /// Zero disables batching (one event per round).
+    pub window: Duration,
+    /// Virtual-time span over which churn events are scheduled.
+    pub horizon: Duration,
+    /// Seed for the schedule and all member randomness.
+    pub seed: u64,
+    /// Crypto suite (shared across all groups via the per-thread
+    /// suite cache).
+    pub suite: SuiteKind,
+    /// Testbed topology and GCS parameters.
+    pub gcs: GcsConfig,
+    /// Whether to capture a telemetry trace (batching vs transport vs
+    /// agreement attribution).
+    pub telemetry: bool,
+}
+
+impl ScaleConfig {
+    /// LAN testbed defaults: 3-member groups, a 5 ms batching window,
+    /// a 10 s scheduling horizon, 512-bit suite.
+    pub fn lan(protocol: ProtocolKind, groups: usize) -> Self {
+        ScaleConfig {
+            protocol,
+            groups,
+            group_size: 3,
+            churn: 0.1,
+            window: Duration::from_millis(5),
+            horizon: Duration::from_millis(10_000),
+            seed: 7,
+            suite: SuiteKind::Sim512,
+            gcs: gkap_gcs::testbed::lan(),
+            telemetry: false,
+        }
+    }
+}
+
+/// A generated churn schedule plus the client layout it implies.
+#[derive(Clone, Debug)]
+pub struct ScaleSchedule {
+    /// Every churn event, sorted by (instant, group).
+    pub events: Vec<ChurnEvent>,
+    /// Group of every client id (base members and spares).
+    pub client_group: Vec<GroupId>,
+    /// Initial members per group.
+    pub group_size: usize,
+}
+
+impl ScaleSchedule {
+    /// Total clients the world needs (base members plus join spares).
+    pub fn total_clients(&self) -> usize {
+        self.client_group.len()
+    }
+
+    /// The base (initial) members of a group.
+    pub fn base_members(&self, group: GroupId) -> Vec<ClientId> {
+        (group * self.group_size..(group + 1) * self.group_size).collect()
+    }
+}
+
+/// Uniform draw in `[0, 1)` from 53 random bits.
+fn unit(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates the deterministic churn schedule for a config. Group `g`
+/// owns client ids `[g*size, (g+1)*size)`; joins admit fresh spare
+/// clients allocated after all base blocks, in group order. Leaves
+/// target a pseudo-random current member but never shrink a group
+/// below two members (every protocol needs a peer).
+pub fn generate_schedule(cfg: &ScaleConfig) -> ScaleSchedule {
+    let base_total = cfg.groups * cfg.group_size;
+    let mut client_group: Vec<GroupId> = (0..base_total).map(|i| i / cfg.group_size).collect();
+    let mut next_spare = base_total;
+    let mut events: Vec<ChurnEvent> = Vec::new();
+    for g in 0..cfg.groups {
+        let mut rng =
+            SplitMix64::new(cfg.seed ^ ((g as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let whole = cfg.churn.floor() as usize;
+        let frac = cfg.churn - cfg.churn.floor();
+        let count = whole + usize::from(unit(&mut rng) < frac);
+        let mut times: Vec<u64> = (0..count)
+            .map(|_| rng.next_u64() % cfg.horizon.as_nanos().max(1))
+            .collect();
+        times.sort_unstable();
+        let mut members: Vec<ClientId> = (g * cfg.group_size..(g + 1) * cfg.group_size).collect();
+        for t in times {
+            let leave = members.len() > 2 && rng.next_u64() & 1 == 1;
+            let kind = if leave {
+                let idx = (rng.next_u64() % members.len() as u64) as usize;
+                ChurnKind::Leave(members.remove(idx))
+            } else {
+                let c = next_spare;
+                next_spare += 1;
+                client_group.push(g);
+                members.push(c);
+                ChurnKind::Join(c)
+            };
+            events.push(ChurnEvent {
+                at: Duration::from_nanos(t),
+                group: g,
+                kind,
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.at, e.group));
+    ScaleSchedule {
+        events,
+        client_group,
+        group_size: cfg.group_size,
+    }
+}
+
+/// The outcome of one scale run.
+#[derive(Clone, Debug)]
+pub struct ScaleRun {
+    /// Raw churn events in the schedule (before batching).
+    pub raw_events: usize,
+    /// Batches injected (agreement rounds requested).
+    pub batches: usize,
+    /// Rekeys that completed: every member of the new view obtained
+    /// the key of that exact epoch.
+    pub rekeys: usize,
+    /// Batches whose epoch was superseded by a cascaded later batch
+    /// before every member finished (their key arrives with the next
+    /// completed epoch instead).
+    pub superseded: usize,
+    /// Virtual time from the end of group formation to full drain.
+    pub elapsed: Duration,
+    /// Per completed rekey: injection → last member keyed, ms.
+    pub rekey_ms: Vec<f64>,
+    /// Per raw event: arrival → batch flush, ms (time spent waiting
+    /// in the batcher).
+    pub batch_wait_ms: Vec<f64>,
+    /// Per completed rekey: injection → last view delivery, ms (the
+    /// membership/transport share).
+    pub transport_ms: Vec<f64>,
+    /// Per completed rekey: last view delivery → last key, ms (the
+    /// key-agreement share).
+    pub agreement_ms: Vec<f64>,
+    /// Every group ends keyed and error-free.
+    pub ok: bool,
+    /// Captured telemetry (empty unless [`ScaleConfig::telemetry`]).
+    pub events: Vec<Event>,
+}
+
+impl ScaleRun {
+    /// Schedule events per virtual second of measured run time.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_nanos() as f64 / 1e9;
+        if secs > 0.0 {
+            self.raw_events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Exact percentile of a sample set (nearest-rank): `q` in `[0, 1]`.
+/// Returns 0 for an empty set.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the full pipeline: generate the schedule, coalesce it with
+/// the configured window, drive the world.
+pub fn run(cfg: &ScaleConfig) -> ScaleRun {
+    let schedule = generate_schedule(cfg);
+    let batches = EventBatcher::new(cfg.window).coalesce(&schedule.events);
+    run_with_batches(cfg, &schedule, &batches)
+}
+
+/// Drives one world through a pre-batched schedule. Exposed
+/// separately so tests can compare a window-0 batched run against a
+/// hand-built one-batch-per-event run on identical inputs.
+pub fn run_with_batches(
+    cfg: &ScaleConfig,
+    schedule: &ScaleSchedule,
+    batches: &[MembershipBatch],
+) -> ScaleRun {
+    let suite = cfg.suite.shared();
+    let mut world = SimWorld::new(cfg.gcs.clone());
+    let telemetry = if cfg.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    world.set_telemetry(telemetry.clone());
+    for (i, &g) in schedule.client_group.iter().enumerate() {
+        let mut member = SecureMember::new(
+            cfg.protocol,
+            Rc::clone(&suite),
+            cfg.seed ^ ((i as u64 + 1).wrapping_mul(0x9e37_79b9)),
+            // Per-group bootstrap seed: groups start keyed, with
+            // distinct keys.
+            Some(cfg.seed ^ ((g as u64 + 1).wrapping_mul(0xa5a5_a5a5))),
+        );
+        member.set_telemetry(telemetry.clone());
+        world.add_client(Box::new(member));
+    }
+    for g in 0..cfg.groups {
+        world.install_initial_view_in(g, schedule.base_members(g));
+    }
+    world.run_until_quiescent();
+    let t0 = world.now();
+
+    // Inject batches at their flush instants, in global flush order.
+    let mut injected: BTreeMap<GroupId, Vec<(SimTime, MembershipBatch)>> = BTreeMap::new();
+    for batch in batches {
+        world.run_until(t0 + batch.flush_at);
+        let at = world.now();
+        world.inject_change_in(batch.group, batch.joined.clone(), batch.left.clone());
+        injected
+            .entry(batch.group)
+            .or_default()
+            .push((at, batch.clone()));
+    }
+    world.run_until_quiescent();
+    let elapsed = world.now().since(t0);
+
+    // Attribute each batch to the view it produced: a group's k-th
+    // injected batch is its (k+1)-th view (index 0 is the bootstrap).
+    let mut run = ScaleRun {
+        raw_events: schedule.events.len(),
+        batches: batches.len(),
+        rekeys: 0,
+        superseded: 0,
+        elapsed,
+        rekey_ms: Vec::new(),
+        batch_wait_ms: Vec::new(),
+        transport_ms: Vec::new(),
+        agreement_ms: Vec::new(),
+        ok: true,
+        events: Vec::new(),
+    };
+    for batch in batches {
+        for &arrival in &batch.arrivals {
+            run.batch_wait_ms
+                .push((batch.flush_at.as_nanos() - arrival.as_nanos()) as f64 / 1e6);
+        }
+        let opened = t0 + batch.opened_at;
+        let wait = batch.flush_at - batch.opened_at;
+        let group_size = batch.events;
+        telemetry.record(|| Event {
+            at: opened,
+            dur: wait,
+            actor: Actor::World,
+            kind: EventKind::MembershipEvent {
+                action: "batch_wait",
+                group_size,
+            },
+        });
+    }
+    for (g, group_batches) in &injected {
+        let views = world.views_of(*g);
+        for (k, (injected_at, _batch)) in group_batches.iter().enumerate() {
+            let Some(view) = views.get(k + 1) else {
+                run.superseded += 1;
+                continue;
+            };
+            let mut last_view = SimTime::ZERO;
+            let mut last_key = SimTime::ZERO;
+            let mut complete = true;
+            for &m in &view.members {
+                let member = world.client::<SecureMember>(m);
+                match member.completion(view.id) {
+                    Some(t) => last_key = last_key.max(t),
+                    None => complete = false,
+                }
+                if let Some(t) = member.view_time(view.id) {
+                    last_view = last_view.max(t);
+                }
+            }
+            if !complete {
+                run.superseded += 1;
+                continue;
+            }
+            run.rekeys += 1;
+            run.rekey_ms
+                .push(last_key.since(*injected_at).as_millis_f64());
+            run.transport_ms
+                .push(last_view.since(*injected_at).as_millis_f64());
+            run.agreement_ms
+                .push(last_key.since(last_view).as_millis_f64());
+            let group_size = view.members.len();
+            telemetry.record(|| Event {
+                at: *injected_at,
+                dur: last_view.since(*injected_at),
+                actor: Actor::World,
+                kind: EventKind::MembershipEvent {
+                    action: "transport",
+                    group_size,
+                },
+            });
+            telemetry.record(|| Event {
+                at: last_view,
+                dur: last_key.since(last_view),
+                actor: Actor::World,
+                kind: EventKind::MembershipEvent {
+                    action: "agreement",
+                    group_size,
+                },
+            });
+        }
+    }
+
+    // Every group must end keyed and error-free.
+    for g in 0..cfg.groups {
+        let Some(view) = world.views_of(g).last().cloned() else {
+            run.ok = false;
+            continue;
+        };
+        for &m in &view.members {
+            let member = world.client::<SecureMember>(m);
+            if member.completion(view.id).is_none() || member.protocol_error().is_some() {
+                run.ok = false;
+            }
+        }
+    }
+    run.events = telemetry.events();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_well_formed() {
+        let mut cfg = ScaleConfig::lan(ProtocolKind::Bd, 32);
+        cfg.churn = 1.5;
+        let a = generate_schedule(&cfg);
+        let b = generate_schedule(&cfg);
+        assert_eq!(a.events.len(), b.events.len());
+        assert!(!a.events.is_empty());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.group, y.group);
+            assert_eq!(x.kind, y.kind);
+        }
+        // Sorted by (at, group).
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| (w[0].at, w[0].group) <= (w[1].at, w[1].group)));
+        // Every client belongs to a valid group.
+        assert!(a.client_group.iter().all(|&g| g < cfg.groups));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.5), 2.0);
+        assert_eq!(percentile(&samples, 0.95), 4.0);
+        assert_eq!(percentile(&samples, 0.25), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_scale_run_completes_keyed() {
+        let mut cfg = ScaleConfig::lan(ProtocolKind::Tgdh, 8);
+        cfg.suite = SuiteKind::FastZero;
+        cfg.churn = 1.0;
+        let run = super::run(&cfg);
+        assert!(run.ok, "all groups end keyed");
+        assert_eq!(run.raw_events, 8);
+        assert_eq!(run.rekeys + run.superseded, run.batches);
+        assert!(run.rekey_ms.iter().all(|&ms| ms > 0.0));
+    }
+}

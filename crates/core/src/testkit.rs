@@ -201,6 +201,7 @@ impl Loopback {
         self.epoch += 1;
         let view = View {
             id: self.epoch,
+            group: 0,
             members: members.clone(),
             joined,
             left,

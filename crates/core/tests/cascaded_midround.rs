@@ -80,6 +80,7 @@ fn restart_budget_exhaustion_is_reported_not_hidden() {
 
     let view = |id: u64, members: Vec<usize>, joined: Vec<usize>| View {
         id,
+        group: 0,
         members,
         joined,
         left: vec![],

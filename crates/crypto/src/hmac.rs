@@ -49,9 +49,29 @@ pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Vec<u8> {
 /// length difference is folded into the accumulator instead of taken
 /// as an early return, and every byte position is visited with
 /// `get`-based loads so there is no data-dependent branch or index.
+///
+/// # Timing contract: lengths are public
+///
+/// The *lengths* of both inputs are treated as public — the iteration
+/// count is `max(a.len(), b.len())`, so the running time reveals the
+/// longer length and nothing else. That is the right contract for tag
+/// verification, where tag sizes are fixed by the digest and known to
+/// any observer; only the *contents* must not influence timing. In
+/// particular an unequal-length compare still walks every position of
+/// the longer input (asserted by a unit test) rather than returning
+/// early on the length mismatch.
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    ct_eq_visited(a, b, |_| {})
+}
+
+/// The comparison loop itself, parameterized over a per-iteration
+/// visitor so tests can count iterations; `visit` is a no-op closure
+/// in production and compiles away.
+#[inline]
+fn ct_eq_visited(a: &[u8], b: &[u8], mut visit: impl FnMut(usize)) -> bool {
     let mut acc = a.len() ^ b.len();
     for i in 0..a.len().max(b.len()) {
+        visit(i);
         let x = a.get(i).copied().unwrap_or(0);
         let y = b.get(i).copied().unwrap_or(0);
         acc |= usize::from(x ^ y);
@@ -108,6 +128,25 @@ mod tests {
         assert!(!ct_eq(b"abc", b"abd"));
         assert!(!ct_eq(b"abc", b"ab"));
         assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_unequal_lengths_still_walk_the_longer_input() {
+        // The length mismatch must not short-circuit the loop: every
+        // compare runs exactly max(a.len(), b.len()) iterations, so
+        // timing depends on the (public) lengths alone and never on
+        // where the contents diverge.
+        for (a, b) in [
+            (&b"abcdefgh"[..], &b"ab"[..]),
+            (&b"ab"[..], &b"abcdefgh"[..]),
+            (&b""[..], &b"abcdefgh"[..]),
+            (&b"abcdefgh"[..], &b"abcdefgh"[..]),
+        ] {
+            let mut steps = 0usize;
+            let eq = ct_eq_visited(a, b, |_| steps += 1);
+            assert_eq!(steps, a.len().max(b.len()), "{a:?} vs {b:?}");
+            assert_eq!(eq, a == b);
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
 use crate::client::{Client, ClientCtx, Outgoing};
 use crate::config::GcsConfig;
 use crate::message::{Delivery, Dest, Service, View, ViewId};
-use crate::{ClientId, DaemonId, MachineId};
+use crate::{ClientId, DaemonId, GroupId, MachineId};
 
 /// Counters the engine accumulates across a run.
 #[derive(Clone, Debug, Default)]
@@ -243,11 +243,15 @@ pub struct SimWorld {
     /// contiguous high-water mark each reported at its latest token
     /// visit. Messages at or below it are held by every daemon.
     token_aru: u64,
-    current_view: Option<Rc<View>>,
+    /// Current installed view of every group carried by this ring.
+    views: BTreeMap<GroupId, Rc<View>>,
     view_history: BTreeMap<ViewId, Rc<View>>,
     next_view_id: ViewId,
-    pending_changes: VecDeque<PendingChange>,
-    active: Option<ActiveMembership>,
+    /// Queued membership changes, per group (FIFO within a group;
+    /// different groups run their membership protocols concurrently).
+    pending_changes: BTreeMap<GroupId, VecDeque<PendingChange>>,
+    /// In-progress membership protocol per group.
+    active: BTreeMap<GroupId, ActiveMembership>,
     /// Non-token events in flight (quiescence detection).
     outstanding: u64,
     stats: WorldStats,
@@ -274,7 +278,8 @@ impl std::fmt::Debug for SimWorld {
             .field("now", &self.now())
             .field("clients", &self.clients.len())
             .field("daemons", &self.daemons.len())
-            .field("view", &self.current_view.as_ref().map(|v| v.id))
+            .field("groups", &self.views.len())
+            .field("view", &self.views.get(&0).map(|v| v.id))
             .finish()
     }
 }
@@ -312,11 +317,11 @@ impl SimWorld {
             clients: Vec::new(),
             next_seq: 1,
             token_aru: 0,
-            current_view: None,
+            views: BTreeMap::new(),
             view_history: BTreeMap::new(),
             next_view_id: 1,
-            pending_changes: VecDeque::new(),
-            active: None,
+            pending_changes: BTreeMap::new(),
+            active: BTreeMap::new(),
             outstanding: 0,
             stats: WorldStats::default(),
             token_started: false,
@@ -437,19 +442,31 @@ impl SimWorld {
         self.install_initial_view_of(members);
     }
 
-    /// Installs an initial view over a subset of clients.
+    /// Installs an initial view over a subset of clients (group `0`).
     ///
     /// # Panics
     ///
     /// Panics if a view is already installed or `members` is empty.
     pub fn install_initial_view_of(&mut self, members: Vec<ClientId>) {
+        self.install_initial_view_in(0, members);
+    }
+
+    /// Installs the initial view of one group over a subset of
+    /// clients. Many groups can share the ring; each carries its own
+    /// view state while token, links and CPU contention are shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group already has a view or `members` is empty.
+    pub fn install_initial_view_in(&mut self, group: GroupId, members: Vec<ClientId>) {
         assert!(
-            self.current_view.is_none(),
-            "initial view already installed"
+            !self.views.contains_key(&group),
+            "initial view already installed for group {group}"
         );
         assert!(!members.is_empty(), "initial view cannot be empty");
         let view = Rc::new(View {
             id: self.next_view_id,
+            group,
             joined: members.clone(),
             members,
             left: Vec::new(),
@@ -468,22 +485,36 @@ impl SimWorld {
         self.start_token_if_needed();
     }
 
-    /// Injects a membership change: `joined` clients enter the view,
-    /// `left` members leave it. The new view installs after the
-    /// membership protocol completes (several token rotations).
+    /// Injects a membership change into group `0`: `joined` clients
+    /// enter the view, `left` members leave it. The new view installs
+    /// after the membership protocol completes (several token
+    /// rotations).
     ///
     /// # Panics
     ///
     /// Panics if no initial view exists, a joining client is unknown or
     /// already a member, or a leaving client is not a member.
     pub fn inject_change(&mut self, joined: Vec<ClientId>, left: Vec<ClientId>) {
-        // Validate against the membership as it will stand once every
-        // queued change has installed.
+        self.inject_change_in(0, joined, left);
+    }
+
+    /// Injects a membership change into a specific group. Changes for
+    /// different groups proceed concurrently; changes within one group
+    /// queue FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has no initial view, a joining client is
+    /// unknown or already a member, or a leaving client is not a
+    /// member of that group.
+    pub fn inject_change_in(&mut self, group: GroupId, joined: Vec<ClientId>, left: Vec<ClientId>) {
+        // Validate against the group membership as it will stand once
+        // every queued change has installed.
         assert!(
-            self.active.is_some() || self.current_view.is_some(),
-            "no initial view installed"
+            self.active.contains_key(&group) || self.views.contains_key(&group),
+            "no initial view installed for group {group}"
         );
-        let members = self.projected_members();
+        let members = self.projected_members_of(group);
         for &j in &joined {
             assert!(j < self.clients.len(), "unknown client {j}");
             assert!(!members.contains(&j), "client {j} already a member");
@@ -492,8 +523,10 @@ impl SimWorld {
             assert!(members.contains(&l), "client {l} is not a member");
         }
         self.pending_changes
+            .entry(group)
+            .or_default()
             .push_back(PendingChange { joined, left });
-        self.maybe_start_membership();
+        self.maybe_start_membership(group);
     }
 
     /// Convenience: one client joins.
@@ -516,24 +549,44 @@ impl SimWorld {
         self.inject_change(joining, vec![]);
     }
 
-    /// The membership as it will stand once the active and every queued
-    /// change has installed (empty before any initial view). Fault
-    /// injectors consult this to aim joins/leaves at clients whose
-    /// membership status is already settled in-flight.
+    /// The group-`0` membership as it will stand once the active and
+    /// every queued change has installed (empty before any initial
+    /// view). Fault injectors consult this to aim joins/leaves at
+    /// clients whose membership status is already settled in-flight.
     pub fn projected_members(&self) -> Vec<ClientId> {
-        let mut members: Vec<ClientId> = match &self.active {
+        self.projected_members_of(0)
+    }
+
+    /// Per-group variant of [`SimWorld::projected_members`].
+    pub fn projected_members_of(&self, group: GroupId) -> Vec<ClientId> {
+        let mut members: Vec<ClientId> = match self.active.get(&group) {
             Some(active) => active.new_view.members.clone(),
             None => self
-                .current_view
-                .as_ref()
+                .views
+                .get(&group)
                 .map(|v| v.members.clone())
                 .unwrap_or_default(),
         };
-        for ch in &self.pending_changes {
-            members.retain(|m| !ch.left.contains(m));
-            members.extend_from_slice(&ch.joined);
+        if let Some(queue) = self.pending_changes.get(&group) {
+            for ch in queue {
+                members.retain(|m| !ch.left.contains(m));
+                members.extend_from_slice(&ch.joined);
+            }
         }
         members
+    }
+
+    /// Every group id known to the world (installed, installing, or
+    /// with queued changes), in ascending order.
+    fn group_ids(&self) -> Vec<GroupId> {
+        let mut ids: Vec<GroupId> = self.views.keys().copied().collect();
+        for g in self.active.keys().chain(self.pending_changes.keys()) {
+            if !ids.contains(g) {
+                ids.push(*g);
+            }
+        }
+        ids.sort_unstable();
+        ids
     }
 
     /// Crashes a daemon mid-token-rotation: it stops sequencing and
@@ -649,14 +702,36 @@ impl SimWorld {
         self.queue.now()
     }
 
-    /// The currently installed view, if any.
+    /// The currently installed view of group `0`, if any.
     pub fn view(&self) -> Option<&View> {
-        self.current_view.as_deref()
+        self.views.get(&0).map(Rc::as_ref)
     }
 
-    /// Whether a membership change is in progress or queued.
+    /// The currently installed view of a specific group, if any.
+    pub fn view_of(&self, group: GroupId) -> Option<&View> {
+        self.views.get(&group).map(Rc::as_ref)
+    }
+
+    /// Every view a group has installed or begun installing, in id
+    /// (installation) order — index 0 is the initial view, index `k`
+    /// the view produced by the group's `k`-th membership change.
+    pub fn views_of(&self, group: GroupId) -> Vec<Rc<View>> {
+        self.view_history
+            .values()
+            .filter(|v| v.group == group)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of groups with an installed view.
+    pub fn group_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether a membership change is in progress or queued (any
+    /// group).
     pub fn membership_busy(&self) -> bool {
-        self.active.is_some() || !self.pending_changes.is_empty()
+        !self.active.is_empty() || self.pending_changes.values().any(|q| !q.is_empty())
     }
 
     /// Engine counters.
@@ -730,6 +805,23 @@ impl SimWorld {
         while self.step() {}
     }
 
+    /// Advances virtual time to `t`, processing every event scheduled
+    /// at or before it — including idle token circulation, which
+    /// [`SimWorld::step`] skips once the world is quiescent. Used by
+    /// workload drivers to reach a scheduled injection instant. A `t`
+    /// in the past is a no-op.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
+            let Some((_, ev)) = self.queue.pop() else {
+                break;
+            };
+            if !matches!(ev, Ev::Token { .. }) {
+                self.outstanding -= 1;
+            }
+            self.dispatch(ev);
+        }
+    }
+
     /// Runs while `pred` returns `true` and work remains. Returns
     /// `true` if the run stopped because the predicate turned false
     /// (as opposed to quiescence).
@@ -749,8 +841,8 @@ impl SimWorld {
     /// ring no longer waits on them.
     pub fn quiescent(&self) -> bool {
         self.outstanding == 0
-            && self.active.is_none()
-            && self.pending_changes.is_empty()
+            && self.active.is_empty()
+            && self.pending_changes.values().all(VecDeque::is_empty)
             && self
                 .daemons
                 .iter()
@@ -784,22 +876,25 @@ impl SimWorld {
     }
 
     fn adopt_view(&mut self, view: &Rc<View>) {
-        self.current_view = Some(Rc::clone(view));
+        self.views.insert(view.group, Rc::clone(view));
         self.view_history.insert(view.id, Rc::clone(view));
         self.stats.views_installed += 1;
     }
 
-    fn maybe_start_membership(&mut self) {
-        if self.active.is_some() {
+    fn maybe_start_membership(&mut self, group: GroupId) {
+        if self.active.contains_key(&group) {
             return;
         }
-        let Some(view) = self.current_view.clone() else {
+        let Some(view) = self.views.get(&group).cloned() else {
             return;
         };
-        let Some(change) = self.pending_changes.pop_front() else {
+        let Some(change) = self
+            .pending_changes
+            .get_mut(&group)
+            .and_then(VecDeque::pop_front)
+        else {
             return;
         };
-        let view = &view;
         let mut members: Vec<ClientId> = view
             .members
             .iter()
@@ -809,18 +904,22 @@ impl SimWorld {
         members.extend_from_slice(&change.joined);
         let new_view = Rc::new(View {
             id: self.next_view_id,
+            group,
             members,
             joined: change.joined,
             left: change.left,
         });
         self.next_view_id += 1;
         self.view_history.insert(new_view.id, Rc::clone(&new_view));
-        self.active = Some(ActiveMembership {
-            new_view,
-            rounds_left: self.cfg.membership_rounds,
-            installing: false,
-            installed: vec![false; self.daemons.len()],
-        });
+        self.active.insert(
+            group,
+            ActiveMembership {
+                new_view,
+                rounds_left: self.cfg.membership_rounds,
+                installing: false,
+                installed: vec![false; self.daemons.len()],
+            },
+        );
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -861,18 +960,23 @@ impl SimWorld {
             self.queue
                 .schedule(Duration::ZERO, Ev::Token { daemon: head, gen });
         }
-        // The dead daemon can never install a pending view; a
+        // The dead daemon can never install a pending view; any
         // membership waiting only on it completes now.
-        self.check_membership_complete();
-        // Its members leave via a view change (if any view exists yet).
+        for group in self.group_ids() {
+            self.check_membership_complete(group);
+        }
+        // Its members leave via a view change, per group (if any view
+        // exists yet).
         let machine = self.daemons[daemon].machine;
-        let lost: Vec<ClientId> = self
-            .projected_members()
-            .into_iter()
-            .filter(|&c| self.clients[c].machine == machine)
-            .collect();
-        if !lost.is_empty() {
-            self.inject_change(vec![], lost);
+        for group in self.group_ids() {
+            let lost: Vec<ClientId> = self
+                .projected_members_of(group)
+                .into_iter()
+                .filter(|&c| self.clients[c].machine == machine)
+                .collect();
+            if !lost.is_empty() {
+                self.inject_change_in(group, vec![], lost);
+            }
         }
     }
 
@@ -968,7 +1072,11 @@ impl SimWorld {
                     .iter()
                     .filter(|d| d.alive)
                     .all(|d| d.pending.is_empty() && d.delivered == self.next_seq - 1);
-            if let Some(active) = &mut self.active {
+            // Every group's membership protocol advances on the same
+            // ring-head pass: the rounds are shared token rotations,
+            // and the flush condition is global because the sequencer
+            // (and therefore stability) is shared across groups.
+            for active in self.active.values_mut() {
                 if !active.installing {
                     if active.rounds_left > 0 {
                         active.rounds_left -= 1;
@@ -1053,15 +1161,17 @@ impl SimWorld {
         // 3. Deliver stable messages to local clients.
         self.deliver_stable(daemon_id);
 
-        // 4. Install a pending view if the membership protocol is done.
-        let mut install: Option<Rc<View>> = None;
-        if let Some(active) = &mut self.active {
+        // 4. Install pending views whose membership protocols are done
+        //    (ascending group order — BTreeMap iteration — so the
+        //    install sequence is deterministic).
+        let mut installs: Vec<Rc<View>> = Vec::new();
+        for active in self.active.values_mut() {
             if active.installing && !active.installed[daemon_id] {
                 active.installed[daemon_id] = true;
-                install = Some(Rc::clone(&active.new_view));
+                installs.push(Rc::clone(&active.new_view));
             }
         }
-        if let Some(view) = install {
+        for view in installs {
             self.install_view_at_daemon(daemon_id, &view);
         }
 
@@ -1455,16 +1565,17 @@ impl SimWorld {
                 self.clients[l].alive = false;
             }
         }
-        self.check_membership_complete();
+        self.check_membership_complete(view.group);
     }
 
-    /// Cluster-wide membership completion: the new view is adopted once
-    /// every *alive* daemon has installed it (a crashed daemon never
-    /// will, and the reformed ring does not wait on it).
-    fn check_membership_complete(&mut self) {
+    /// Cluster-wide membership completion for one group: the new view
+    /// is adopted once every *alive* daemon has installed it (a
+    /// crashed daemon never will, and the reformed ring does not wait
+    /// on it).
+    fn check_membership_complete(&mut self, group: GroupId) {
         let done = self
             .active
-            .as_ref()
+            .get(&group)
             .map(|a| {
                 a.installed
                     .iter()
@@ -1473,11 +1584,11 @@ impl SimWorld {
             })
             .unwrap_or(false);
         if done {
-            let Some(active) = self.active.take() else {
+            let Some(active) = self.active.remove(&group) else {
                 return;
             };
             self.adopt_view(&active.new_view);
-            self.maybe_start_membership();
+            self.maybe_start_membership(group);
         }
     }
 

@@ -91,6 +91,11 @@ pub type ClientId = usize;
 /// Daemon identifier (one daemon per machine).
 pub type DaemonId = usize;
 
+/// Group identifier: one daemon ring can carry many independent
+/// lightweight groups (per-group view state over a shared token and
+/// link model). Single-group worlds use group `0` throughout.
+pub type GroupId = usize;
+
 /// Machine identifier.
 pub type MachineId = usize;
 

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 
-use crate::ClientId;
+use crate::{ClientId, GroupId};
 
 /// Delivery service class, mirroring Spread's service levels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -59,8 +59,13 @@ pub type ViewId = u64;
 /// service.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct View {
-    /// Monotonically increasing view number.
+    /// Monotonically increasing view number. View ids are unique
+    /// across the whole world (all groups share one counter), so a
+    /// view id alone identifies an epoch.
     pub id: ViewId,
+    /// The group this view belongs to. Worlds that never ask for more
+    /// than one group see only group `0`.
+    pub group: GroupId,
     /// Current members, in daemon/ring order (the order Spread reports;
     /// the protocols use it to pick controllers and sponsors).
     pub members: Vec<ClientId>,
@@ -111,6 +116,7 @@ mod tests {
     fn view_membership_queries() {
         let v = View {
             id: 3,
+            group: 0,
             members: vec![10, 20, 30],
             joined: vec![30],
             left: vec![],
