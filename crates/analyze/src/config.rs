@@ -79,8 +79,13 @@ impl Config {
             // panic — so the panic rule (and only it: indexing over
             // static tables is idiomatic in figure builders, so
             // L1-INDEX stays out) extends to the whole bench crate,
-            // including `bin/repro.rs`.
-            ("L1-PANIC", &["crates/bench/src/**"]),
+            // including `bin/repro.rs` and the manifest writer/parser
+            // (`manifest.rs` must survive arbitrary JSON input), plus
+            // the typed metrics layer that every workload records into.
+            (
+                "L1-PANIC",
+                &["crates/bench/src/**", "crates/telemetry/src/metrics*.rs"],
+            ),
             // L2 secret hygiene: everywhere secrets or telemetry live.
             (
                 "L2",
@@ -94,8 +99,20 @@ impl Config {
             // crypto crate's verification paths.
             ("L3", &["crates/bignum/src/**", "crates/crypto/src/**"]),
             // L4 determinism: the simulator and the GCS engine — every
-            // path that can influence event or message ordering.
-            ("L4", &["crates/sim/src/**", "crates/gcs/src/**"]),
+            // path that can influence event or message ordering — plus
+            // the metrics registry and the run-manifest writer, whose
+            // rendered bytes must be a pure function of the run
+            // (bit-identical across `--jobs`; no wall-clock, no
+            // unordered maps, no platform-dependent float formatting).
+            (
+                "L4",
+                &[
+                    "crates/sim/src/**",
+                    "crates/gcs/src/**",
+                    "crates/telemetry/src/metrics*.rs",
+                    "crates/bench/src/manifest.rs",
+                ],
+            ),
         ];
         for (prefix, globs) in scopes {
             for g in *globs {
@@ -305,6 +322,16 @@ mod tests {
         assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/bin/repro.rs"));
         assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/figures.rs"));
         assert!(!cfg.in_scope("L1-INDEX", "crates/bench/src/figures.rs"));
+        // The metrics registry: panic-free and deterministic, but not
+        // under the indexing rule (its bucket tables are static).
+        assert!(cfg.in_scope("L1-PANIC", "crates/telemetry/src/metrics.rs"));
+        assert!(!cfg.in_scope("L1-INDEX", "crates/telemetry/src/metrics.rs"));
+        assert!(cfg.in_scope("L4-HASH", "crates/telemetry/src/metrics.rs"));
+        // The manifest writer renders bytes that must not depend on
+        // wall time or map iteration order.
+        assert!(cfg.in_scope("L4-TIME", "crates/bench/src/manifest.rs"));
+        assert!(!cfg.in_scope("L4-TIME", "crates/bench/src/figures.rs"));
+        assert!(!cfg.in_scope("L2", "crates/bench/src/manifest.rs"));
     }
 
     #[test]

@@ -13,8 +13,14 @@ pub struct CliOptions {
     /// The command (first positional; defaults to `all`).
     pub cmd: String,
     /// The optional figure argument (second positional, used by
-    /// `trace`/`trace-summary`).
+    /// `trace`/`trace-summary`; the baseline manifest path for
+    /// `bench-diff`).
     pub figure: Option<String>,
+    /// Third positional: the candidate manifest path for `bench-diff`.
+    pub arg2: Option<String>,
+    /// Also write collapsed-stack (flamegraph) output for `trace`
+    /// (`--folded`).
+    pub folded: bool,
     /// Repetitions per figure point (`--reps N`, default 3).
     pub reps: u32,
     /// Worker threads for the experiment grids (`--jobs N` / `-j N`,
@@ -44,6 +50,8 @@ impl Default for CliOptions {
         CliOptions {
             cmd: "all".into(),
             figure: None,
+            arg2: None,
+            folded: false,
             reps: 3,
             jobs: par::default_jobs(),
             quiet: false,
@@ -71,6 +79,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--quiet" | "-q" => opts.quiet = true,
+            "--folded" => opts.folded = true,
             "--reps" => {
                 i += 1;
                 let v = args.get(i).ok_or("--reps requires a value")?;
@@ -156,6 +165,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         opts.cmd = (*cmd).to_string();
     }
     opts.figure = positional.get(1).map(|s| (*s).to_string());
+    opts.arg2 = positional.get(2).map(|s| (*s).to_string());
     Ok(opts)
 }
 
@@ -265,5 +275,22 @@ mod tests {
         assert_eq!(o.figure.as_deref(), Some("fig14"));
         assert!(o.quiet);
         assert_eq!(o.jobs, 3);
+    }
+
+    #[test]
+    fn folded_flag_and_bench_diff_positionals() {
+        let o = parse(&args(&["trace", "fig14", "--folded"])).unwrap();
+        assert!(o.folded);
+        assert_eq!(o.figure.as_deref(), Some("fig14"));
+        assert!(!parse(&[]).unwrap().folded);
+        let o = parse(&args(&[
+            "bench-diff",
+            "results/baselines/a.json",
+            "results/RUN_b.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.cmd, "bench-diff");
+        assert_eq!(o.figure.as_deref(), Some("results/baselines/a.json"));
+        assert_eq!(o.arg2.as_deref(), Some("results/RUN_b.json"));
     }
 }

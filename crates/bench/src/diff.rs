@@ -1,0 +1,548 @@
+//! `repro bench-diff`: the perf-regression gate over two run
+//! manifests.
+//!
+//! The comparator is noise-aware by *metric class*, not by magic
+//! fudge factors:
+//!
+//! * **Counts** (operation counters, histogram sample counts) are
+//!   deterministic functions of the workload — any difference is a
+//!   behaviour change and compares **exactly**.
+//! * **Virtual-time quantities** (histogram quantiles, gauges,
+//!   `virtual_ms`) are simulated time: noise-free in principle, but
+//!   quantiles ride on log-bucket upper bounds, so they compare with
+//!   a **relative threshold** (default 5 %, about half a bucket's
+//!   growth factor).
+//! * **Environment** (wall seconds, peak RSS) depends on the machine
+//!   that ran the workload and is reported as **informational** only
+//!   — a CI runner being slow is not a regression in the code.
+//!
+//! The report renders in the rustc style (`error[bench-diff/count]:`)
+//! so a CI log scans like a compile failure, and the binary exits
+//! non-zero iff at least one regression was found.
+
+use crate::manifest::Manifest;
+
+/// Comparator tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Allowed relative drift for virtual-time quantities, in percent.
+    pub rel_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // Half of the histogram growth factor (1.6× buckets): real
+        // shifts move a quantile a whole bucket, jitter moves it none.
+        Thresholds { rel_pct: 5.0 }
+    }
+}
+
+/// How bad one finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The candidate is worse (or structurally different): gate fails.
+    Regression,
+    /// The candidate is better beyond the threshold: worth a look,
+    /// never fails the gate.
+    Improvement,
+    /// Informational (environment drift, config mismatch).
+    Info,
+}
+
+/// One compared metric that differed.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Metric class tag rendered in the bracket (`count`, `quantile`,
+    /// `gauge`, `schema`, `config`, `env`).
+    pub class: &'static str,
+    /// Which metric (path plus field).
+    pub metric: String,
+    /// `baseline → candidate` with the relative change where defined.
+    pub detail: String,
+}
+
+/// Everything `bench-diff` found, plus how many metrics it compared.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// All findings, in comparison order.
+    pub findings: Vec<Finding>,
+    /// Metrics compared (for the "n metrics compared" summary line).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Number of regressions.
+    pub fn regressions(&self) -> usize {
+        self.count(Severity::Regression)
+    }
+
+    /// Number of improvements.
+    pub fn improvements(&self) -> usize {
+        self.count(Severity::Improvement)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == s).count()
+    }
+
+    /// Whether the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+fn pct(base: f64, cand: f64) -> String {
+    if base == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:+.2}%", (cand - base) / base * 100.0)
+    }
+}
+
+/// Compares two manifests. `base` is the committed baseline, `cand`
+/// the fresh run.
+pub fn diff(base: &Manifest, cand: &Manifest, th: &Thresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    let push = |report: &mut DiffReport, severity, class, metric: String, detail: String| {
+        report.findings.push(Finding {
+            severity,
+            class,
+            metric,
+            detail,
+        });
+    };
+
+    if base.schema_version != cand.schema_version {
+        push(
+            &mut report,
+            Severity::Regression,
+            "schema",
+            "schema_version".into(),
+            format!("{} → {}", base.schema_version, cand.schema_version),
+        );
+        // Shapes may not line up; stop at the structural finding.
+        return report;
+    }
+    if base.cmd != cand.cmd || base.tag != cand.tag {
+        push(
+            &mut report,
+            Severity::Info,
+            "config",
+            "cmd/tag".into(),
+            format!(
+                "comparing {}_{} against {}_{} — different workloads",
+                base.cmd, base.tag, cand.cmd, cand.tag
+            ),
+        );
+    }
+    let mut seen_config = std::collections::BTreeSet::new();
+    for key in base.config.keys().chain(cand.config.keys()) {
+        let (b, c) = (base.config.get(key), cand.config.get(key));
+        if b != c && seen_config.insert(key.clone()) {
+            push(
+                &mut report,
+                Severity::Info,
+                "config",
+                format!("config/{key}"),
+                format!(
+                    "{} → {} — runs used different configurations",
+                    b.map(String::as_str).unwrap_or("(absent)"),
+                    c.map(String::as_str).unwrap_or("(absent)")
+                ),
+            );
+        }
+    }
+
+    // Counts: deterministic, compared exactly over the key union.
+    let mut seen_counts = std::collections::BTreeSet::new();
+    for key in base.counts.keys().chain(cand.counts.keys()) {
+        if !seen_counts.insert(key.clone()) {
+            continue; // union iteration visits shared keys twice
+        }
+        report.compared += 1;
+        match (base.counts.get(key), cand.counts.get(key)) {
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => {
+                let severity = if c > b {
+                    Severity::Regression
+                } else {
+                    Severity::Improvement
+                };
+                push(
+                    &mut report,
+                    severity,
+                    "count",
+                    key.clone(),
+                    format!(
+                        "{b} → {c} ({}) — counts must match exactly",
+                        pct(*b as f64, *c as f64)
+                    ),
+                );
+            }
+            (Some(b), None) => push(
+                &mut report,
+                Severity::Regression,
+                "count",
+                key.clone(),
+                format!("{b} → (missing) — metric disappeared from the candidate"),
+            ),
+            (None, Some(c)) => push(
+                &mut report,
+                Severity::Info,
+                "count",
+                key.clone(),
+                format!("(absent) → {c} — new metric, not in the baseline"),
+            ),
+            (None, None) => {}
+        }
+    }
+
+    // Gauges + virtual_ms: virtual-time class, relative threshold.
+    let rel = th.rel_pct / 100.0;
+    let mut seen_gauges = std::collections::BTreeSet::new();
+    for key in base.gauges.keys().chain(cand.gauges.keys()) {
+        if !seen_gauges.insert(key.clone()) {
+            continue;
+        }
+        report.compared += 1;
+        compare_rel(
+            &mut report,
+            "gauge",
+            key,
+            base.gauges.get(key).copied(),
+            cand.gauges.get(key).copied(),
+            rel,
+        );
+    }
+    report.compared += 1;
+    compare_rel(
+        &mut report,
+        "gauge",
+        "virtual_ms",
+        Some(base.virtual_ms),
+        Some(cand.virtual_ms),
+        rel,
+    );
+
+    // Histograms: sample counts exact, quantiles relative.
+    let mut seen_hists = std::collections::BTreeSet::new();
+    for key in base.histograms.keys().chain(cand.histograms.keys()) {
+        if !seen_hists.insert(key.clone()) {
+            continue;
+        }
+        report.compared += 1;
+        match (base.histograms.get(key), cand.histograms.get(key)) {
+            (Some(b), Some(c)) => {
+                if b.count != c.count {
+                    let severity = if c.count > b.count {
+                        Severity::Regression
+                    } else {
+                        Severity::Improvement
+                    };
+                    push(
+                        &mut report,
+                        severity,
+                        "count",
+                        format!("{key}/count"),
+                        format!(
+                            "{} → {} ({}) — sample counts must match exactly",
+                            b.count,
+                            c.count,
+                            pct(b.count as f64, c.count as f64)
+                        ),
+                    );
+                }
+                for (field, bv, cv) in [
+                    ("min", b.min, c.min),
+                    ("p50", b.p50, c.p50),
+                    ("p95", b.p95, c.p95),
+                    ("p99", b.p99, c.p99),
+                    ("max", b.max, c.max),
+                ] {
+                    compare_rel(
+                        &mut report,
+                        "quantile",
+                        &format!("{key}/{field}"),
+                        Some(bv),
+                        Some(cv),
+                        rel,
+                    );
+                }
+            }
+            (Some(_), None) => push(
+                &mut report,
+                Severity::Regression,
+                "quantile",
+                key.clone(),
+                "histogram disappeared from the candidate".to_string(),
+            ),
+            (None, Some(_)) => push(
+                &mut report,
+                Severity::Info,
+                "quantile",
+                key.clone(),
+                "new histogram, not in the baseline".to_string(),
+            ),
+            (None, None) => {}
+        }
+    }
+
+    // Environment: informational only — machines differ, code doesn't.
+    let (be, ce) = (&base.environment, &cand.environment);
+    if be.wall_s > 0.0 && ce.wall_s > 0.0 {
+        let drift = (ce.wall_s - be.wall_s) / be.wall_s;
+        if drift.abs() > rel {
+            push(
+                &mut report,
+                Severity::Info,
+                "env",
+                "wall_s".into(),
+                format!(
+                    "{:.3}s → {:.3}s ({}) — wall clock is machine-dependent, not gated",
+                    be.wall_s,
+                    ce.wall_s,
+                    pct(be.wall_s, ce.wall_s)
+                ),
+            );
+        }
+    }
+    if be.peak_rss_kb > 0 && ce.peak_rss_kb > 0 && be.peak_rss_kb != ce.peak_rss_kb {
+        let (b, c) = (be.peak_rss_kb as f64, ce.peak_rss_kb as f64);
+        if ((c - b) / b).abs() > rel {
+            push(
+                &mut report,
+                Severity::Info,
+                "env",
+                "peak_rss_kb".into(),
+                format!(
+                    "{} kB → {} kB ({}) — allocator/machine-dependent, not gated",
+                    be.peak_rss_kb,
+                    ce.peak_rss_kb,
+                    pct(b, c)
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Relative comparison for the virtual-time class. A zero baseline
+/// with a non-zero candidate (or vice versa) has no defined relative
+/// change and is compared against an absolute floor of one histogram
+/// base bucket (10 µs).
+fn compare_rel(
+    report: &mut DiffReport,
+    class: &'static str,
+    metric: &str,
+    base: Option<f64>,
+    cand: Option<f64>,
+    rel: f64,
+) {
+    let finding = |severity, detail| Finding {
+        severity,
+        class,
+        metric: metric.to_string(),
+        detail,
+    };
+    match (base, cand) {
+        (Some(b), Some(c)) => {
+            let worse = if b == 0.0 {
+                c > 0.01
+            } else {
+                (c - b) / b > rel
+            };
+            let better = if b == 0.0 {
+                false
+            } else {
+                (b - c) / b > rel && c >= 0.0
+            };
+            if worse {
+                report.findings.push(finding(
+                    Severity::Regression,
+                    format!(
+                        "{:.4} → {:.4} ({}) — beyond ±{:.1}%",
+                        b,
+                        c,
+                        pct(b, c),
+                        rel * 100.0
+                    ),
+                ));
+            } else if better {
+                report.findings.push(finding(
+                    Severity::Improvement,
+                    format!("{:.4} → {:.4} ({}) — faster than baseline", b, c, pct(b, c)),
+                ));
+            }
+        }
+        (Some(b), None) => report.findings.push(finding(
+            Severity::Regression,
+            format!("{b:.4} → (missing) — metric disappeared from the candidate"),
+        )),
+        (None, Some(c)) => report.findings.push(finding(
+            Severity::Info,
+            format!("(absent) → {c:.4} — new metric, not in the baseline"),
+        )),
+        (None, None) => {}
+    }
+}
+
+/// Renders the report in the rustc diagnostic style.
+pub fn render(base_name: &str, cand_name: &str, report: &DiffReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "bench-diff: {base_name} (baseline) vs {cand_name} (candidate)\n"
+    ));
+    for f in &report.findings {
+        let head = match f.severity {
+            Severity::Regression => "error",
+            Severity::Improvement => "warning",
+            Severity::Info => "note",
+        };
+        s.push_str(&format!(
+            "{head}[bench-diff/{}]: {}\n        {}\n",
+            f.class, f.metric, f.detail
+        ));
+    }
+    let verdict = if report.passed() { "PASS" } else { "FAIL" };
+    s.push_str(&format!(
+        "bench-diff: {} metrics compared, {} regression(s), {} improvement(s) — {verdict}\n",
+        report.compared,
+        report.regressions(),
+        report.improvements(),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gkap_telemetry::metrics::HistogramSummary;
+
+    fn manifest() -> Manifest {
+        let mut m = Manifest::new("scale", "g8_s7");
+        m.set_config("groups", 8);
+        m.add_count("crypto/GDH/modexp", 1000);
+        m.gauge_max("harness/GDH/virtual_ms", 500.0);
+        m.put_histogram(
+            "harness/GDH/rekey_ms",
+            HistogramSummary {
+                count: 20,
+                min: 1.0,
+                p50: 4.0,
+                p95: 9.0,
+                p99: 9.0,
+                max: 9.5,
+            },
+        );
+        m.virtual_ms = 500.0;
+        m
+    }
+
+    #[test]
+    fn identical_manifests_pass() {
+        let m = manifest();
+        let report = diff(&m, &m.clone(), &Thresholds::default());
+        assert!(report.passed(), "{:?}", report.findings);
+        assert!(report.compared >= 3);
+        let text = render("a.json", "b.json", &report);
+        assert!(text.contains("0 regression(s)"));
+        assert!(text.ends_with("PASS\n"));
+    }
+
+    #[test]
+    fn count_changes_are_exact_regressions() {
+        let base = manifest();
+        let mut cand = manifest();
+        cand.counts.insert("crypto/GDH/modexp".into(), 1001);
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert_eq!(report.regressions(), 1);
+        let text = render("a", "b", &report);
+        assert!(
+            text.contains("error[bench-diff/count]: crypto/GDH/modexp"),
+            "{text}"
+        );
+        assert!(text.contains("1000 → 1001"), "{text}");
+        // Fewer ops is an improvement, not a regression.
+        cand.counts.insert("crypto/GDH/modexp".into(), 900);
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert!(report.passed());
+        assert_eq!(report.improvements(), 1);
+    }
+
+    #[test]
+    fn quantiles_tolerate_small_drift_and_flag_slowdowns() {
+        let base = manifest();
+        // +4% p95: inside the 5% band.
+        let mut cand = manifest();
+        if let Some(h) = cand.histograms.get_mut("harness/GDH/rekey_ms") {
+            h.p95 = 9.36;
+            h.max = 9.55;
+        }
+        assert!(diff(&base, &cand, &Thresholds::default()).passed());
+        // +50% p95: the seeded-slowdown fixture case.
+        let mut slow = manifest();
+        if let Some(h) = slow.histograms.get_mut("harness/GDH/rekey_ms") {
+            h.p95 = 13.5;
+        }
+        let report = diff(&base, &slow, &Thresholds::default());
+        assert_eq!(report.regressions(), 1);
+        let text = render("a", "b", &report);
+        assert!(
+            text.contains("error[bench-diff/quantile]: harness/GDH/rekey_ms/p95"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn disappeared_metrics_fail_new_metrics_inform() {
+        let base = manifest();
+        let mut cand = manifest();
+        cand.counts.remove("crypto/GDH/modexp");
+        cand.add_count("crypto/GDH/mont_mul", 5);
+        cand.histograms.remove("harness/GDH/rekey_ms");
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert_eq!(report.regressions(), 2, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Info && f.metric == "crypto/GDH/mont_mul"));
+    }
+
+    #[test]
+    fn environment_and_config_drift_is_informational() {
+        let mut base = manifest();
+        let mut cand = manifest();
+        base.environment.wall_s = 1.0;
+        cand.environment.wall_s = 10.0;
+        base.environment.peak_rss_kb = 1000;
+        cand.environment.peak_rss_kb = 8000;
+        cand.set_config("groups", 16);
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert!(report.passed(), "{:?}", report.findings);
+        let text = render("a", "b", &report);
+        assert!(text.contains("note[bench-diff/env]: wall_s"));
+        assert!(text.contains("note[bench-diff/config]: config/groups"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_structural_failure() {
+        let base = manifest();
+        let mut cand = manifest();
+        cand.schema_version = 2;
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert!(!report.passed());
+        assert_eq!(report.findings.len(), 1, "stops at the schema finding");
+    }
+
+    #[test]
+    fn virtual_ms_regression_is_gated() {
+        let base = manifest();
+        let mut cand = manifest();
+        cand.virtual_ms = 600.0; // +20%
+        cand.gauge_max("harness/GDH/virtual_ms", 600.0);
+        let report = diff(&base, &cand, &Thresholds::default());
+        assert_eq!(report.regressions(), 2, "{:?}", report.findings);
+    }
+}

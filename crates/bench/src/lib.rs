@@ -8,7 +8,9 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod diff;
 pub mod figures;
+pub mod manifest;
 pub mod micro;
 pub mod scale;
 pub mod trace;
@@ -106,9 +108,34 @@ pub fn write_output(dir: &Path, name: &str, text: &str) -> Result<std::path::Pat
 
 /// Writes a figure as CSV + prints its table; returns the rendered
 /// table text, or a one-line diagnostic if the output directory or
-/// CSV cannot be written.
-pub fn emit(fig: &Figure, out_dir: &Path, stem: &str, con: &mut Console) -> Result<String, String> {
+/// CSV cannot be written. The figure's deterministic shape also lands
+/// in the step's run manifest: a point count per figure and one
+/// histogram of per-point mean latencies per series, so `bench-diff`
+/// can gate every figure workload without parsing CSVs.
+pub fn emit(
+    fig: &Figure,
+    out_dir: &Path,
+    stem: &str,
+    con: &mut Console,
+    man: &mut manifest::Manifest,
+) -> Result<String, String> {
     let csv_path = write_output(out_dir, &format!("{stem}.csv"), &fig.to_csv())?;
+    for series in &fig.series {
+        man.add_count(
+            &format!("harness/{stem}/{}/points", series.name),
+            series.points.len() as u64,
+        );
+        let mut h = gkap_telemetry::metrics::LogHistogram::default();
+        for p in &series.points {
+            h.record(p.summary.mean());
+        }
+        if h.count() > 0 {
+            man.put_histogram(
+                &format!("harness/{stem}/{}/mean_ms", series.name),
+                h.summary(),
+            );
+        }
+    }
     let table = fig.to_table();
     con.say(&table);
     con.say(format!("[written: {}]", csv_path.display()));

@@ -8,6 +8,7 @@
 //! discrete-event simulation — so the bytes written are identical for
 //! any jobs value and across repeated runs.
 
+use crate::manifest::Manifest;
 use gkap_core::par;
 use gkap_core::protocols::ProtocolKind;
 use gkap_core::scale::{percentile, run, ScaleConfig, ScaleRun};
@@ -136,6 +137,28 @@ pub fn scale_table(opts: &ScaleOptions, rows: &[ScaleRow]) -> String {
         ));
     }
     out
+}
+
+/// Builds the deterministic body of the `scale` run manifest from the
+/// rows: each protocol's typed metrics hub (workload counters, phase
+/// histograms, kernel op counts) is folded in, and `virtual_ms` totals
+/// the per-protocol elapsed virtual time. Every quantity here is a
+/// pure function of (groups, churn, window, seed), so the rendered
+/// body is bit-identical across `--jobs` values — the property the
+/// scale determinism test pins.
+pub fn scale_manifest(opts: &ScaleOptions, rows: &[ScaleRow]) -> Manifest {
+    let tag = format!("g{}_s{}", opts.groups, opts.seed);
+    let mut man = Manifest::new("scale", &tag);
+    man.set_config("groups", opts.groups);
+    man.set_config("churn", format!("{:.4}", opts.churn));
+    man.set_config("window_ms", format!("{:.3}", opts.window_ms));
+    man.set_config("seed", opts.seed);
+    man.set_config("protocol", opts.protocol.map(|p| p.name()).unwrap_or("all"));
+    for row in rows {
+        man.absorb_hub(&row.run.hub);
+        man.virtual_ms += row.run.elapsed.as_millis_f64();
+    }
+    man
 }
 
 fn mean(samples: &[f64]) -> f64 {

@@ -173,6 +173,52 @@ pub fn summary_csv(figure: &str, rows: &[TraceRow]) -> String {
     s
 }
 
+/// Collapsed-stack ("folded") rendering of traced runs, one line per
+/// unique stack: `frames;separated;by;semicolons <weight>`, the input
+/// format of every flamegraph renderer (`flamegraph.pl`, inferno,
+/// speedscope). Stacks are rooted at `protocol;event`, one frame per
+/// cost layer, leaf frames naming the primitive; weights are exact
+/// integer **virtual nanoseconds** summed over all spans with that
+/// stack, so the output is deterministic and the flame widths
+/// reproduce the paper's latency decomposition. Zero-duration point
+/// events (sequenced, delivered, …) carry no time and are omitted.
+pub fn folded_stacks(rows: &[TraceRow]) -> String {
+    use std::collections::BTreeMap;
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    let mut add = |stack: String, ns: u64| {
+        if ns > 0 {
+            *weights.entry(stack).or_insert(0) += ns;
+        }
+    };
+    for r in rows {
+        let root = format!("{};{}", r.protocol, r.event);
+        for e in &r.run.events {
+            match &e.kind {
+                EventKind::CryptoOp { op, .. } => {
+                    add(format!("{root};crypto;{}", op.as_str()), e.dur.as_nanos());
+                }
+                EventKind::HandlerSpan { wait } => {
+                    add(format!("{root};cpu;handler_busy"), e.dur.as_nanos());
+                    add(format!("{root};cpu;queue_wait"), wait.as_nanos());
+                }
+                EventKind::MembershipEvent { action, .. } => {
+                    add(format!("{root};membership;{action}"), e.dur.as_nanos());
+                }
+                EventKind::Fault { action, .. } => {
+                    add(format!("{root};fault;{action}"), e.dur.as_nanos());
+                }
+                // Point events: no duration to attribute.
+                _ => {}
+            }
+        }
+    }
+    let mut s = String::new();
+    for (stack, ns) in &weights {
+        s.push_str(&format!("{stack} {ns}\n"));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +292,38 @@ mod tests {
         let csv = summary_csv("crash", &rows);
         assert!(csv.starts_with("figure,protocol,event,n,"));
         assert!(csv.contains("recovery_ms,agreement_ms"));
+    }
+
+    #[test]
+    fn folded_stacks_are_deterministic_weighted_nanos() {
+        let rows = trace_figure("fig11", 6).expect("known figure");
+        let folded = folded_stacks(&rows);
+        assert_eq!(folded, folded_stacks(&rows), "deterministic bytes");
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack <weight>");
+            let w: u64 = weight.parse().unwrap_or_else(|_| panic!("weight: {line}"));
+            assert!(w > 0, "zero-weight stack emitted: {line}");
+            assert!(stack.contains(';'), "rootless stack: {line}");
+        }
+        // Every protocol contributes crypto leaves under its own root.
+        for proto in ["GDH", "TGDH", "STR", "BD", "CKD"] {
+            assert!(
+                folded
+                    .lines()
+                    .any(|l| l.starts_with(&format!("{proto};join;crypto;"))),
+                "{proto} missing crypto frames:\n{folded}"
+            );
+        }
+        // Stacks are unique and sorted (BTreeMap order).
+        let stacks: Vec<&str> = folded
+            .lines()
+            .filter_map(|l| l.rsplit_once(' ').map(|(s, _)| s))
+            .collect();
+        let mut sorted = stacks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(stacks, sorted);
     }
 
     #[test]

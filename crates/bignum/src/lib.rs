@@ -44,6 +44,7 @@ mod arith;
 mod montgomery;
 pub mod prime;
 mod rng;
+pub mod stats;
 mod ubig;
 
 pub use montgomery::{FixedBase, MontElem, MontScratch, Montgomery};

@@ -129,6 +129,7 @@ impl Montgomery {
     /// `out = a * b * R^{-1} mod m`. `a`, `b`, `out` are `n`-limb
     /// little-endian, `a` and `b` already `< m`. Allocation-free.
     fn mul_kernel(&self, a: &[u64], b: &[u64], out: &mut [u64], s: &mut MontScratch) {
+        crate::stats::record_mont_mul();
         let n = self.n;
         let m = &self.modulus.limbs;
         let t = &mut s.t[..n + 2];
@@ -175,6 +176,7 @@ impl Montgomery {
     /// doubled — roughly half the partial products of [`Self::mul_kernel`])
     /// and then folds it with a separated Montgomery reduction pass.
     fn sqr_kernel(&self, a: &[u64], out: &mut [u64], s: &mut MontScratch) {
+        crate::stats::record_mont_sqr();
         let n = self.n;
         debug_assert_eq!(a.len(), n);
         {
@@ -271,6 +273,7 @@ impl Montgomery {
     /// Montgomery reduction: converts out of Montgomery form and
     /// normalizes to `Ubig`.
     fn redc(&self, a: &[u64], s: &mut MontScratch) -> Ubig {
+        crate::stats::record_redc();
         let one = pad(&Ubig::one(), self.n);
         let mut out = vec![0u64; self.n];
         self.mul_kernel(a, &one, &mut out, s);
@@ -320,6 +323,7 @@ impl Montgomery {
     /// [`Montgomery::modexp`] with a caller-provided workspace (hot
     /// loops performing many exponentiations by the same modulus).
     pub fn modexp_with(&self, base: &Ubig, exp: &Ubig, s: &mut MontScratch) -> Ubig {
+        crate::stats::record_modexp();
         if exp.is_zero() {
             return Ubig::one().rem(&self.modulus);
         }
@@ -426,6 +430,7 @@ impl Montgomery {
 
     /// [`Montgomery::modexp_fixed`] with a caller-provided workspace.
     pub fn modexp_fixed_with(&self, fb: &FixedBase, exp: &Ubig, s: &mut MontScratch) -> Ubig {
+        crate::stats::record_fixed_base_exp();
         if exp.is_zero() {
             return Ubig::one().rem(&self.modulus);
         }

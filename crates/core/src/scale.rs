@@ -12,8 +12,10 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use gkap_bignum::stats::KernelOps;
 use gkap_gcs::{ClientId, GcsConfig, GroupId, SimWorld};
 use gkap_sim::{Duration, RandomSource, SimTime, SplitMix64};
+use gkap_telemetry::metrics::{Key, Layer, MetricsHub};
 use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
 
 use crate::batch::{ChurnEvent, ChurnKind, EventBatcher, MembershipBatch};
@@ -177,6 +179,14 @@ pub struct ScaleRun {
     pub ok: bool,
     /// Captured telemetry (empty unless [`ScaleConfig::telemetry`]).
     pub events: Vec<Event>,
+    /// Bignum kernel invocations the run performed (exact: the world
+    /// runs to completion on one thread, bracketed by
+    /// [`gkap_bignum::stats::take`]).
+    pub kernel_ops: KernelOps,
+    /// Typed metrics captured during the run (always populated: the
+    /// workload's own spans are recorded even when event telemetry is
+    /// off, so every `repro scale` invocation can write a manifest).
+    pub hub: MetricsHub,
 }
 
 impl ScaleRun {
@@ -219,7 +229,12 @@ pub fn run_with_batches(
     schedule: &ScaleSchedule,
     batches: &[MembershipBatch],
 ) -> ScaleRun {
+    // Warm the per-thread suite cache BEFORE bracketing kernel ops:
+    // building a suite precomputes fixed-base tables and Montgomery
+    // contexts, and whether this thread already paid that cost depends
+    // on scheduling (`--jobs`), not on the run being measured.
     let suite = cfg.suite.shared();
+    let kernel_before = gkap_bignum::stats::snapshot();
     let mut world = SimWorld::new(cfg.gcs.clone());
     let telemetry = if cfg.telemetry {
         Telemetry::enabled()
@@ -273,6 +288,8 @@ pub fn run_with_batches(
         agreement_ms: Vec::new(),
         ok: true,
         events: Vec::new(),
+        kernel_ops: KernelOps::default(),
+        hub: MetricsHub::new(),
     };
     for batch in batches {
         for &arrival in &batch.arrivals {
@@ -358,6 +375,51 @@ pub fn run_with_batches(
             }
         }
     }
+    run.kernel_ops = gkap_bignum::stats::snapshot().since(&kernel_before);
+
+    // Workload-level metrics are always populated (cheap aggregates),
+    // so every scale invocation can write a manifest without paying
+    // for event capture; an enabled telemetry sink contributes its
+    // sim/gcs/crypto metrics on top.
+    let proto = cfg.protocol.name();
+    let hub = &mut run.hub;
+    hub.inc(
+        Key::new(Layer::Harness, "raw_events").protocol(proto),
+        run.raw_events as u64,
+    );
+    hub.inc(
+        Key::new(Layer::Harness, "batches").protocol(proto),
+        run.batches as u64,
+    );
+    hub.inc(
+        Key::new(Layer::Harness, "rekeys").protocol(proto),
+        run.rekeys as u64,
+    );
+    hub.inc(
+        Key::new(Layer::Harness, "superseded").protocol(proto),
+        run.superseded as u64,
+    );
+    for (name, samples) in [
+        ("rekey_ms", &run.rekey_ms),
+        ("batch_wait_ms", &run.batch_wait_ms),
+        ("transport_ms", &run.transport_ms),
+        ("agreement_ms", &run.agreement_ms),
+    ] {
+        let key = Key::new(Layer::Harness, name).protocol(proto);
+        for &ms in samples.iter() {
+            hub.observe(key, ms);
+        }
+    }
+    for (name, count) in run.kernel_ops.entries() {
+        hub.inc(Key::new(Layer::Crypto, name).protocol(proto), count);
+    }
+    hub.gauge_set(
+        Key::new(Layer::Harness, "virtual_ms").protocol(proto),
+        run.elapsed.as_millis_f64(),
+    );
+    // Merged last: hub keys from the recorder are unlabelled, so the
+    // workload's per-protocol keys never collide with them.
+    let _ = run.hub.merge(&telemetry.hub_snapshot());
     run.events = telemetry.events();
     run
 }

@@ -178,3 +178,94 @@ fn counters_match_table1_closed_forms() {
         }
     }
 }
+
+/// The multi-group scale spans (PR 5) obey the same exact-sum
+/// discipline as the per-event traces: for every completed rekey,
+/// the transport share (injection → last view delivery) plus the
+/// agreement share (last view delivery → last key) equals the full
+/// rekey span — compared in integer nanoseconds, because the ms
+/// vectors are f64 renderings and `(a+b)/1e6` need not equal
+/// `a/1e6 + b/1e6` bitwise. The telemetry "transport"/"agreement"
+/// span events must carry exactly the same durations, and batching
+/// waits never exceed the configured window.
+#[test]
+fn scale_spans_reconcile_exactly_in_nanos() {
+    use gkap_core::scale::{run, ScaleConfig};
+
+    // ms vectors are nanos/1e6; the horizon bounds nanos well under
+    // 2^53, so round-tripping through f64 ms recovers nanos exactly.
+    let ns = |ms: f64| (ms * 1e6).round() as u64;
+
+    for kind in [ProtocolKind::Gdh, ProtocolKind::Tgdh] {
+        let mut cfg = ScaleConfig::lan(kind, 8);
+        cfg.churn = 1.0;
+        cfg.telemetry = true;
+        let r = run(&cfg);
+        assert!(r.ok, "{kind}: all groups end keyed");
+        assert!(r.rekeys > 0, "{kind}: churn produced rekeys");
+        assert_eq!(r.rekey_ms.len(), r.rekeys);
+        assert_eq!(r.transport_ms.len(), r.rekeys);
+        assert_eq!(r.agreement_ms.len(), r.rekeys);
+
+        // Per-rekey exact sum: the three vectors are pushed in
+        // lockstep, so positional comparison is the invariant.
+        for i in 0..r.rekeys {
+            assert_eq!(
+                ns(r.transport_ms[i]) + ns(r.agreement_ms[i]),
+                ns(r.rekey_ms[i]),
+                "{kind} rekey {i}: transport + agreement != rekey span"
+            );
+        }
+
+        // The trace spans carry the same durations: compare as sorted
+        // multisets (the event log is time-ordered, the vectors are
+        // group-ordered).
+        let span_durs = |action: &str| -> Vec<u64> {
+            let mut durs: Vec<u64> = r
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind, EventKind::MembershipEvent { action: a, .. } if a == action)
+                })
+                .map(|e| e.dur.as_nanos())
+                .collect();
+            durs.sort_unstable();
+            durs
+        };
+        let sorted_ns = |ms: &[f64]| -> Vec<u64> {
+            let mut v: Vec<u64> = ms.iter().map(|&m| ns(m)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            span_durs("transport"),
+            sorted_ns(&r.transport_ms),
+            "{kind}: transport span events mirror the vector"
+        );
+        assert_eq!(
+            span_durs("agreement"),
+            sorted_ns(&r.agreement_ms),
+            "{kind}: agreement span events mirror the vector"
+        );
+
+        // Batching: one wait sample per raw event, every wait bounded
+        // by the window, and the worst vector wait is the worst
+        // "batch_wait" span (that event records each batch's full
+        // open → flush interval, which its earliest arrival waited).
+        assert_eq!(r.batch_wait_ms.len(), r.raw_events);
+        let window_ns = cfg.window.as_nanos();
+        for &w in &r.batch_wait_ms {
+            assert!(
+                ns(w) <= window_ns,
+                "{kind}: batch wait {w} ms exceeds the window"
+            );
+        }
+        let batch_events = span_durs("batch_wait");
+        assert_eq!(batch_events.len(), r.batches);
+        assert_eq!(
+            batch_events.last().copied(),
+            sorted_ns(&r.batch_wait_ms).last().copied(),
+            "{kind}: worst batching wait reconciles"
+        );
+    }
+}

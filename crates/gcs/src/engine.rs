@@ -34,6 +34,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use gkap_sim::{CpuScheduler, Duration, EventQueue, SimTime};
 use gkap_sim::{RandomSource, SplitMix64};
+use gkap_telemetry::metrics::{Key, Layer};
 use gkap_telemetry::{Actor, Event, EventKind, Telemetry};
 
 use crate::client::{Client, ClientCtx, Outgoing};
@@ -267,6 +268,9 @@ pub struct SimWorld {
     token_gen: u64,
     /// Temporary loss-rate override from a fault plan: `(rate, until)`.
     loss_burst: Option<(f64, SimTime)>,
+    /// Virtual instant of the previous completed token rotation, for
+    /// the rotation-interval histogram.
+    last_rotation_at: Option<SimTime>,
     /// Telemetry sink (disabled by default; recording never advances
     /// virtual time, so enabling it cannot change simulation results).
     telemetry: Telemetry,
@@ -328,6 +332,7 @@ impl SimWorld {
             sent_msgs: BTreeMap::new(),
             loss_rng: SplitMix64::new(cfg.loss_seed),
             token_gen: 0,
+            last_rotation_at: None,
             loss_burst: None,
             telemetry: Telemetry::disabled(),
             cfg,
@@ -922,7 +927,35 @@ impl SimWorld {
         );
     }
 
+    /// Stable metric name of an event variant (the sim event loop's
+    /// per-kind dispatch counters).
+    fn ev_metric_name(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Token { .. } => "ev_token",
+            Ev::DaemonRecv { .. } => "ev_daemon_recv",
+            Ev::ClientSubmit { .. } => "ev_client_submit",
+            Ev::FifoArrive { .. } => "ev_fifo_arrive",
+            Ev::ClientDeliver { .. } => "ev_client_deliver",
+            Ev::ViewDeliver { .. } => "ev_view_deliver",
+            Ev::Retransmit { .. } => "ev_retransmit",
+            Ev::CausalArrive { .. } => "ev_causal_arrive",
+            Ev::CrashDetect { .. } => "ev_crash_detect",
+            Ev::Fault { .. } => "ev_fault",
+        }
+    }
+
     fn dispatch(&mut self, ev: Ev) {
+        // Sim-layer event-loop metrics: total dispatches, per-kind
+        // dispatches, and the peak of in-flight (non-token) events.
+        self.telemetry
+            .metric_inc(Key::new(Layer::Sim, "events_dispatched"), 1);
+        self.telemetry
+            .metric_inc(Key::new(Layer::Sim, Self::ev_metric_name(&ev)), 1);
+        let outstanding = self.outstanding;
+        self.telemetry
+            .gauge_max(Key::new(Layer::Sim, "outstanding_peak"), || {
+                outstanding as f64
+            });
         match ev {
             Ev::Token { daemon, gen } => self.on_token(daemon, gen),
             Ev::DaemonRecv { daemon, msg } => self.on_daemon_recv(daemon, msg),
@@ -1060,6 +1093,13 @@ impl SimWorld {
                 actor: Actor::Daemon(daemon_id),
                 kind: EventKind::TokenRotation { rotation },
             });
+            if let Some(prev) = self.last_rotation_at {
+                self.telemetry
+                    .metric_observe(Key::new(Layer::Gcs, "token_rotation_ms"), || {
+                        at.since(prev).as_millis_f64()
+                    });
+            }
+            self.last_rotation_at = Some(at);
             // View-synchrony flush: the new view may only install once
             // every message sent in the old view has been delivered
             // everywhere (Spread flushes before installing a view).
@@ -1139,6 +1179,22 @@ impl SimWorld {
                 );
             }
             sent += 1;
+        }
+        // Flow-control metrics: how much this token visit sequenced,
+        // and how much the budget deferred to the next rotation (the
+        // paper's footnote-10 wait is exactly this backlog).
+        if sent > 0 {
+            self.telemetry
+                .metric_inc(Key::new(Layer::Gcs, "flow_sequenced"), sent as u64);
+            self.telemetry
+                .metric_observe(Key::new(Layer::Gcs, "flow_sent_per_visit"), || sent as f64);
+        }
+        let backlog = self.daemons[daemon_id].pending.len();
+        if backlog > 0 {
+            self.telemetry
+                .metric_inc(Key::new(Layer::Gcs, "flow_deferred"), backlog as u64);
+            self.telemetry
+                .gauge_max(Key::new(Layer::Gcs, "flow_backlog_peak"), || backlog as f64);
         }
 
         // 1b. Request retransmission of any gap this daemon observes

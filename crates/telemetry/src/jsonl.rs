@@ -107,10 +107,50 @@ pub fn render_metrics(metrics: &MetricsRegistry) -> String {
     out
 }
 
-/// Full trace dump: every event line followed by every metric line.
+/// Renders the typed hub: one JSON object per counter, gauge and
+/// histogram summary, keyed by the canonical metric path.
+///
+/// ```json
+/// {"metric":"counter","name":"crypto/exp","value":816}
+/// {"metric":"gauge","name":"gcs/pending_peak","value":4}
+/// {"metric":"histogram","name":"harness/TGDH/rekey_ms","count":9,"min":1.2,"p50":3.1,"p95":6.0,"p99":6.0,"max":6.2}
+/// ```
+pub fn render_hub(hub: &crate::metrics::MetricsHub) -> String {
+    let mut out = String::new();
+    for (key, value) in hub.counters() {
+        out.push_str(&format!(
+            "{{\"metric\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+            key.path()
+        ));
+    }
+    for (key, value) in hub.gauges() {
+        out.push_str(&format!(
+            "{{\"metric\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}\n",
+            key.path()
+        ));
+    }
+    for (key, hist) in hub.histograms() {
+        let s = hist.summary();
+        out.push_str(&format!(
+            "{{\"metric\":\"histogram\",\"name\":\"{}\",\"count\":{},\"min\":{:.6},\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"max\":{:.6}}}\n",
+            key.path(),
+            s.count,
+            s.min,
+            s.p50,
+            s.p95,
+            s.p99,
+            s.max,
+        ));
+    }
+    out
+}
+
+/// Full trace dump: every event line followed by every metric line
+/// (legacy registry first, then the typed hub).
 pub fn render_recorder(rec: &Recorder) -> String {
     let mut out = render_events(rec.events());
     out.push_str(&render_metrics(rec.metrics()));
+    out.push_str(&render_hub(rec.hub()));
     out
 }
 

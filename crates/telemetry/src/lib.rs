@@ -52,6 +52,9 @@ use gkap_sim::stats::Histogram;
 use gkap_sim::{Duration, SimTime};
 
 pub mod jsonl;
+pub mod metrics;
+
+use metrics::{Key, Layer, MetricsHub};
 
 /// Which component produced an event. Plain indices (not the `gkap-gcs`
 /// id aliases) so this crate stays at the bottom of the dependency
@@ -310,11 +313,14 @@ impl MetricsRegistry {
 pub struct Recorder {
     events: Vec<Event>,
     metrics: MetricsRegistry,
+    hub: MetricsHub,
 }
 
 impl Recorder {
     /// Appends an event and bumps the per-kind counters that every
-    /// event maintains automatically.
+    /// event maintains automatically — both the legacy string-keyed
+    /// [`MetricsRegistry`] (JSONL dumps) and the typed
+    /// [`metrics::MetricsHub`] (run manifests, `bench-diff`).
     pub fn push(&mut self, ev: Event) {
         match &ev.kind {
             EventKind::CryptoOp { op, .. } => {
@@ -323,26 +329,59 @@ impl Recorder {
                     &format!("crypto_ms/{}", op.as_str()),
                     ev.dur.as_millis_f64(),
                 );
+                let key = Key::new(Layer::Crypto, op.as_str());
+                self.hub.inc(key, 1);
+                self.hub.observe(key, ev.dur.as_millis_f64());
             }
             EventKind::MessageSend { class } => {
                 self.metrics.inc(&format!("send/{}", class.as_str()), 1);
+                self.hub.inc(Key::new(Layer::Protocol, class.as_str()), 1);
             }
             EventKind::ProtocolRound { protocol, .. } => {
                 self.metrics.inc(&format!("rounds/{protocol}"), 1);
+                self.hub
+                    .inc(Key::new(Layer::Protocol, "rounds").protocol(protocol), 1);
             }
-            EventKind::TokenRotation { .. } => self.metrics.inc("gcs/token_rotation", 1),
-            EventKind::Retransmit { .. } => self.metrics.inc("gcs/retransmit", 1),
-            EventKind::Sequenced { .. } => self.metrics.inc("gcs/sequenced", 1),
-            EventKind::Delivered { .. } => self.metrics.inc("gcs/delivered", 1),
-            EventKind::ViewInstalled { .. } => self.metrics.inc("gcs/view_installed", 1),
+            EventKind::TokenRotation { .. } => {
+                self.metrics.inc("gcs/token_rotation", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "token_rotation"), 1);
+            }
+            EventKind::Retransmit { .. } => {
+                self.metrics.inc("gcs/retransmit", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "retransmit"), 1);
+            }
+            EventKind::Sequenced { .. } => {
+                self.metrics.inc("gcs/sequenced", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "sequenced"), 1);
+            }
+            EventKind::Delivered { .. } => {
+                self.metrics.inc("gcs/delivered", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "delivered"), 1);
+            }
+            EventKind::ViewInstalled { .. } => {
+                self.metrics.inc("gcs/view_installed", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "view_installed"), 1);
+            }
             EventKind::HandlerSpan { wait } => {
                 self.metrics
                     .observe_ms("cpu/busy_ms", ev.dur.as_millis_f64());
                 self.metrics.observe_ms("cpu/wait_ms", wait.as_millis_f64());
+                self.hub
+                    .observe(Key::new(Layer::Sim, "busy_ms"), ev.dur.as_millis_f64());
+                self.hub
+                    .observe(Key::new(Layer::Sim, "wait_ms"), wait.as_millis_f64());
             }
-            EventKind::MembershipEvent { .. } => self.metrics.inc("membership/events", 1),
+            EventKind::MembershipEvent { action, .. } => {
+                self.metrics.inc("membership/events", 1);
+                let key = Key::new(Layer::Harness, action);
+                self.hub.inc(key, 1);
+                if ev.dur > Duration::ZERO {
+                    self.hub.observe(key, ev.dur.as_millis_f64());
+                }
+            }
             EventKind::Fault { action, .. } => {
                 self.metrics.inc(&format!("fault/{action}"), 1);
+                self.hub.inc(Key::new(Layer::Gcs, action), 1);
             }
         }
         self.events.push(ev);
@@ -363,6 +402,16 @@ impl Recorder {
     /// counters that have no event representation).
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
+    }
+
+    /// The typed metrics hub.
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Mutable access to the typed metrics hub.
+    pub fn hub_mut(&mut self) -> &mut MetricsHub {
+        &mut self.hub
     }
 }
 
@@ -437,6 +486,44 @@ impl Telemetry {
     /// Current value of a counter (zero when disabled or absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.with(|r| r.metrics().counter(name)).unwrap_or(0)
+    }
+
+    /// Adds `by` to a typed counter. [`Key`] construction is
+    /// allocation-free, so callers build keys unconditionally; a
+    /// disabled handle pays one branch.
+    #[inline]
+    pub fn metric_inc(&self, key: Key, by: u64) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().hub.inc(key, by);
+        }
+    }
+
+    /// Records the sample produced by `f` into a typed histogram —
+    /// `f` only runs when enabled.
+    #[inline]
+    pub fn metric_observe(&self, key: Key, f: impl FnOnce() -> f64) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().hub.observe(key, f());
+        }
+    }
+
+    /// Raises a typed gauge to the value produced by `f` (peak
+    /// tracking) — `f` only runs when enabled.
+    #[inline]
+    pub fn gauge_max(&self, key: Key, f: impl FnOnce() -> f64) {
+        if let Some(rec) = &self.inner {
+            rec.borrow_mut().hub.gauge_max(key, f());
+        }
+    }
+
+    /// Current value of a typed counter (zero when disabled or absent).
+    pub fn metric(&self, key: Key) -> u64 {
+        self.with(|r| r.hub.counter(key)).unwrap_or(0)
+    }
+
+    /// Clones the typed metrics hub (empty when disabled).
+    pub fn hub_snapshot(&self) -> MetricsHub {
+        self.with(|r| r.hub.clone()).unwrap_or_default()
     }
 }
 

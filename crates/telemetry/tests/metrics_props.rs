@@ -1,0 +1,101 @@
+//! Property tests for the typed metrics layer: histogram merging must
+//! be exactly associative and commutative (integer bucket sums, IEEE
+//! min/max), because the manifest writer folds per-protocol hubs in
+//! whatever order the harness produces them and the `bench-diff` gate
+//! compares the rendered bytes.
+
+use gkap_telemetry::metrics::{Key, Layer, LogHistogram, MetricsHub};
+use proptest::prelude::*;
+
+/// Millisecond-scale samples spanning underflow (< 10 µs) through the
+/// far tail.
+fn sample(raw: u64) -> f64 {
+    // Map 0..10_000 to [0.001, ~100_000) ms, log-ish coverage.
+    let x = (raw % 10_000) as f64;
+    0.001 * (1.0 + x) * (1.0 + (raw % 7) as f64 * x)
+}
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::default();
+    for &s in samples {
+        h.record(sample(s));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(0u64..1_000_000, 0..200),
+                            b in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        prop_assert!(ab.merge(&hb));
+        let mut ba = hb.clone();
+        prop_assert!(ba.merge(&ha));
+        prop_assert_eq!(&ab, &ba, "a∪b must equal b∪a bit for bit");
+        prop_assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(0u64..1_000_000, 0..120),
+                            b in proptest::collection::vec(0u64..1_000_000, 0..120),
+                            c in proptest::collection::vec(0u64..1_000_000, 0..120)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        prop_assert!(left.merge(&hb));
+        prop_assert!(left.merge(&hc));
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        prop_assert!(bc.merge(&hc));
+        let mut right = ha.clone();
+        prop_assert!(right.merge(&bc));
+        prop_assert_eq!(&left, &right, "merge grouping must not matter");
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording(a in proptest::collection::vec(0u64..1_000_000, 0..200),
+                                   b in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut merged = hist_of(&a);
+        prop_assert!(merged.merge(&hist_of(&b)));
+        let mut bulk = LogHistogram::default();
+        for &s in a.iter().chain(&b) {
+            bulk.record(sample(s));
+        }
+        prop_assert_eq!(&merged, &bulk, "merging shards equals recording the union");
+    }
+
+    #[test]
+    fn hub_merge_is_commutative(a in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..100),
+                                b in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..100)) {
+        const KEYS: [Key; 4] = [
+            Key::new(Layer::Harness, "rekey_ms"),
+            Key::new(Layer::Crypto, "exp"),
+            Key::new(Layer::Gcs, "sequenced"),
+            Key::new(Layer::Sim, "busy_ms"),
+        ];
+        let hub_of = |entries: &[(u64, u64)]| {
+            let mut hub = MetricsHub::new();
+            for &(k, v) in entries {
+                let key = KEYS[(k % 4) as usize];
+                hub.inc(key, v % 17);
+                hub.observe(key, sample(v));
+                hub.gauge_max(key, sample(v));
+            }
+            hub
+        };
+        let (ha, hb) = (hub_of(&a), hub_of(&b));
+        let mut ab = ha.clone();
+        prop_assert!(ab.merge(&hb));
+        let mut ba = hb.clone();
+        prop_assert!(ba.merge(&ha));
+        for key in KEYS {
+            prop_assert_eq!(ab.counter(key), ba.counter(key));
+            prop_assert_eq!(ab.gauge(key), ba.gauge(key));
+            prop_assert_eq!(
+                ab.histogram(key).map(LogHistogram::summary),
+                ba.histogram(key).map(LogHistogram::summary)
+            );
+        }
+    }
+}
