@@ -362,9 +362,12 @@ fn cmd_ext_scale(
     Ok(())
 }
 
-/// `scale`: the multi-group workload — N concurrent groups on one
-/// ring, batched membership churn, throughput/latency CSV per
-/// protocol. Bit-identical across `--jobs` values, manifest included.
+/// `scale`: the multi-group workload — N concurrent groups
+/// partitioned over `--shards` independent rings, batched membership
+/// churn, throughput/latency CSV per protocol. Bit-identical across
+/// every `--jobs` x `--shards` combination, manifest body included;
+/// per-shard busy and barrier-wait times land in the manifest
+/// environment block.
 fn cmd_scale(opts: &cli::CliOptions, con: &mut Console, man: &mut Manifest) -> Result<(), String> {
     let protocol = match opts.protocol.as_deref() {
         Some(name) => Some(scale::parse_protocol(name).ok_or_else(|| {
@@ -379,8 +382,11 @@ fn cmd_scale(opts: &cli::CliOptions, con: &mut Console, man: &mut Manifest) -> R
         protocol,
         seed: opts.seed,
         jobs: opts.jobs,
+        shards: opts.shards,
     };
-    let rows = scale::run_all(&sopts);
+    let outcome = scale::run_all_timed(&sopts);
+    let rows = outcome.rows;
+    man.set_shard_timing(sopts.shards.max(1), &outcome.shard_busy_ns);
     con.say(scale::scale_table(&sopts, &rows));
     let csv_name = format!("scale_g{}_s{}.csv", sopts.groups, sopts.seed);
     let path = write_output(&out_dir(), &csv_name, &scale::scale_csv(&sopts, &rows))?;
@@ -669,6 +675,12 @@ fn run_step(
         _ => return Ok(false),
     }
     let wall_s = t0.elapsed().as_secs_f64();
+    // Wall-clock busy time, not CPU time: `run_indexed` brackets each
+    // cell with `Instant`, so this is the serial-equivalent cost only
+    // while workers hold their own core. With `--jobs` now clamped to
+    // the hardware the usual overstatement (oversubscription) cannot
+    // happen, but other processes competing for the machine can still
+    // inflate it — treat it as an upper bound on compute.
     let serial_equivalent_s = gkap_core::par::take_busy_nanos() as f64 / 1e9;
     man.fill_environment(jobs, wall_s);
     let man_path = man.write_to(&out_dir())?;
@@ -688,7 +700,7 @@ const USAGE: &str = "commands: all table1 testbed microlan microwan fig11 fig12 
      partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl \
      ablate-hetero ablate-confirm lossy ika ext-scale trace <figure> [--folded] \
      trace-summary <figure> chaos [--seed N] [--runs N] \
-     scale [--groups N] [--churn R] [--window MS] [--protocol NAME] [--seed N] \
+     scale [--groups N] [--churn R] [--window MS] [--protocol NAME] [--seed N] [--shards N] \
      bench-diff <baseline.json> <candidate.json> \
      [--reps N] [--jobs N] [--quiet]";
 

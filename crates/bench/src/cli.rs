@@ -43,6 +43,9 @@ pub struct CliOptions {
     /// Restrict `scale` to one protocol (`--protocol NAME`; all five
     /// when absent).
     pub protocol: Option<String>,
+    /// Independent ring shards for `scale` (`--shards N`, default 1).
+    /// A pure execution knob: output is bit-identical for any value.
+    pub shards: usize,
 }
 
 impl Default for CliOptions {
@@ -61,6 +64,7 @@ impl Default for CliOptions {
             churn: 0.1,
             window_ms: 5.0,
             protocol: None,
+            shards: 1,
         }
     }
 }
@@ -155,6 +159,19 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 i += 1;
                 let v = args.get(i).ok_or("--protocol requires a name")?;
                 opts.protocol = Some(v.clone());
+            }
+            "--shards" => {
+                i += 1;
+                let v = args.get(i).ok_or("--shards requires a value")?;
+                let shards: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid --shards value: {v}"))?;
+                if shards == 0 {
+                    return Err(
+                        "--shards must be at least 1 (use --shards 1 for a single ring)".into(),
+                    );
+                }
+                opts.shards = shards;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             pos => positional.push(pos),
@@ -266,6 +283,34 @@ mod tests {
         assert!(parse(&args(&["--churn", "NaN"])).is_err());
         assert!(parse(&args(&["--window", "-2"])).is_err());
         assert!(parse(&args(&["--protocol"])).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().shards, 1, "single ring by default");
+        for argv in [["scale", "--shards", "4"], ["--shards", "4", "scale"]] {
+            let o = parse(&args(&argv)).unwrap();
+            assert_eq!((o.cmd.as_str(), o.shards), ("scale", 4), "{argv:?}");
+        }
+        let err = parse(&args(&["scale", "--shards", "0"])).unwrap_err();
+        assert!(err.contains("--shards must be at least 1"), "{err}");
+        assert!(parse(&args(&["--shards"])).is_err());
+        assert!(parse(&args(&["--shards", "many"])).is_err());
+    }
+
+    #[test]
+    fn gkap_jobs_env_is_the_default_and_the_flag_wins() {
+        // One test owns the variable end to end, so the parallel test
+        // runner never sees it set outside this scope.
+        std::env::set_var("GKAP_JOBS", "3");
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.jobs, 3, "GKAP_JOBS sets the default worker count");
+        let o = parse(&args(&["scale", "--jobs", "5"])).unwrap();
+        assert_eq!(o.jobs, 5, "an explicit --jobs beats the environment");
+        std::env::set_var("GKAP_JOBS", "0");
+        let o = parse(&[]).unwrap();
+        assert!(o.jobs >= 1, "a nonsense GKAP_JOBS falls back to hardware");
+        std::env::remove_var("GKAP_JOBS");
     }
 
     #[test]

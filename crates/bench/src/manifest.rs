@@ -41,6 +41,18 @@ pub struct Environment {
     pub wall_s: f64,
     /// Peak resident set size in kB (0 where `/proc` is unavailable).
     pub peak_rss_kb: u64,
+    /// Ring shards the run's sharded phase used (`--shards`; 0 for
+    /// commands without one). Environment-only by design: the
+    /// deterministic body must stay bit-identical across shard counts.
+    pub shards: u64,
+    /// Per-shard worker compute, wall-clock seconds. Like the global
+    /// busy counter this is wall time, so it overstates compute when
+    /// the host is oversubscribed.
+    pub shard_busy_s: Vec<f64>,
+    /// Per-shard wait at the merge barrier: the slowest shard's busy
+    /// time minus this shard's own — how long its worker would idle
+    /// before the fold if nothing else were queued.
+    pub shard_barrier_wait_s: Vec<f64>,
 }
 
 /// One run's metrics record. Field order here is the JSON key order.
@@ -154,7 +166,21 @@ impl Manifest {
             jobs: jobs as u64,
             wall_s,
             peak_rss_kb: peak_rss_kb(),
+            ..std::mem::take(&mut self.environment)
         };
+    }
+
+    /// Records the sharded phase's execution attribution: shard count,
+    /// per-shard busy wall seconds, and each shard's wait at the merge
+    /// barrier (the slowest shard's busy time minus its own). All of
+    /// it lands in the environment block only — shard count is an
+    /// execution knob and must never reach the deterministic body.
+    pub fn set_shard_timing(&mut self, shards: usize, busy_ns: &[u64]) {
+        let max = busy_ns.iter().copied().max().unwrap_or(0);
+        self.environment.shards = shards as u64;
+        self.environment.shard_busy_s = busy_ns.iter().map(|&n| n as f64 / 1e9).collect();
+        self.environment.shard_barrier_wait_s =
+            busy_ns.iter().map(|&n| (max - n) as f64 / 1e9).collect();
     }
 
     /// Renders only the deterministic body — the part that must be
@@ -204,7 +230,21 @@ impl Manifest {
             let _ = writeln!(s, "    \"git_rev\": {},", json_string(&e.git_rev));
             let _ = writeln!(s, "    \"jobs\": {},", e.jobs);
             let _ = writeln!(s, "    \"wall_s\": {},", json_f64(e.wall_s));
-            let _ = writeln!(s, "    \"peak_rss_kb\": {}", e.peak_rss_kb);
+            let _ = write!(s, "    \"peak_rss_kb\": {}", e.peak_rss_kb);
+            if e.shards > 0 {
+                let _ = write!(s, ",\n    \"shards\": {}", e.shards);
+                let _ = write!(
+                    s,
+                    ",\n    \"shard_busy_s\": {}",
+                    json_f64_array(&e.shard_busy_s)
+                );
+                let _ = write!(
+                    s,
+                    ",\n    \"shard_barrier_wait_s\": {}",
+                    json_f64_array(&e.shard_barrier_wait_s)
+                );
+            }
+            s.push('\n');
             let _ = write!(s, "  }}");
             for (k, raw) in &self.legacy {
                 let _ = write!(s, ",\n  {}: {}", json_string(k), raw);
@@ -305,6 +345,15 @@ impl Manifest {
                 peak_rss_kb: json::get(env, "peak_rss_kb")
                     .and_then(json::Value::as_u64)
                     .unwrap_or(0),
+                shards: json::get(env, "shards")
+                    .and_then(json::Value::as_u64)
+                    .unwrap_or(0),
+                shard_busy_s: json::get(env, "shard_busy_s")
+                    .map(f64_array)
+                    .unwrap_or_default(),
+                shard_barrier_wait_s: json::get(env, "shard_barrier_wait_s")
+                    .map(f64_array)
+                    .unwrap_or_default(),
             };
         }
         Ok(m)
@@ -347,6 +396,28 @@ fn json_f64(v: f64) -> String {
         format!("{v:.6}")
     } else {
         "0.000000".to_string()
+    }
+}
+
+/// Fixed-precision float array rendering, matching [`json_f64`].
+fn json_f64_array(vs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_f64(*v));
+    }
+    out.push(']');
+    out
+}
+
+/// Reads a JSON array of numbers; anything else yields an empty list
+/// and non-numeric elements are skipped (total over arbitrary input).
+fn f64_array(v: &json::Value) -> Vec<f64> {
+    match v.as_arr() {
+        Some(items) => items.iter().filter_map(json::Value::as_f64).collect(),
+        None => Vec::new(),
     }
 }
 
@@ -488,6 +559,14 @@ pub mod json {
         pub fn as_obj(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Obj(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The value as an array's element list.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
                 _ => None,
             }
         }
@@ -728,7 +807,9 @@ mod tests {
             jobs: 4,
             wall_s: 1.25,
             peak_rss_kb: 20_480,
+            ..Environment::default()
         };
+        m.set_shard_timing(2, &[1_500_000_000, 2_000_000_000]);
         let text = m.to_json();
         let back = Manifest::parse(&text).expect("parses");
         assert_eq!(back.schema_version, SCHEMA_VERSION);
@@ -743,6 +824,9 @@ mod tests {
         assert_eq!(back.environment.git_rev, "abc123");
         assert_eq!(back.environment.jobs, 4);
         assert_eq!(back.environment.peak_rss_kb, 20_480);
+        assert_eq!(back.environment.shards, 2);
+        assert_eq!(back.environment.shard_busy_s, vec![1.5, 2.0]);
+        assert_eq!(back.environment.shard_barrier_wait_s, vec![0.5, 0.0]);
         assert_eq!(back.virtual_ms, 250.0);
     }
 

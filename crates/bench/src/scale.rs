@@ -1,17 +1,27 @@
-//! The `repro scale` workload: N concurrent groups per protocol on
-//! one LAN ring, batched membership churn, throughput/latency CSV.
+//! The `repro scale` workload: N concurrent groups per protocol,
+//! partitioned across independent ring shards, batched membership
+//! churn, throughput/latency CSV.
 //!
 //! The CSV is a deterministic function of (groups, churn, window,
-//! seed): protocols fan out over worker threads via
-//! [`gkap_core::par::run_indexed`], which returns results in protocol
-//! order regardless of `--jobs`, and each run is a serial
-//! discrete-event simulation — so the bytes written are identical for
-//! any jobs value and across repeated runs.
+//! seed): `(protocol, shard)` cells fan out over worker threads via
+//! [`gkap_core::par::run_indexed`] — one *flat* fan-out, so the
+//! busy-time counter brackets each cell exactly once — results come
+//! back in index order regardless of `--jobs`, and every group is a
+//! self-contained serial simulation folded in group-ascending order
+//! by [`gkap_core::scale::assemble`]. The bytes written are therefore
+//! identical for any `--jobs` x `--shards` combination and across
+//! repeated runs; per-shard wall-clock attribution goes to the
+//! manifest *environment* block only.
+
+use std::time::Instant;
 
 use crate::manifest::Manifest;
+use gkap_core::batch::EventBatcher;
 use gkap_core::par;
 use gkap_core::protocols::ProtocolKind;
-use gkap_core::scale::{percentile, run, ScaleConfig, ScaleRun};
+use gkap_core::scale::{
+    assemble, generate_schedule, percentile, run_shard, GroupOutcome, ScaleConfig, ScaleRun,
+};
 use gkap_sim::Duration;
 
 /// Parses a protocol name as the CLI accepts it (case-insensitive
@@ -35,8 +45,11 @@ pub struct ScaleOptions {
     pub protocol: Option<ProtocolKind>,
     /// Schedule and member seed.
     pub seed: u64,
-    /// Worker threads for the per-protocol fan-out.
+    /// Worker threads for the `(protocol, shard)` cell fan-out.
     pub jobs: usize,
+    /// Independent ring shards per protocol (1 = single ring). A pure
+    /// execution knob: results are bit-identical for any value.
+    pub shards: usize,
 }
 
 /// One CSV row: a protocol's scale run boiled down to the throughput
@@ -49,27 +62,76 @@ pub struct ScaleRow {
     pub run: ScaleRun,
 }
 
+/// Scale rows plus the execution attribution the manifest records in
+/// its environment block.
+#[derive(Clone, Debug)]
+pub struct ScaleOutcome {
+    /// One row per protocol, in Table 1 order.
+    pub rows: Vec<ScaleRow>,
+    /// Wall-clock nanoseconds each shard's cells spent computing,
+    /// summed over protocols. Indexed by shard.
+    pub shard_busy_ns: Vec<u64>,
+}
+
 /// Runs the scale workload for every selected protocol, in Table 1
-/// order. Deterministic across `jobs` values: the fan-out preserves
-/// index order and each run is self-contained.
-pub fn run_all(opts: &ScaleOptions) -> Vec<ScaleRow> {
+/// order. Deterministic across `jobs` and `shards`: the fan-out
+/// preserves index order, each group is self-contained, and the fold
+/// is canonical — only `shard_busy_ns` (wall clock, environment-only)
+/// varies between runs.
+pub fn run_all_timed(opts: &ScaleOptions) -> ScaleOutcome {
     let protocols: Vec<ProtocolKind> = match opts.protocol {
         Some(p) => vec![p],
         None => ProtocolKind::all().to_vec(),
     };
+    let shards = opts.shards.max(1);
     let window = Duration::from_millis_f64(opts.window_ms);
-    let runs = par::run_indexed(opts.jobs, protocols.len(), |i| {
-        let mut cfg = ScaleConfig::lan(protocols[i], opts.groups);
-        cfg.churn = opts.churn;
-        cfg.window = window;
-        cfg.seed = opts.seed;
-        run(&cfg)
+    let prepped: Vec<_> = protocols
+        .iter()
+        .map(|&p| {
+            let mut cfg = ScaleConfig::lan(p, opts.groups);
+            cfg.churn = opts.churn;
+            cfg.window = window;
+            cfg.seed = opts.seed;
+            let schedule = generate_schedule(&cfg);
+            let batches = EventBatcher::new(cfg.window).coalesce(&schedule.events);
+            (cfg, schedule, batches)
+        })
+        .collect();
+    // One flat `(protocol, shard)` fan-out: nesting run_indexed would
+    // bracket inner cells twice in the busy-time counter.
+    let cells = par::run_indexed(opts.jobs, protocols.len() * shards, |i| {
+        let (cfg, schedule, batches) = &prepped[i / shards];
+        let t0 = Instant::now();
+        let outcomes = run_shard(cfg, schedule, batches, shards, i % shards);
+        (outcomes, t0.elapsed().as_nanos() as u64)
     });
-    protocols
-        .into_iter()
-        .zip(runs)
-        .map(|(protocol, run)| ScaleRow { protocol, run })
-        .collect()
+    let mut shard_busy_ns = vec![0u64; shards];
+    let mut per_protocol: Vec<Vec<GroupOutcome>> = protocols.iter().map(|_| Vec::new()).collect();
+    for (i, (o, ns)) in cells.into_iter().enumerate() {
+        shard_busy_ns[i % shards] += ns;
+        per_protocol[i / shards].extend(o);
+    }
+    let rows = prepped
+        .iter()
+        .zip(&protocols)
+        .zip(per_protocol)
+        .map(
+            |(((cfg, schedule, batches), &protocol), outcomes)| ScaleRow {
+                protocol,
+                run: assemble(cfg, schedule, batches, outcomes),
+            },
+        )
+        .collect();
+    ScaleOutcome {
+        rows,
+        shard_busy_ns,
+    }
+}
+
+/// [`run_all_timed`] without the attribution, for callers that only
+/// want the deterministic rows.
+pub fn run_all(opts: &ScaleOptions) -> Vec<ScaleRow> {
+    run_all_timed(opts).rows
 }
 
 /// CSV of the scale rows, fixed-precision so equal runs render equal
@@ -189,6 +251,7 @@ mod tests {
             protocol: Some(ProtocolKind::Bd),
             seed: 7,
             jobs: 1,
+            shards: 1,
         };
         let a = scale_csv(&opts, &run_all(&opts));
         let b = scale_csv(&opts, &run_all(&opts));

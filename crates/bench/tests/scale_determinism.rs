@@ -1,16 +1,23 @@
 //! The multi-group workload's determinism contract: the `repro scale`
-//! CSV is a function of (groups, churn, window, seed) alone — `--jobs`
-//! must not change a single byte, and two same-seed runs must render
-//! identical output. The run manifest inherits the same contract: its
-//! deterministic body (config, counts, histograms, virtual time) must
-//! be bit-identical across `--jobs`, and `bench-diff` over two
+//! CSV is a function of (groups, churn, window, seed) alone — neither
+//! `--jobs` nor `--shards` may change a single byte, and two
+//! same-seed runs must render identical output. The run manifest
+//! inherits the same contract: its deterministic body (config,
+//! counts, histograms, virtual time) must be bit-identical across
+//! every `--jobs` x `--shards` combination, and `bench-diff` over two
 //! same-seed manifests must report zero regressions while a seeded
 //! slowdown is flagged.
 
 use gkap_bench::diff::{diff, render, Thresholds};
-use gkap_bench::scale::{run_all, scale_csv, scale_manifest, scale_table, ScaleOptions};
+use gkap_bench::scale::{
+    run_all, run_all_timed, scale_csv, scale_manifest, scale_table, ScaleOptions,
+};
 
 fn opts(jobs: usize) -> ScaleOptions {
+    sharded_opts(jobs, 1)
+}
+
+fn sharded_opts(jobs: usize, shards: usize) -> ScaleOptions {
     ScaleOptions {
         groups: 12,
         churn: 0.5,
@@ -18,43 +25,60 @@ fn opts(jobs: usize) -> ScaleOptions {
         protocol: None, // all five protocols
         seed: 7,
         jobs,
+        shards,
     }
 }
 
 #[test]
-fn scale_csv_identical_jobs_1_vs_jobs_4() {
+fn scale_csv_identical_across_jobs_and_shards() {
     let o1 = opts(1);
-    let o4 = opts(4);
     let serial = scale_csv(&o1, &run_all(&o1));
-    let par = scale_csv(&o4, &run_all(&o4));
-    assert_eq!(serial, par, "scale CSV must be bit-identical across --jobs");
     // header + one row per protocol
     assert_eq!(serial.lines().count(), 6);
+    for (jobs, shards) in [(4, 1), (1, 4), (4, 4), (2, 3)] {
+        let o = sharded_opts(jobs, shards);
+        let got = scale_csv(&o, &run_all(&o));
+        assert_eq!(
+            serial, got,
+            "scale CSV must be bit-identical at --jobs {jobs} --shards {shards}"
+        );
+    }
 }
 
 /// The acceptance gate for the manifest layer: the acceptance-criteria
 /// config (`repro scale --groups 64 --seed 7`) must render a
 /// deterministic manifest body — config, op counts, phase histograms,
-/// virtual time — that is bit-identical across `--jobs 1` and
-/// `--jobs 4`. Only `environment` (wall time, rss, jobs) may differ,
-/// which is exactly why `deterministic_json()` excludes it.
+/// virtual time — that is bit-identical across every
+/// `--jobs {1,4}` x `--shards {1,4}` combination. Only `environment`
+/// (wall time, rss, jobs, per-shard attribution) may differ, which is
+/// exactly why `deterministic_json()` excludes it.
 #[test]
-fn scale_manifest_bit_identical_across_jobs() {
-    let mut o1 = opts(1);
-    let mut o4 = opts(4);
-    for o in [&mut o1, &mut o4] {
-        o.groups = 64;
-        o.churn = 0.1; // the CLI defaults for `repro scale`
+fn scale_manifest_bit_identical_across_jobs_and_shards() {
+    let grid: Vec<_> = [(1, 1), (4, 1), (1, 4), (4, 4)]
+        .into_iter()
+        .map(|(jobs, shards)| {
+            let mut o = sharded_opts(jobs, shards);
+            o.groups = 64;
+            o.churn = 0.1; // the CLI defaults for `repro scale`
+            let outcome = run_all_timed(&o);
+            assert_eq!(
+                outcome.shard_busy_ns.len(),
+                shards,
+                "one busy-time slot per shard"
+            );
+            (scale_manifest(&o, &outcome.rows), o)
+        })
+        .collect();
+    let (m1, _) = &grid[0];
+    for (m, o) in &grid[1..] {
+        assert_eq!(
+            m1.deterministic_json(),
+            m.deterministic_json(),
+            "scale manifest body must be bit-identical at --jobs {} --shards {}",
+            o.jobs,
+            o.shards
+        );
     }
-    let rows1 = run_all(&o1);
-    let rows4 = run_all(&o4);
-    let m1 = scale_manifest(&o1, &rows1);
-    let m4 = scale_manifest(&o4, &rows4);
-    assert_eq!(
-        m1.deterministic_json(),
-        m4.deterministic_json(),
-        "scale manifest body must be bit-identical across --jobs"
-    );
     assert_eq!(m1.tag, "g64_s7");
     assert!(!m1.histograms.is_empty(), "phase histograms recorded");
     assert!(

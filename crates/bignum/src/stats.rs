@@ -44,6 +44,18 @@ impl KernelOps {
         }
     }
 
+    /// Element-wise sum: folds another delta into this one. Counts
+    /// are plain integers, so merging is associative and commutative —
+    /// per-shard deltas can be summed in any order and the total
+    /// equals the single-bracket count of the same work.
+    pub fn merge(&mut self, other: &KernelOps) {
+        self.mont_mul += other.mont_mul;
+        self.mont_sqr += other.mont_sqr;
+        self.redc += other.redc;
+        self.modexp += other.modexp;
+        self.fixed_base_exp += other.fixed_base_exp;
+    }
+
     /// `(name, count)` pairs in a fixed order, for manifest rendering.
     pub fn entries(&self) -> [(&'static str, u64); 5] {
         [

@@ -1,0 +1,78 @@
+//! Property tests for the per-shard delta merges the sharded scale
+//! engine relies on: summing [`KernelOps`] deltas must be associative
+//! and commutative, and must equal the single-bracket count of the
+//! same work — otherwise the manifest's crypto op counts would depend
+//! on how groups were partitioned over shards.
+
+use gkap_bignum::stats::KernelOps;
+use proptest::prelude::*;
+
+/// Five counts, bounded so any fold of the generated deltas stays far
+/// from `u64` overflow.
+fn delta() -> impl Strategy<Value = KernelOps> {
+    const N: u64 = 1 << 40;
+    (0..N, 0..N, 0..N, 0..N, 0..N).prop_map(|(mont_mul, mont_sqr, redc, modexp, fixed_base_exp)| {
+        KernelOps {
+            mont_mul,
+            mont_sqr,
+            redc,
+            modexp,
+            fixed_base_exp,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn kernel_ops_merge_is_commutative(a in delta(), b in delta()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba, "a+b must equal b+a");
+    }
+
+    #[test]
+    fn kernel_ops_merge_is_associative(a in delta(), b in delta(), c in delta()) {
+        // (a + b) + c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right, "merge grouping must not matter");
+    }
+
+    /// Merging per-shard deltas reproduces what one bracket around the
+    /// whole run would have counted: fold a list in any split and the
+    /// totals match the element-wise sum.
+    #[test]
+    fn kernel_ops_fold_equals_single_bracket(
+        deltas in proptest::collection::vec(delta(), 1..20),
+        split in 0usize..20,
+    ) {
+        let mut folded = KernelOps::default();
+        for d in &deltas {
+            folded.merge(d);
+        }
+        let mid = split % deltas.len();
+        let (xs, ys) = deltas.split_at(mid);
+        let mut left = KernelOps::default();
+        for d in xs {
+            left.merge(d);
+        }
+        let mut right = KernelOps::default();
+        for d in ys {
+            right.merge(d);
+        }
+        left.merge(&right);
+        prop_assert_eq!(folded, left);
+        prop_assert_eq!(
+            folded.total(),
+            deltas.iter().map(KernelOps::total).sum::<u64>()
+        );
+    }
+}

@@ -271,6 +271,11 @@ pub struct SimWorld {
     /// Virtual instant of the previous completed token rotation, for
     /// the rotation-interval histogram.
     last_rotation_at: Option<SimTime>,
+    /// When `true` (the default), [`SimWorld::run_until`] skips whole
+    /// idle token rotations analytically instead of dispatching each
+    /// hop as an event. Observable state is identical either way; see
+    /// [`SimWorld::set_idle_fast_forward`].
+    idle_fast_forward: bool,
     /// Telemetry sink (disabled by default; recording never advances
     /// virtual time, so enabling it cannot change simulation results).
     telemetry: Telemetry,
@@ -333,6 +338,7 @@ impl SimWorld {
             loss_rng: SplitMix64::new(cfg.loss_seed),
             token_gen: 0,
             last_rotation_at: None,
+            idle_fast_forward: true,
             loss_burst: None,
             telemetry: Telemetry::disabled(),
             cfg,
@@ -816,6 +822,7 @@ impl SimWorld {
     /// workload drivers to reach a scheduled injection instant. A `t`
     /// in the past is a no-op.
     pub fn run_until(&mut self, t: SimTime) {
+        self.try_fast_forward_idle(t);
         while self.queue.peek_time().is_some_and(|pt| pt <= t) {
             let Some((_, ev)) = self.queue.pop() else {
                 break;
@@ -825,6 +832,93 @@ impl SimWorld {
             }
             self.dispatch(ev);
         }
+    }
+
+    /// Enables or disables the idle-token fast-forward (on by
+    /// default). When the world is quiescent, an idle token visit only
+    /// performs ring-head bookkeeping and forwards itself, so
+    /// [`SimWorld::run_until`] can skip whole rotations analytically —
+    /// the final partial rotation is always stepped, which makes the
+    /// clock, stats, and every future event instant identical to the
+    /// fully stepped execution. Disable to force stepping (e.g. when
+    /// comparing the two paths).
+    pub fn set_idle_fast_forward(&mut self, on: bool) {
+        self.idle_fast_forward = on;
+    }
+
+    /// Skips whole idle token rotations up to (but never beyond) `t`.
+    ///
+    /// Applies only in the strictly idle regime: the world is
+    /// quiescent, telemetry is off (an enabled sink counts per-event
+    /// dispatches, which skipping would under-report), and the queue
+    /// holds exactly the one live token. A full rotation then costs
+    /// `sum(hop + token_processing)` around the ring and its only
+    /// effects are `token_rotations` and `last_rotation_at`, which are
+    /// replayed analytically; the token event is moved forward by a
+    /// whole number of periods so the stepped tail reproduces the
+    /// exact event instants of a fully stepped run.
+    fn try_fast_forward_idle(&mut self, t: SimTime) {
+        if !self.idle_fast_forward || self.telemetry.is_enabled() {
+            return;
+        }
+        if self.queue.len() != 1 || !self.quiescent() {
+            return;
+        }
+        if self.queue.peek_time().is_none_or(|pt| pt > t) {
+            return;
+        }
+        let Some((a0, ev)) = self.queue.pop() else {
+            return;
+        };
+        let Ev::Token { daemon, gen } = ev else {
+            self.queue.schedule_at(a0, ev);
+            return;
+        };
+        let put_back = Ev::Token { daemon, gen };
+        if gen != self.token_gen || !self.daemons[daemon].alive {
+            self.queue.schedule_at(a0, put_back);
+            return;
+        }
+        let Some(pos0) = self.ring.iter().position(|&d| d == daemon) else {
+            self.queue.schedule_at(a0, put_back);
+            return;
+        };
+        // One idle rotation starting from `pos0`: per hop the token is
+        // held for `token_processing` (nothing is sequenced) and then
+        // travels the inter-machine latency. `offset` is the delay
+        // from `a0` until the ring head's arrival (zero when the token
+        // is already at the head: that arrival is `a0` itself).
+        let n = self.ring.len();
+        let mut period = Duration::ZERO;
+        let mut offset = Duration::ZERO;
+        for i in 0..n {
+            let p = self.ring[(pos0 + i) % n];
+            let q = self.ring[(pos0 + i + 1) % n];
+            let hop = self
+                .cfg
+                .topology
+                .machine_latency(self.daemons[p].machine, self.daemons[q].machine);
+            period = period + hop + self.cfg.token_processing;
+            if (pos0 + i + 1) % n == 0 && pos0 != 0 {
+                offset = period;
+            }
+        }
+        if period.as_nanos() == 0 {
+            self.queue.schedule_at(a0, put_back);
+            return;
+        }
+        let k = t.since(a0).as_nanos() / period.as_nanos();
+        if k == 0 {
+            self.queue.schedule_at(a0, put_back);
+            return;
+        }
+        // Head arrivals in `[a0, a0 + k*period)`: exactly `k` of them,
+        // at `a0 + offset + j*period` for `j` in `0..k`.
+        self.stats.token_rotations += k;
+        self.last_rotation_at =
+            Some(a0 + offset + Duration::from_nanos((k - 1) * period.as_nanos()));
+        self.queue
+            .schedule_at(a0 + Duration::from_nanos(k * period.as_nanos()), put_back);
     }
 
     /// Runs while `pred` returns `true` and work remains. Returns

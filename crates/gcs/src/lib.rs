@@ -74,6 +74,7 @@ mod config;
 mod engine;
 mod fault;
 mod message;
+mod shard;
 pub mod testbed;
 mod topology;
 
@@ -82,6 +83,7 @@ pub use config::GcsConfig;
 pub use engine::{SimWorld, TraceEvent, WorldStats};
 pub use fault::{Fault, FaultPlan, PlannedFault};
 pub use message::{Delivery, Dest, Service, View, ViewId};
+pub use shard::{ShardMap, ShardedWorld};
 pub use topology::{MachineCfg, SiteCfg, Topology};
 
 /// Client (group member process) identifier: index into the world's

@@ -68,22 +68,6 @@ proptest! {
     #[test]
     fn hub_merge_is_commutative(a in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..100),
                                 b in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..100)) {
-        const KEYS: [Key; 4] = [
-            Key::new(Layer::Harness, "rekey_ms"),
-            Key::new(Layer::Crypto, "exp"),
-            Key::new(Layer::Gcs, "sequenced"),
-            Key::new(Layer::Sim, "busy_ms"),
-        ];
-        let hub_of = |entries: &[(u64, u64)]| {
-            let mut hub = MetricsHub::new();
-            for &(k, v) in entries {
-                let key = KEYS[(k % 4) as usize];
-                hub.inc(key, v % 17);
-                hub.observe(key, sample(v));
-                hub.gauge_max(key, sample(v));
-            }
-            hub
-        };
         let (ha, hb) = (hub_of(&a), hub_of(&b));
         let mut ab = ha.clone();
         prop_assert!(ab.merge(&hb));
@@ -98,4 +82,50 @@ proptest! {
             );
         }
     }
+
+    /// Per-shard hub deltas merge in whatever grouping the fold uses;
+    /// the sharded scale engine merges group hubs one by one, so the
+    /// grouping (and a pre-merged intermediate) must be invisible.
+    #[test]
+    fn hub_merge_is_associative(a in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..80),
+                                b in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..80),
+                                c in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..80)) {
+        let (ha, hb, hc) = (hub_of(&a), hub_of(&b), hub_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        prop_assert!(left.merge(&hb));
+        prop_assert!(left.merge(&hc));
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        prop_assert!(bc.merge(&hc));
+        let mut right = ha.clone();
+        prop_assert!(right.merge(&bc));
+        for key in KEYS {
+            prop_assert_eq!(left.counter(key), right.counter(key));
+            prop_assert_eq!(left.gauge(key), right.gauge(key));
+            prop_assert_eq!(
+                left.histogram(key).map(LogHistogram::summary),
+                right.histogram(key).map(LogHistogram::summary)
+            );
+        }
+    }
+}
+
+const KEYS: [Key; 4] = [
+    Key::new(Layer::Harness, "rekey_ms"),
+    Key::new(Layer::Crypto, "exp"),
+    Key::new(Layer::Gcs, "sequenced"),
+    Key::new(Layer::Sim, "busy_ms"),
+];
+
+/// A hub exercising all three metric classes over a fixed key set.
+fn hub_of(entries: &[(u64, u64)]) -> MetricsHub {
+    let mut hub = MetricsHub::new();
+    for &(k, v) in entries {
+        let key = KEYS[(k % 4) as usize];
+        hub.inc(key, v % 17);
+        hub.observe(key, sample(v));
+        hub.gauge_max(key, sample(v));
+    }
+    hub
 }
