@@ -75,6 +75,12 @@ impl Config {
                     "crates/gcs/src/engine.rs",
                 ],
             ),
+            // The FEC codec sits on the engine's delivery path: decode
+            // runs on every parity-repaired gap, so it must degrade to
+            // `None`, never panic. Indexing stays out — the GF(256)
+            // tables are fixed-size and the shard loops are
+            // length-checked (same rationale as the figure builders).
+            ("L1-PANIC", &["crates/gcs/src/fec.rs"]),
             // The repro surface must degrade to error returns, never
             // panic — so the panic rule (and only it: indexing over
             // static tables is idiomatic in figure builders, so
@@ -318,6 +324,11 @@ mod tests {
         assert!(!cfg.in_scope("L1-PANIC", "crates/core/src/tree.rs"));
         assert!(cfg.in_scope("L4-HASH", "crates/sim/src/queue.rs"));
         assert!(!cfg.in_scope("L4-HASH", "crates/core/src/session.rs"));
+        // The FEC codec: panic-free (it feeds the delivery path) and
+        // deterministic, but not under the indexing rule.
+        assert!(cfg.in_scope("L1-PANIC", "crates/gcs/src/fec.rs"));
+        assert!(!cfg.in_scope("L1-INDEX", "crates/gcs/src/fec.rs"));
+        assert!(cfg.in_scope("L4-HASH", "crates/gcs/src/fec.rs"));
         // The bench crate is in scope for the panic rule only.
         assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/bin/repro.rs"));
         assert!(cfg.in_scope("L1-PANIC", "crates/bench/src/figures.rs"));

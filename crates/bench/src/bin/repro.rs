@@ -33,8 +33,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use gkap_bench::{
-    chaos, cli, diff, emit, figure_sizes, figures, manifest::Manifest, micro, scale, trace,
-    wan_sizes, write_output, Console,
+    chaos, cli, diff, emit, figure_sizes, figures, loss_sweep, manifest::Manifest, micro, scale,
+    trace, wan_sizes, write_output, Console,
 };
 use gkap_core::costs_table::render_table1;
 use gkap_core::experiment::SuiteKind;
@@ -540,6 +540,53 @@ fn cmd_chaos(seed: u64, runs: u32, con: &mut Console, man: &mut Manifest) -> Res
     Ok(())
 }
 
+/// `chaos --loss-sweep`: loss rates × {FEC, retransmission-only} ×
+/// protocols on both testbeds. Exits non-zero when any cell misses an
+/// invariant (liveness, view synchrony, key convergence).
+fn cmd_loss_sweep(
+    opts: &cli::CliOptions,
+    con: &mut Console,
+    man: &mut Manifest,
+) -> Result<(), String> {
+    let protocol = match opts.protocol.as_deref() {
+        Some(name) => Some(scale::parse_protocol(name).ok_or_else(|| {
+            format!("unknown protocol: {name} (expected gdh, tgdh, str, bd or ckd)")
+        })?),
+        None => None,
+    };
+    let sopts = loss_sweep::SweepOptions {
+        seed: opts.seed,
+        jobs: opts.jobs,
+        protocol,
+    };
+    let rows = loss_sweep::run_sweep(&sopts);
+    con.say(loss_sweep::sweep_table(sopts.seed, &rows));
+    let csv_name = format!("chaos_loss_s{}.csv", sopts.seed);
+    let path = write_output(
+        &out_dir(),
+        &csv_name,
+        &loss_sweep::sweep_csv(sopts.seed, &rows),
+    )?;
+    con.say(format!("[written: {}]", path.display()));
+    man.absorb(&loss_sweep::sweep_manifest(&sopts, &rows));
+    let failed: Vec<&loss_sweep::SweepRow> = rows.iter().filter(|r| !r.converged).collect();
+    if !failed.is_empty() {
+        for r in &failed {
+            con.say(format!(
+                "FAILED: {} {}% {} {} — invariant violated (replay with \
+                 `repro chaos --loss-sweep --seed {}`)",
+                r.net,
+                r.loss_pct,
+                r.mode.name(),
+                r.protocol,
+                sopts.seed
+            ));
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 /// `bench-diff <baseline> <candidate>`: the perf-regression gate.
 /// Exit codes: 0 pass, 1 regression(s), 2 usage/IO error.
 fn cmd_bench_diff(opts: &cli::CliOptions, con: &mut Console) -> Result<bool, String> {
@@ -625,6 +672,7 @@ const ALL_STEPS: [&str; 20] = [
 fn manifest_tag(cmd: &str, opts: &cli::CliOptions) -> String {
     match cmd {
         "scale" => format!("g{}_s{}", opts.groups, opts.seed),
+        "chaos" if opts.loss_sweep => format!("loss_s{}", opts.seed),
         "chaos" => format!("s{}_r{}", opts.seed, opts.runs),
         "trace" | "trace-summary" => opts.figure.clone().unwrap_or_else(|| "fig14".into()),
         _ => format!("r{}", opts.reps),
@@ -671,6 +719,7 @@ fn run_step(
             let figure = opts.figure.as_deref().unwrap_or("fig14");
             cmd_trace(figure, cmd == "trace", opts.folded, con, man)?;
         }
+        "chaos" if opts.loss_sweep => cmd_loss_sweep(opts, con, man)?,
         "chaos" => cmd_chaos(opts.seed, opts.runs, con, man)?,
         _ => return Ok(false),
     }
@@ -699,7 +748,7 @@ fn run_step(
 const USAGE: &str = "commands: all table1 testbed microlan microwan fig11 fig12 fig14 \
      partition-merge crossover ablate-flow ablate-sponsor ablate-tree ablate-sig ablate-avl \
      ablate-hetero ablate-confirm lossy ika ext-scale trace <figure> [--folded] \
-     trace-summary <figure> chaos [--seed N] [--runs N] \
+     trace-summary <figure> chaos [--seed N] [--runs N] [--loss-sweep [--protocol NAME]] \
      scale [--groups N] [--churn R] [--window MS] [--protocol NAME] [--seed N] [--shards N] \
      bench-diff <baseline.json> <candidate.json> \
      [--reps N] [--jobs N] [--quiet]";

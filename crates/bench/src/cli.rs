@@ -46,6 +46,10 @@ pub struct CliOptions {
     /// Independent ring shards for `scale` (`--shards N`, default 1).
     /// A pure execution knob: output is bit-identical for any value.
     pub shards: usize,
+    /// Run the loss-rate sweep variant of `chaos` (`--loss-sweep`):
+    /// loss rates × {FEC, retransmission-only} on the LAN and WAN
+    /// testbeds instead of the randomized fault campaign.
+    pub loss_sweep: bool,
 }
 
 impl Default for CliOptions {
@@ -65,6 +69,7 @@ impl Default for CliOptions {
             window_ms: 5.0,
             protocol: None,
             shards: 1,
+            loss_sweep: false,
         }
     }
 }
@@ -84,6 +89,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         match args[i].as_str() {
             "--quiet" | "-q" => opts.quiet = true,
             "--folded" => opts.folded = true,
+            "--loss-sweep" => opts.loss_sweep = true,
             "--reps" => {
                 i += 1;
                 let v = args.get(i).ok_or("--reps requires a value")?;
@@ -296,6 +302,20 @@ mod tests {
         assert!(err.contains("--shards must be at least 1"), "{err}");
         assert!(parse(&args(&["--shards"])).is_err());
         assert!(parse(&args(&["--shards", "many"])).is_err());
+    }
+
+    #[test]
+    fn loss_sweep_flag_parses_in_any_position() {
+        assert!(!parse(&[]).unwrap().loss_sweep, "off by default");
+        for argv in [
+            ["chaos", "--loss-sweep", "--seed", "7"],
+            ["--loss-sweep", "chaos", "--seed", "7"],
+        ] {
+            let o = parse(&args(&argv)).unwrap();
+            assert_eq!(o.cmd, "chaos", "{argv:?}");
+            assert!(o.loss_sweep, "{argv:?}");
+            assert_eq!(o.seed, 7, "{argv:?}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod chaos;
 pub mod cli;
 pub mod diff;
 pub mod figures;
+pub mod loss_sweep;
 pub mod manifest;
 pub mod micro;
 pub mod scale;

@@ -1,0 +1,410 @@
+//! The `repro chaos --loss-sweep` campaign: loss rates × {FEC,
+//! retransmission-only} × protocols on the LAN and WAN testbeds.
+//!
+//! Each cell runs one secure group end to end — initial key
+//! agreement, a join, a leave — under a seeded per-copy loss process,
+//! then checks the chaos invariants (quiescence, view synchrony, key
+//! convergence among survivors). The `fec` mode arms the engine's
+//! parity fan-out with a per-rate parity budget and a backoff long
+//! enough that local repair always wins the race against the request
+//! path; the `retrans` mode is the pre-FEC engine (parity 0, eager
+//! requests). Cells fan out over worker threads via
+//! [`gkap_core::par::run_indexed`] and every cell is a self-contained
+//! serial simulation, so the CSV and the manifest body are
+//! bit-identical for any `--jobs` (and trivially for `--shards`,
+//! which the sweep does not consume).
+
+use std::rc::Rc;
+
+use gkap_core::experiment::SuiteKind;
+use gkap_core::par;
+use gkap_core::protocols::ProtocolKind;
+use gkap_core::{AgreementPhase, SecureMember};
+use gkap_gcs::{testbed, GcsConfig, SimWorld};
+use gkap_sim::Duration;
+use gkap_telemetry::metrics::LogHistogram;
+
+use crate::manifest::Manifest;
+
+/// The swept loss rates, in percent.
+pub const LOSS_PCTS: [u32; 4] = [1, 5, 10, 20];
+
+/// Recovery mode of a sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Pre-FEC engine: parity 0, eager gap requests.
+    Retrans,
+    /// FEC-coded fan-out: per-rate parity budget, patient backoff.
+    Fec,
+}
+
+impl SweepMode {
+    /// The CSV spelling of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Retrans => "retrans",
+            SweepMode::Fec => "fec",
+        }
+    }
+}
+
+/// Parameters of one `repro chaos --loss-sweep` invocation.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Campaign seed (drives every cell's loss process).
+    pub seed: u64,
+    /// Worker threads for the cell fan-out.
+    pub jobs: usize,
+    /// Restrict to one protocol (all five when `None`).
+    pub protocol: Option<ProtocolKind>,
+}
+
+/// One sweep cell's identity and outcome — one CSV row.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Testbed name (`lan` or `wan`).
+    pub net: &'static str,
+    /// Loss rate in percent.
+    pub loss_pct: u32,
+    /// Recovery mode.
+    pub mode: SweepMode,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Daemon-to-daemon copies lost in transit.
+    pub lost: u64,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Token visits that issued at least one retransmission request.
+    pub retrans_rounds: u64,
+    /// Data messages reconstructed locally from parity.
+    pub fec_repairs: u64,
+    /// Parity shard copies dispatched.
+    pub parity_sent: u64,
+    /// Virtual ns of loss-recovery windows closed by FEC repair.
+    pub fec_repair_ns: u64,
+    /// Virtual ns of loss-recovery windows closed by retransmission.
+    pub retransmission_ns: u64,
+    /// Virtual ms from t=0 to quiescence after the final change.
+    pub elapsed_ms: f64,
+    /// Whether the cell held every invariant (quiescence, view
+    /// synchrony, key convergence, nobody gave up).
+    pub converged: bool,
+}
+
+impl SweepRow {
+    /// Total recovery time: the two attribution buckets sum exactly
+    /// into it by construction.
+    pub fn recovery_ns(&self) -> u64 {
+        self.fec_repair_ns + self.retransmission_ns
+    }
+}
+
+/// The parity floor for a loss rate: generous enough that, with the
+/// paper testbeds' fan-out generations (≤ 20 messages per token
+/// visit), the surviving parity covers the expected per-generation
+/// losses with margin — the property the seeded sweep pins.
+pub fn parity_for(loss_pct: u32) -> usize {
+    match loss_pct {
+        0..=1 => 2,
+        2..=5 => 4,
+        6..=10 => 6,
+        _ => 10,
+    }
+}
+
+/// All cells of a sweep, in deterministic (net, rate, mode, protocol)
+/// order.
+fn cells(opts: &SweepOptions) -> Vec<(&'static str, u32, SweepMode, ProtocolKind)> {
+    let protocols: Vec<ProtocolKind> = match opts.protocol {
+        Some(p) => vec![p],
+        None => ProtocolKind::all().to_vec(),
+    };
+    let mut out = Vec::new();
+    for net in ["lan", "wan"] {
+        for pct in LOSS_PCTS {
+            for mode in [SweepMode::Retrans, SweepMode::Fec] {
+                for &p in &protocols {
+                    out.push((net, pct, mode, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The engine configuration of one cell. Both modes of a
+/// `(net, rate, protocol)` pair share the same loss seed, so the FEC
+/// column is a like-for-like comparison against the baseline.
+fn cell_config(
+    net: &str,
+    loss_pct: u32,
+    mode: SweepMode,
+    proto: ProtocolKind,
+    seed: u64,
+) -> GcsConfig {
+    let mut cfg = if net == "lan" {
+        testbed::lan()
+    } else {
+        testbed::wan()
+    };
+    cfg.loss_rate = f64::from(loss_pct) / 100.0;
+    cfg.loss_seed = seed
+        ^ (loss_pct as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (proto as u64).wrapping_mul(0x85eb_ca6b_c2b2_ae35)
+        ^ if net == "lan" {
+            0
+        } else {
+            0x57a4_17ab_1e55_ed01
+        };
+    if mode == SweepMode::Fec {
+        cfg.fec_parity = parity_for(loss_pct);
+        cfg.fec_parity_max = 16;
+        // Patient backoff: local repair must win the race against the
+        // request path, so the first retry waits several token
+        // rotations (LAN rotations are ~100 µs, WAN ~120 ms).
+        let (base, max) = if net == "lan" {
+            (Duration::from_millis(10), Duration::from_millis(80))
+        } else {
+            (Duration::from_millis(2_000), Duration::from_millis(16_000))
+        };
+        cfg.retrans_backoff = base;
+        cfg.retrans_backoff_max = max;
+    }
+    cfg
+}
+
+/// Runs one cell: a 6-member secure group keys up, admits a seventh
+/// member, then loses one — all under the cell's loss process — and
+/// the survivors must agree on the final view and key.
+fn run_cell(
+    net: &'static str,
+    loss_pct: u32,
+    mode: SweepMode,
+    proto: ProtocolKind,
+    seed: u64,
+) -> SweepRow {
+    let cfg = cell_config(net, loss_pct, mode, proto, seed);
+    let mut world = SimWorld::new(cfg);
+    let suite = SuiteKind::Sim512.shared();
+    for i in 0..8usize {
+        world.add_client(Box::new(SecureMember::new(
+            proto,
+            Rc::clone(&suite),
+            900 + i as u64,
+            Some(17),
+        )));
+    }
+    world.install_initial_view_of((0..6).collect());
+    world.run_until_quiescent();
+    world.inject_join(6);
+    world.run_until_quiescent();
+    world.inject_leave(1);
+    world.run_until_quiescent();
+
+    let mut converged = world.quiescent();
+    if let Some(view) = world.view().cloned() {
+        let members: Vec<usize> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|&c| world.client_alive(c))
+            .collect();
+        converged &= !members.is_empty();
+        let mut key = None;
+        for &c in &members {
+            let m = world.client::<SecureMember>(c);
+            converged &= m.last_view_epoch() == Some(view.id);
+            converged &= m.phase() != AgreementPhase::GivenUp;
+            match (m.secret(view.id), &key) {
+                (None, _) => converged = false,
+                (Some(s), None) => key = Some(s.clone()),
+                (Some(s), Some(k)) => converged &= s == k,
+            }
+        }
+    } else {
+        converged = false;
+    }
+
+    let s = world.stats();
+    SweepRow {
+        net,
+        loss_pct,
+        mode,
+        protocol: proto.name(),
+        lost: s.messages_lost,
+        retransmissions: s.retransmissions,
+        retrans_rounds: s.retransmission_rounds,
+        fec_repairs: s.fec_repairs,
+        parity_sent: s.parity_shards_sent,
+        fec_repair_ns: s.fec_repair_recovery_ns,
+        retransmission_ns: s.retransmission_recovery_ns,
+        elapsed_ms: world.now().as_millis_f64(),
+        converged,
+    }
+}
+
+/// Runs the full sweep. Deterministic across `jobs`: the fan-out
+/// preserves cell order and every cell is self-contained.
+pub fn run_sweep(opts: &SweepOptions) -> Vec<SweepRow> {
+    let grid = cells(opts);
+    par::run_indexed(opts.jobs, grid.len(), |i| {
+        let (net, pct, mode, proto) = grid[i];
+        run_cell(net, pct, mode, proto, opts.seed)
+    })
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// CSV of the sweep rows, fixed-precision so equal runs render equal
+/// bytes. The three `_ms` columns derive from exact virtual-ns sums:
+/// `recovery_ms` is always `fec_repair_ms + retransmission_ms`.
+pub fn sweep_csv(seed: u64, rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "seed,net,loss_pct,mode,protocol,lost,retransmissions,retrans_rounds,\
+         fec_repairs,parity_sent,fec_repair_ms,retransmission_ms,recovery_ms,\
+         elapsed_ms,converged\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{}\n",
+            seed,
+            r.net,
+            r.loss_pct,
+            r.mode.name(),
+            r.protocol,
+            r.lost,
+            r.retransmissions,
+            r.retrans_rounds,
+            r.fec_repairs,
+            r.parity_sent,
+            ns_to_ms(r.fec_repair_ns),
+            ns_to_ms(r.retransmission_ns),
+            ns_to_ms(r.recovery_ns()),
+            r.elapsed_ms,
+            r.converged,
+        ));
+    }
+    out
+}
+
+/// Human-readable summary: one line per (net, rate, mode) with the
+/// rounds/repairs totals across protocols.
+pub fn sweep_table(seed: u64, rows: &[SweepRow]) -> String {
+    let mut out = format!(
+        "# Loss sweep — seed {seed}, {} cells (virtual ms)\n\
+         {:<4} {:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>12} {:>10}\n",
+        rows.len(),
+        "net",
+        "loss%",
+        "mode",
+        "lost",
+        "rounds",
+        "repairs",
+        "parity",
+        "recovery_ms",
+        "converged",
+    );
+    for net in ["lan", "wan"] {
+        for pct in LOSS_PCTS {
+            for mode in [SweepMode::Retrans, SweepMode::Fec] {
+                let cell: Vec<&SweepRow> = rows
+                    .iter()
+                    .filter(|r| r.net == net && r.loss_pct == pct && r.mode == mode)
+                    .collect();
+                if cell.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<4} {:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>12.3} {:>10}\n",
+                    net,
+                    pct,
+                    mode.name(),
+                    cell.iter().map(|r| r.lost).sum::<u64>(),
+                    cell.iter().map(|r| r.retrans_rounds).sum::<u64>(),
+                    cell.iter().map(|r| r.fec_repairs).sum::<u64>(),
+                    cell.iter().map(|r| r.parity_sent).sum::<u64>(),
+                    ns_to_ms(cell.iter().map(|r| r.recovery_ns()).sum::<u64>()),
+                    cell.iter().filter(|r| r.converged).count(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the deterministic manifest body of a sweep: per-cell
+/// counters plus recovery/elapsed histograms. Every quantity is a
+/// pure function of the seed, so the rendered body is bit-identical
+/// across `--jobs` values.
+pub fn sweep_manifest(opts: &SweepOptions, rows: &[SweepRow]) -> Manifest {
+    let mut man = Manifest::new("chaos", &format!("loss_s{}", opts.seed));
+    man.set_config("loss_sweep_seed", opts.seed);
+    man.set_config("protocol", opts.protocol.map(|p| p.name()).unwrap_or("all"));
+    man.add_count("harness/loss_sweep/cells", rows.len() as u64);
+    man.add_count(
+        "harness/loss_sweep/converged",
+        rows.iter().filter(|r| r.converged).count() as u64,
+    );
+    let mut recovery = LogHistogram::default();
+    let mut elapsed = LogHistogram::default();
+    for r in rows {
+        let cell = format!(
+            "harness/loss_sweep/{}/p{}/{}",
+            r.net,
+            r.loss_pct,
+            r.mode.name()
+        );
+        man.add_count(&format!("{cell}/lost"), r.lost);
+        man.add_count(&format!("{cell}/retrans_rounds"), r.retrans_rounds);
+        man.add_count(&format!("{cell}/fec_repairs"), r.fec_repairs);
+        man.add_count(&format!("{cell}/parity_sent"), r.parity_sent);
+        recovery.record(ns_to_ms(r.recovery_ns()));
+        elapsed.record(r.elapsed_ms);
+        man.virtual_ms += r.elapsed_ms;
+    }
+    man.put_histogram("harness/loss_sweep/recovery_ms", recovery.summary());
+    man.put_histogram("harness/loss_sweep/elapsed_ms", elapsed.summary());
+    man
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_grid_is_deterministic_and_complete() {
+        let opts = SweepOptions {
+            seed: 7,
+            jobs: 1,
+            protocol: None,
+        };
+        let grid = cells(&opts);
+        // 2 nets × 4 rates × 2 modes × 5 protocols.
+        assert_eq!(grid.len(), 80);
+        assert_eq!(grid, cells(&opts));
+        let one = SweepOptions {
+            protocol: Some(ProtocolKind::Bd),
+            ..opts
+        };
+        assert_eq!(cells(&one).len(), 16);
+    }
+
+    #[test]
+    fn parity_floor_scales_with_loss() {
+        assert_eq!(parity_for(1), 2);
+        assert_eq!(parity_for(5), 4);
+        assert_eq!(parity_for(10), 6);
+        assert_eq!(parity_for(20), 10);
+    }
+
+    #[test]
+    fn modes_share_the_loss_seed_for_like_for_like_cells() {
+        let a = cell_config("wan", 10, SweepMode::Retrans, ProtocolKind::Gdh, 7);
+        let b = cell_config("wan", 10, SweepMode::Fec, ProtocolKind::Gdh, 7);
+        assert_eq!(a.loss_seed, b.loss_seed);
+        assert_eq!(a.fec_parity, 0, "baseline keeps the pre-FEC engine");
+        assert!(b.fec_parity > 0);
+    }
+}

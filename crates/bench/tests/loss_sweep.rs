@@ -1,0 +1,145 @@
+//! The loss-sweep campaign's acceptance contract (`repro chaos
+//! --loss-sweep`): at the pinned seed every cell converges; wherever
+//! the retransmission-only baseline needs request rounds, the FEC
+//! twin needs **zero**; the recovery-time attribution buckets sum
+//! exactly; and the CSV and manifest body are bit-identical across
+//! `--jobs` (the sweep takes no `--shards`, so shard-invariance is
+//! vacuous by construction).
+
+use gkap_bench::loss_sweep::{
+    run_sweep, sweep_csv, sweep_manifest, sweep_table, SweepMode, SweepOptions, LOSS_PCTS,
+};
+
+fn opts(jobs: usize) -> SweepOptions {
+    SweepOptions {
+        seed: 7,
+        jobs,
+        protocol: None,
+    }
+}
+
+#[test]
+fn fec_eliminates_request_rounds_wherever_the_baseline_needs_them() {
+    let rows = run_sweep(&opts(4));
+    assert_eq!(rows.len(), 80, "2 nets x 4 rates x 2 modes x 5 protocols");
+    for r in &rows {
+        assert!(
+            r.converged,
+            "{} {}% {} {} must converge",
+            r.net,
+            r.loss_pct,
+            r.mode.name(),
+            r.protocol
+        );
+    }
+
+    // Like-for-like: every (net, rate, protocol) pair whose baseline
+    // spent >= 1 request round is served round-free by the FEC twin.
+    let mut baseline_needed = 0;
+    for net in ["lan", "wan"] {
+        for pct in LOSS_PCTS {
+            for proto in ["GDH", "TGDH", "STR", "BD", "CKD"] {
+                let find = |mode: SweepMode| {
+                    rows.iter()
+                        .find(|r| {
+                            r.net == net
+                                && r.loss_pct == pct
+                                && r.mode == mode
+                                && r.protocol == proto
+                        })
+                        .expect("cell present")
+                };
+                let base = find(SweepMode::Retrans);
+                let fec = find(SweepMode::Fec);
+                if base.retrans_rounds >= 1 {
+                    baseline_needed += 1;
+                    assert_eq!(
+                        fec.retrans_rounds, 0,
+                        "{net} {pct}% {proto}: baseline spent {} rounds, FEC must spend none",
+                        base.retrans_rounds
+                    );
+                }
+                // The FEC twin never falls back to retransmission at
+                // this parity budget: repairs are all local.
+                assert_eq!(fec.retransmissions, 0, "{net} {pct}% {proto}");
+                assert_eq!(fec.retransmission_ns, 0, "{net} {pct}% {proto}");
+                assert!(
+                    fec.lost == 0 || fec.fec_repairs > 0,
+                    "{net} {pct}% {proto}: losses must repair via parity"
+                );
+                assert!(fec.parity_sent > 0, "{net} {pct}% {proto}");
+                // The baseline keeps the pre-FEC engine dormant.
+                assert_eq!(base.parity_sent, 0);
+                assert_eq!(base.fec_repairs, 0);
+                assert_eq!(base.fec_repair_ns, 0);
+            }
+        }
+    }
+    assert!(
+        baseline_needed >= 10,
+        "the sweep must exercise cells where the baseline actually \
+         needs retransmission rounds (saw {baseline_needed})"
+    );
+}
+
+#[test]
+fn recovery_attribution_sums_exactly_per_cell() {
+    let rows = run_sweep(&SweepOptions {
+        seed: 7,
+        jobs: 4,
+        protocol: Some(gkap_core::protocols::ProtocolKind::Bd),
+    });
+    assert_eq!(rows.len(), 16, "one protocol: 2 nets x 4 rates x 2 modes");
+    let mut recovered = 0;
+    for r in &rows {
+        assert_eq!(
+            r.recovery_ns(),
+            r.fec_repair_ns + r.retransmission_ns,
+            "attribution must sum exactly"
+        );
+        if r.recovery_ns() > 0 {
+            recovered += 1;
+        }
+    }
+    assert!(recovered > 0, "some cells must record recovery time");
+    // The rendered CSV carries the same exactness: recovery_ms is the
+    // sum of the two attribution columns in every data row.
+    let csv = sweep_csv(7, &rows);
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        let fec_ms: f64 = cols[10].parse().unwrap();
+        let retrans_ms: f64 = cols[11].parse().unwrap();
+        let recovery_ms: f64 = cols[12].parse().unwrap();
+        assert!(
+            (fec_ms + retrans_ms - recovery_ms).abs() < 1e-9,
+            "CSV attribution must sum: {line}"
+        );
+    }
+}
+
+#[test]
+fn sweep_csv_and_manifest_bit_identical_across_jobs() {
+    let o1 = opts(1);
+    let rows1 = run_sweep(&o1);
+    let csv1 = sweep_csv(o1.seed, &rows1);
+    let man1 = sweep_manifest(&o1, &rows1);
+    assert_eq!(csv1.lines().count(), 81, "header + 80 cells");
+    for jobs in [4usize, 2] {
+        let o = opts(jobs);
+        let rows = run_sweep(&o);
+        assert_eq!(
+            csv1,
+            sweep_csv(o.seed, &rows),
+            "sweep CSV must be bit-identical at --jobs {jobs}"
+        );
+        assert_eq!(
+            man1.deterministic_json(),
+            sweep_manifest(&o, &rows).deterministic_json(),
+            "sweep manifest body must be bit-identical at --jobs {jobs}"
+        );
+    }
+    assert_eq!(man1.tag, "loss_s7");
+    assert!(man1.counts.contains_key("harness/loss_sweep/cells"));
+    let table = sweep_table(o1.seed, &rows1);
+    assert!(table.contains("lan") && table.contains("wan"), "{table}");
+}

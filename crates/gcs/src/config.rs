@@ -50,6 +50,41 @@ pub struct GcsConfig {
     /// detection the ring is reformed, the token regenerated, and the
     /// crashed daemon's clients leave via a view change.
     pub crash_detection_timeout: Duration,
+    /// Parity shards appended to every token visit's fan-out
+    /// generation (the messages one daemon sequences in one visit form
+    /// one erasure-coding generation; see [`crate::fec`]). A receiver
+    /// missing up to this many data messages of a generation
+    /// reconstructs them locally instead of waiting for token-driven
+    /// retransmission. `0` disables FEC entirely: the engine is then
+    /// byte-identical to one built without the FEC layer.
+    pub fec_parity: usize,
+    /// Upper bound for the adaptive parity budget (only consulted when
+    /// [`GcsConfig::fec_adaptive`] is set).
+    pub fec_parity_max: usize,
+    /// When `true`, an EWMA loss estimator over the gaps daemons
+    /// observe at token visits drives the per-generation parity budget
+    /// between [`GcsConfig::fec_parity`] (floor) and
+    /// [`GcsConfig::fec_parity_max`] (ceiling).
+    pub fec_adaptive: bool,
+    /// EWMA smoothing factor for the adaptive loss estimator, in
+    /// `(0, 1]` (larger = more reactive).
+    pub loss_ewma_alpha: f64,
+    /// Base delay of the per-daemon exponential retransmission
+    /// backoff. `Duration::ZERO` (the default) keeps the legacy
+    /// policy: a daemon with a gap requests retransmission on every
+    /// token visit. A nonzero base makes successive no-progress
+    /// request rounds back off exponentially (with deterministic
+    /// jitter from the seeded retransmission RNG), giving an enabled
+    /// FEC layer time to repair before the ring is asked to re-send.
+    pub retrans_backoff: Duration,
+    /// Cap on the exponentially growing backoff delay.
+    pub retrans_backoff_max: Duration,
+    /// Consecutive no-progress retransmission rounds after which the
+    /// requesting daemon gives up on the unreachable origin and
+    /// escalates to a ring reformation (the crash-detection machinery
+    /// excludes the origin and recovers its messages from the
+    /// surviving buffers). `0` (the default) never escalates.
+    pub retrans_give_up: u32,
 }
 
 impl GcsConfig {
@@ -75,6 +110,31 @@ impl GcsConfig {
             self.recovery_batch > 0,
             "recovery batch must allow at least one retransmission per visit"
         );
+        let parity_ceiling = self.fec_parity.max(if self.fec_adaptive {
+            self.fec_parity_max
+        } else {
+            0
+        });
+        assert!(
+            self.flow_control_max_msgs + parity_ceiling <= crate::fec::MAX_SHARDS,
+            "a fan-out generation (flow control + parity) must fit the erasure code's field"
+        );
+        if self.fec_adaptive {
+            assert!(
+                self.fec_parity_max >= self.fec_parity,
+                "adaptive parity ceiling must be at least the floor"
+            );
+            assert!(
+                (0.0..=1.0).contains(&self.loss_ewma_alpha) && self.loss_ewma_alpha > 0.0,
+                "EWMA smoothing factor must be in (0, 1]"
+            );
+        }
+        if self.retrans_backoff > gkap_sim::Duration::ZERO {
+            assert!(
+                self.retrans_backoff_max >= self.retrans_backoff,
+                "backoff cap must be at least the base delay"
+            );
+        }
     }
 }
 
@@ -101,6 +161,33 @@ mod tests {
     fn full_loss_rejected() {
         let mut cfg = testbed::lan();
         cfg.loss_rate = 1.0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "erasure code")]
+    fn oversized_parity_rejected() {
+        let mut cfg = testbed::lan();
+        cfg.fec_parity = 250; // 20 (flow control) + 250 > 256 points
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn adaptive_ceiling_below_floor_rejected() {
+        let mut cfg = testbed::lan();
+        cfg.fec_adaptive = true;
+        cfg.fec_parity = 3;
+        cfg.fec_parity_max = 1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap")]
+    fn backoff_cap_below_base_rejected() {
+        let mut cfg = testbed::lan();
+        cfg.retrans_backoff = gkap_sim::Duration::from_millis(10);
+        cfg.retrans_backoff_max = gkap_sim::Duration::from_millis(1);
         cfg.validate();
     }
 }

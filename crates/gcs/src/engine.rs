@@ -67,6 +67,31 @@ pub struct WorldStats {
     pub daemon_crashes: u64,
     /// Ring reformations performed after crash detection.
     pub ring_reformations: u64,
+    /// Parity shard copies dispatched by FEC-coded fan-out generations
+    /// (`per-shard × per-peer`, counted whether or not the copy
+    /// survives the loss process).
+    pub parity_shards_sent: u64,
+    /// Data messages reconstructed locally from parity shards by the
+    /// FEC layer, without a retransmission round trip.
+    pub fec_repairs: u64,
+    /// Virtual nanoseconds of completed loss-recovery windows closed
+    /// by FEC repair: for every lost copy later reconstructed from
+    /// parity, the span from the loss instant to the reconstruction.
+    pub fec_repair_recovery_ns: u64,
+    /// Virtual nanoseconds of completed loss-recovery windows closed
+    /// by retransmission: for every lost copy later recovered by a
+    /// re-sent copy, the span from the loss instant to the arrival.
+    pub retransmission_recovery_ns: u64,
+}
+
+impl WorldStats {
+    /// Total completed loss-recovery time in virtual nanoseconds. By
+    /// construction exactly the sum of the FEC-repair and
+    /// retransmission attributions: every lost copy's recovery window
+    /// is closed by exactly one of the two mechanisms.
+    pub fn recovery_ns(&self) -> u64 {
+        self.fec_repair_recovery_ns + self.retransmission_recovery_ns
+    }
 }
 
 /// One observability record (enabled via [`SimWorld::enable_trace`]).
@@ -110,6 +135,15 @@ pub enum TraceEvent {
         /// Instant the retransmission was issued.
         at: SimTime,
     },
+    /// A daemon reconstructed a missing message from FEC parity.
+    FecRepaired {
+        /// The repairing daemon.
+        daemon: DaemonId,
+        /// Sequence number reconstructed.
+        seq: u64,
+        /// Instant of the reconstruction.
+        at: SimTime,
+    },
 }
 
 /// A sequenced Agreed message in flight between daemons.
@@ -144,6 +178,63 @@ struct Submission {
     payload: Bytes,
 }
 
+/// One parity shard of a FEC-coded fan-out generation in flight
+/// between daemons (the messages a daemon sequences within one token
+/// visit form one erasure-coding generation; see [`crate::fec`]).
+#[derive(Debug)]
+struct ParityShard {
+    /// First sequence number of the generation.
+    first_seq: u64,
+    /// Number of data messages in the generation.
+    k: usize,
+    /// Global shard index within the generation (`k..k + r` for the
+    /// parity rows, as [`crate::fec::encode`] numbers them).
+    index: usize,
+    /// Coded bytes (the generation's maximum record length).
+    body: Vec<u8>,
+}
+
+/// Parity shards a daemon has buffered for one generation it has not
+/// yet fully received.
+struct FecGenBuf {
+    k: usize,
+    shards: BTreeMap<usize, Rc<ParityShard>>,
+}
+
+/// Per-daemon adaptive retransmission state (exponential backoff with
+/// jitter; only consulted when [`GcsConfig::retrans_backoff`] is
+/// nonzero).
+struct RetransState {
+    /// Earliest instant the next request round may fire.
+    next_at: SimTime,
+    /// Backoff exponent: consecutive request rounds without progress.
+    level: u32,
+    /// Consecutive no-progress rounds towards the give-up escalation.
+    strikes: u32,
+    /// `contiguous` as of the last request round (`None` when no round
+    /// is outstanding); progress past it resets the backoff.
+    awaiting_since: Option<u64>,
+}
+
+impl RetransState {
+    fn new() -> Self {
+        RetransState {
+            next_at: SimTime::ZERO,
+            level: 0,
+            strikes: 0,
+            awaiting_since: None,
+        }
+    }
+}
+
+/// Which mechanism closed a loss-recovery window (drives the split
+/// attribution in [`WorldStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecoveryPath {
+    FecRepair,
+    Retransmission,
+}
+
 #[derive(Debug)]
 enum Ev {
     /// The token of generation `gen` arrives at `daemon`. Stale
@@ -173,6 +264,12 @@ enum Ev {
         to: DaemonId,
         from: DaemonId,
     },
+    /// A parity shard of a FEC-coded fan-out generation reaches a
+    /// daemon.
+    ParityRecv {
+        daemon: DaemonId,
+        shard: Rc<ParityShard>,
+    },
     /// A causal multicast arrives at a client's daemon for causal
     /// delivery filtering.
     CausalArrive { client: ClientId, msg: CausalMsg },
@@ -201,6 +298,12 @@ struct DaemonState {
     delivered: u64,
     /// Last view id this daemon has installed.
     installed_view: ViewId,
+    /// Buffered parity shards per incomplete fan-out generation, keyed
+    /// by the generation's first sequence number. Empty whenever FEC
+    /// is disabled.
+    fec_buf: BTreeMap<u64, FecGenBuf>,
+    /// Adaptive retransmission backoff state.
+    retrans: RetransState,
 }
 
 struct ClientSlot {
@@ -262,6 +365,26 @@ pub struct SimWorld {
     sent_msgs: BTreeMap<u64, Rc<WireMsg>>,
     /// Deterministic loss process.
     loss_rng: SplitMix64,
+    /// Separate deterministic stream for retransmission-backoff jitter
+    /// (its own stream so enabling backoff never perturbs the loss
+    /// draws).
+    retrans_rng: SplitMix64,
+    /// Sticky flag: set the first time any data copy is lost, and the
+    /// arming condition for gap-retransmission requests. A token-visit
+    /// gap with no loss ever observed is merely in-flight traffic and
+    /// must not trigger spurious requests; a gap after a loss burst
+    /// has *ended* must still be recovered.
+    losses_observed: bool,
+    /// EWMA loss estimate over the gaps daemons observe at token
+    /// visits (updated only when [`GcsConfig::fec_adaptive`] is set);
+    /// drives the adaptive parity budget.
+    loss_ewma: f64,
+    /// Loss instants of copies not yet recovered, keyed by
+    /// `(destination daemon, seq)`. First loss wins (a re-lost
+    /// retransmission keeps the original instant); the entry is
+    /// removed — and the elapsed window attributed to FEC repair or
+    /// retransmission — when the daemon finally obtains the message.
+    lost_at: BTreeMap<(DaemonId, u64), SimTime>,
     /// Token generation: bumped on every ring reformation so tokens
     /// already in flight at crash detection are invalidated (exactly
     /// one token survives a reformation).
@@ -313,6 +436,8 @@ impl SimWorld {
                 reported: 0,
                 delivered: 0,
                 installed_view: 0,
+                fec_buf: BTreeMap::new(),
+                retrans: RetransState::new(),
             })
             .collect();
         let machines = (0..machine_count)
@@ -336,6 +461,12 @@ impl SimWorld {
             token_started: false,
             sent_msgs: BTreeMap::new(),
             loss_rng: SplitMix64::new(cfg.loss_seed),
+            // Golden-ratio tweak: a fixed, documented offset giving the
+            // jitter stream its own deterministic seed.
+            retrans_rng: SplitMix64::new(cfg.loss_seed ^ 0x9E37_79B9_7F4A_7C15),
+            losses_observed: false,
+            loss_ewma: 0.0,
+            lost_at: BTreeMap::new(),
             token_gen: 0,
             last_rotation_at: None,
             idle_fast_forward: true,
@@ -398,6 +529,14 @@ impl SimWorld {
                     at: ev.at,
                 }),
                 EventKind::Retransmit { seq } => Some(TraceEvent::Retransmit {
+                    daemon: match ev.actor {
+                        Actor::Daemon(d) => d,
+                        _ => return None,
+                    },
+                    seq,
+                    at: ev.at,
+                }),
+                EventKind::FecRepair { seq } => Some(TraceEvent::FecRepaired {
                     daemon: match ev.actor {
                         Actor::Daemon(d) => d,
                         _ => return None,
@@ -621,6 +760,10 @@ impl SimWorld {
         );
         self.daemons[daemon].alive = false;
         self.daemons[daemon].pending.clear();
+        self.daemons[daemon].fec_buf.clear();
+        // Loss-recovery windows owed to the dead daemon will never
+        // close; only completed recoveries are attributed.
+        self.lost_at.retain(|&(d, _), _| d != daemon);
         self.stats.daemon_crashes += 1;
         let at = self.queue.now();
         self.telemetry.record(|| Event {
@@ -646,6 +789,15 @@ impl SimWorld {
     /// of virtual time (the configured `loss_rate` resumes afterwards).
     /// Gaps opened by the burst are recovered by token-driven
     /// retransmission once it ends.
+    ///
+    /// The burst window is half-open: copies sent in `[now, now +
+    /// duration)` see `max(loss_rate, rate)`; a copy sent at exactly
+    /// `now + duration` is already back on the base rate. The
+    /// effective rate is the *maximum* of burst and base rate, so a
+    /// `rate` of `0.0` cannot suppress a configured base loss rate.
+    /// Bursts do not stack: setting a new burst while one is active
+    /// replaces it entirely — last writer wins, including a shorter or
+    /// milder burst cutting a longer one short.
     ///
     /// # Panics
     ///
@@ -1032,6 +1184,7 @@ impl SimWorld {
             Ev::ClientDeliver { .. } => "ev_client_deliver",
             Ev::ViewDeliver { .. } => "ev_view_deliver",
             Ev::Retransmit { .. } => "ev_retransmit",
+            Ev::ParityRecv { .. } => "ev_parity_recv",
             Ev::CausalArrive { .. } => "ev_causal_arrive",
             Ev::CrashDetect { .. } => "ev_crash_detect",
             Ev::Fault { .. } => "ev_fault",
@@ -1058,6 +1211,7 @@ impl SimWorld {
             Ev::ClientDeliver { client, delivery } => self.deliver_to_client(client, delivery),
             Ev::ViewDeliver { client, view } => self.deliver_view_to_client(client, &view),
             Ev::Retransmit { seq, to, from } => self.on_retransmit(seq, to, from),
+            Ev::ParityRecv { daemon, shard } => self.on_parity_recv(daemon, shard),
             Ev::CausalArrive { client, msg } => self.on_causal_arrive(client, msg),
             Ev::CrashDetect { daemon } => self.on_crash_detect(daemon),
             Ev::Fault { fault } => self.on_fault(fault),
@@ -1223,7 +1377,10 @@ impl SimWorld {
         }
 
         // 1. Sequence and broadcast pending submissions (flow control).
+        //    The messages sequenced in one visit form one FEC
+        //    generation (step 1a fans out its parity shards).
         let mut sent = 0usize;
+        let mut generation: Vec<Rc<WireMsg>> = Vec::new();
         while sent < self.cfg.flow_control_max_msgs {
             let Some(sub) = self.daemons[daemon_id].pending.pop_front() else {
                 break;
@@ -1250,13 +1407,15 @@ impl SimWorld {
             self.sent_msgs.insert(seq, Rc::clone(&msg));
             // The sender's daemon holds its own message instantly.
             self.store_at_daemon(daemon_id, Rc::clone(&msg));
-            let size_cost = self.payload_cost(&msg.payload);
+            let size_cost = self.wire_cost(msg.payload.len());
             for peer in 0..self.daemons.len() {
                 if peer == daemon_id || !self.daemons[peer].alive {
                     continue;
                 }
                 if self.lose_copy() {
                     self.stats.messages_lost += 1;
+                    self.losses_observed = true;
+                    self.lost_at.entry((peer, seq)).or_insert(at);
                     continue;
                 }
                 let latency = self
@@ -1272,7 +1431,21 @@ impl SimWorld {
                     },
                 );
             }
+            generation.push(msg);
             sent += 1;
+        }
+
+        // 1a. FEC parity fan-out over this visit's generation: with a
+        //     parity budget of `r`, every peer can reconstruct up to
+        //     `r` lost data messages locally instead of waiting whole
+        //     token rotations for retransmission. Skipped entirely at
+        //     budget 0 (no extra RNG draws, no extra events — the
+        //     `r = 0` engine is byte-identical to the pre-FEC one).
+        if !generation.is_empty() {
+            let r = self.parity_budget(generation.len());
+            if r > 0 {
+                self.fan_out_parity(daemon_id, &generation, r);
+            }
         }
         // Flow-control metrics: how much this token visit sequenced,
         // and how much the budget deferred to the next rotation (the
@@ -1293,14 +1466,18 @@ impl SimWorld {
 
         // 1b. Request retransmission of any gap this daemon observes
         //     (the token reveals that higher sequence numbers exist —
-        //     Totem-style negative acknowledgement). Armed whenever the
-        //     world can actually lose copies (configured loss, a loss
-        //     burst, or a crash) so clean runs never issue spurious
-        //     requests for messages that are merely in flight.
-        let lossy =
-            self.cfg.loss_rate > 0.0 || self.loss_burst.is_some() || self.stats.daemon_crashes > 0;
+        //     Totem-style negative acknowledgement). Armed only once a
+        //     data copy has actually been dropped (sticky
+        //     `losses_observed`) or a crash may have eaten copies —
+        //     never by the mere *possibility* of loss, so runs where
+        //     every copy happens to arrive issue no spurious requests
+        //     for messages that are merely in flight.
+        if self.cfg.fec_adaptive {
+            self.update_loss_ewma(daemon_id);
+        }
+        let lossy = self.losses_observed || self.stats.daemon_crashes > 0;
         if lossy && self.daemons[daemon_id].contiguous < self.next_seq - 1 {
-            self.request_missing(daemon_id);
+            self.maybe_request_missing(daemon_id);
         }
 
         // 2. Report our contiguous mark and recompute the aru (the
@@ -1358,18 +1535,27 @@ impl SimWorld {
         }
     }
 
-    /// The loss probability in force right now (a burst overrides the
-    /// configured rate while it lasts).
-    fn effective_loss_rate(&self) -> f64 {
+    /// The loss probability in force at instant `now`.
+    ///
+    /// A burst combines with the configured base rate via `max` while
+    /// its half-open window `[start, start + duration)` lasts: at the
+    /// exact expiry instant the burst no longer applies. An expired
+    /// burst is cleared here (lazily, on the first draw at or past its
+    /// boundary) so `loss_burst` never reports a stale window.
+    fn effective_loss_rate_at(&mut self, now: SimTime) -> f64 {
         match self.loss_burst {
-            Some((rate, until)) if self.queue.now() < until => self.cfg.loss_rate.max(rate),
-            _ => self.cfg.loss_rate,
+            Some((rate, until)) if now < until => self.cfg.loss_rate.max(rate),
+            Some(_) => {
+                self.loss_burst = None;
+                self.cfg.loss_rate
+            }
+            None => self.cfg.loss_rate,
         }
     }
 
     /// Deterministic Bernoulli draw for one message copy.
     fn lose_copy(&mut self) -> bool {
-        let rate = self.effective_loss_rate();
+        let rate = self.effective_loss_rate_at(self.queue.now());
         if rate <= 0.0 {
             return false;
         }
@@ -1419,6 +1605,7 @@ impl SimWorld {
                 let Some(msg) = self.sent_msgs.get(&seq).map(Rc::clone) else {
                     continue;
                 };
+                self.settle_recovery(daemon, seq, RecoveryPath::Retransmission);
                 self.store_at_daemon(daemon, msg);
                 requested += 1;
                 continue;
@@ -1465,26 +1652,349 @@ impl SimWorld {
             kind: EventKind::Retransmit { seq },
         });
         // The re-sent copy can be lost as well; the next token visit
-        // re-requests it.
+        // re-requests it. The original `lost_at` instant stays: the
+        // recovery window runs from the *first* loss of the copy.
         if self.lose_copy() {
             self.stats.messages_lost += 1;
+            self.losses_observed = true;
             return;
         }
         let latency = self
             .cfg
             .topology
             .machine_latency(self.daemons[from].machine, self.daemons[to].machine);
-        let size_cost = self.payload_cost(&msg.payload);
+        let size_cost = self.wire_cost(msg.payload.len());
         self.schedule(
             latency + size_cost + self.cfg.per_message_processing,
             Ev::DaemonRecv { daemon: to, msg },
         );
     }
 
-    fn payload_cost(&self, payload: &Bytes) -> Duration {
-        // Cost proportional to size, in whole-KB granularity rounded up.
-        let kb = (payload.len() as u64).div_ceil(1024);
+    /// Wire time for `len` bytes of payload on any hop (whole-KB
+    /// granularity, rounded up). Shared by data, parity and FIFO
+    /// paths so coded and plain traffic are charged identically.
+    fn wire_cost(&self, len: usize) -> Duration {
+        let kb = (len as u64).div_ceil(1024);
         self.cfg.per_kb * kb
+    }
+
+    /// Closes the open loss-recovery window of `(daemon, seq)` — if
+    /// one is open — attributing the elapsed virtual time to `path`.
+    /// Every lost copy's window is closed by exactly one path, so the
+    /// two attribution buckets sum exactly to the total recovery time
+    /// ([`WorldStats::recovery_ns`]).
+    fn settle_recovery(&mut self, daemon: DaemonId, seq: u64, path: RecoveryPath) {
+        let Some(t0) = self.lost_at.remove(&(daemon, seq)) else {
+            return;
+        };
+        let dt = self.queue.now().since(t0);
+        match path {
+            RecoveryPath::FecRepair => {
+                self.stats.fec_repair_recovery_ns += dt.as_nanos();
+                self.telemetry
+                    .metric_observe(Key::new(Layer::Gcs, "fec_repair_ms"), || dt.as_millis_f64());
+            }
+            RecoveryPath::Retransmission => {
+                self.stats.retransmission_recovery_ns += dt.as_nanos();
+                self.telemetry
+                    .metric_observe(Key::new(Layer::Gcs, "retransmission_ms"), || {
+                        dt.as_millis_f64()
+                    });
+            }
+        }
+    }
+
+    /// Parity shards to append to a generation of `k` data messages:
+    /// the configured floor, or — under the adaptive controller — the
+    /// EWMA loss estimate scaled to the expected losses per generation
+    /// (doubled for headroom) and clamped to `[fec_parity,
+    /// fec_parity_max]`. Always capped so `k + r` fits the code's
+    /// field.
+    fn parity_budget(&self, k: usize) -> usize {
+        let r = if self.cfg.fec_adaptive {
+            let want = (self.loss_ewma * 2.0 * k as f64).ceil() as usize;
+            want.clamp(self.cfg.fec_parity, self.cfg.fec_parity_max)
+        } else {
+            self.cfg.fec_parity
+        };
+        r.min(crate::fec::MAX_SHARDS.saturating_sub(k))
+    }
+
+    /// Encodes this token visit's generation and broadcasts its `r`
+    /// parity shards to every other alive daemon. Parity copies ride
+    /// the same loss process as data copies, but a lost parity shard
+    /// is simply gone: parity is never retransmitted and never opens a
+    /// recovery window (the data it protects still recovers via
+    /// retransmission).
+    fn fan_out_parity(&mut self, origin: DaemonId, generation: &[Rc<WireMsg>], r: usize) {
+        let records: Vec<Vec<u8>> = generation.iter().map(|m| encode_record(m)).collect();
+        let Some(parity) = crate::fec::encode(&records, r) else {
+            return;
+        };
+        let k = generation.len();
+        let Some(first_seq) = generation.first().map(|m| m.seq) else {
+            return;
+        };
+        for (j, body) in parity.into_iter().enumerate() {
+            let shard = Rc::new(ParityShard {
+                first_seq,
+                k,
+                index: k + j,
+                body,
+            });
+            let size_cost = self.wire_cost(shard.body.len());
+            for peer in 0..self.daemons.len() {
+                if peer == origin || !self.daemons[peer].alive {
+                    continue;
+                }
+                self.stats.parity_shards_sent += 1;
+                if self.lose_copy() {
+                    continue;
+                }
+                let latency = self
+                    .cfg
+                    .topology
+                    .machine_latency(self.daemons[origin].machine, self.daemons[peer].machine);
+                self.schedule(
+                    latency + size_cost + self.cfg.per_message_processing,
+                    Ev::ParityRecv {
+                        daemon: peer,
+                        shard: Rc::clone(&shard),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Folds the gap this daemon observes at a token visit into the
+    /// EWMA loss estimate driving the adaptive parity budget. The
+    /// per-visit sample is the missing fraction of the sequence span
+    /// the token proves to exist (zero over an empty span). In-flight
+    /// messages count as missing, which makes the estimator
+    /// conservative — it over-provisions parity rather than under.
+    fn update_loss_ewma(&mut self, daemon: DaemonId) {
+        let d = &self.daemons[daemon];
+        let span = (self.next_seq - 1).saturating_sub(d.contiguous);
+        let sample = if span == 0 {
+            0.0
+        } else {
+            let missing = ((d.contiguous + 1)..self.next_seq)
+                .filter(|s| !d.received.contains_key(s))
+                .count();
+            missing as f64 / span as f64
+        };
+        let a = self.cfg.loss_ewma_alpha;
+        self.loss_ewma = a * sample + (1.0 - a) * self.loss_ewma;
+    }
+
+    /// Applies the adaptive backoff policy in front of
+    /// [`SimWorld::request_missing`]. With a zero backoff base the
+    /// legacy policy holds — a daemon with a gap requests on every
+    /// token visit — and this function adds no RNG draws or state
+    /// changes, keeping the engine byte-identical to the pre-backoff
+    /// one.
+    ///
+    /// With a non-zero base a *fresh* gap first arms one backoff
+    /// window without requesting: in-flight parity shards (or late
+    /// copies) get that window to close the gap locally, so a run
+    /// whose parity budget covers its losses spends **zero** request
+    /// rounds. Only a gap that survives the window costs a round, and
+    /// every further no-progress round doubles the window (capped)
+    /// and counts a strike toward the give-up escalation.
+    fn maybe_request_missing(&mut self, daemon: DaemonId) {
+        if self.cfg.retrans_backoff == Duration::ZERO {
+            self.request_missing(daemon);
+            return;
+        }
+        let now = self.queue.now();
+        let contiguous = self.daemons[daemon].contiguous;
+        if let Some(prev) = self.daemons[daemon].retrans.awaiting_since {
+            if contiguous > prev {
+                // Progress since the last arm/request: that episode is
+                // over. The still-open gap (residual or newly lost) is
+                // a fresh episode and re-arms below.
+                let st = &mut self.daemons[daemon].retrans;
+                st.level = 0;
+                st.strikes = 0;
+                st.awaiting_since = None;
+            }
+        }
+        if self.daemons[daemon].retrans.awaiting_since.is_none() {
+            // Fresh gap: arm the window, don't spend a round yet.
+            let delay = self.jittered_backoff(0);
+            let st = &mut self.daemons[daemon].retrans;
+            st.awaiting_since = Some(contiguous);
+            st.next_at = now + delay;
+            return;
+        }
+        if now < self.daemons[daemon].retrans.next_at {
+            return;
+        }
+        // A full window elapsed with no progress: spend a round.
+        {
+            let st = &mut self.daemons[daemon].retrans;
+            st.strikes += 1;
+            st.level = (st.level + 1).min(16);
+        }
+        self.request_missing(daemon);
+        let delay = self.jittered_backoff(self.daemons[daemon].retrans.level);
+        let st = &mut self.daemons[daemon].retrans;
+        st.awaiting_since = Some(contiguous);
+        st.next_at = now + delay;
+        if self.cfg.retrans_give_up > 0
+            && self.daemons[daemon].retrans.strikes >= self.cfg.retrans_give_up
+        {
+            self.escalate_give_up(daemon);
+        }
+    }
+
+    /// One backoff window at the given exponential level: the full
+    /// window is `base << level` capped at the configured maximum,
+    /// then deterministic jitter into `[full/2, full]` from the
+    /// dedicated stream (decorrelates the ring's request rounds
+    /// without touching the loss draws).
+    fn jittered_backoff(&mut self, level: u32) -> Duration {
+        let full = self
+            .cfg
+            .retrans_backoff
+            .as_nanos()
+            .saturating_mul(1u64 << level.min(63))
+            .min(self.cfg.retrans_backoff_max.as_nanos())
+            .max(1);
+        let u = (self.retrans_rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let half = full / 2;
+        Duration::from_nanos(half + ((full - half) as f64 * u) as u64)
+    }
+
+    /// Give-up escalation: after [`GcsConfig::retrans_give_up`]
+    /// consecutive no-progress request rounds the requester declares
+    /// the origin of its oldest missing message unreachable and
+    /// escalates to the crash machinery — the ring reforms without the
+    /// origin and the surviving buffers source the recovery (exactly
+    /// the PR 3 crash-detection path).
+    fn escalate_give_up(&mut self, daemon: DaemonId) {
+        let st = &mut self.daemons[daemon].retrans;
+        st.strikes = 0;
+        st.level = 0;
+        st.awaiting_since = None;
+        let first_missing = self.daemons[daemon].contiguous + 1;
+        let Some(origin) = self.sent_msgs.get(&first_missing).map(|m| m.origin) else {
+            return;
+        };
+        if origin == daemon || !self.daemons[origin].alive || self.ring.len() <= 1 {
+            return;
+        }
+        let at = self.queue.now();
+        self.telemetry.record(|| Event {
+            at,
+            dur: Duration::ZERO,
+            actor: Actor::Daemon(daemon),
+            kind: EventKind::Fault {
+                action: "give_up",
+                target: origin,
+            },
+        });
+        self.inject_crash(origin);
+    }
+
+    fn on_parity_recv(&mut self, daemon: DaemonId, shard: Rc<ParityShard>) {
+        if !self.daemons[daemon].alive {
+            return; // the shard arrived at a crashed daemon
+        }
+        let first = shard.first_seq;
+        let k = shard.k;
+        let complete = {
+            let d = &self.daemons[daemon];
+            (first..first + k as u64).all(|s| s <= d.contiguous || d.received.contains_key(&s))
+        };
+        if complete {
+            return; // nothing to repair; drop the shard
+        }
+        self.daemons[daemon]
+            .fec_buf
+            .entry(first)
+            .or_insert_with(|| FecGenBuf {
+                k,
+                shards: BTreeMap::new(),
+            })
+            .shards
+            .insert(shard.index, shard);
+        self.try_fec_repair(daemon, first);
+    }
+
+    /// Attempts to decode generation `first` at `daemon` from the data
+    /// messages it holds plus its buffered parity shards. On success
+    /// every missing message of the generation is reconstructed
+    /// locally, its recovery window attributed to FEC repair, and the
+    /// buffer entry dropped.
+    fn try_fec_repair(&mut self, daemon: DaemonId, first: u64) {
+        let repaired: Vec<(u64, WireMsg)> = {
+            let d = &self.daemons[daemon];
+            let Some(buf) = d.fec_buf.get(&first) else {
+                return;
+            };
+            let k = buf.k;
+            let held = |s: u64| s <= d.contiguous || d.received.contains_key(&s);
+            let missing: Vec<u64> = (first..first + k as u64).filter(|&s| !held(s)).collect();
+            if missing.is_empty() {
+                Vec::new() // generation complete: drop the buffer below
+            } else if buf.shards.len() < missing.len() {
+                return; // not yet decodable; keep buffering
+            } else {
+                // Re-serialize the data records the daemon holds (their
+                // content is identical to the origin's encoding input),
+                // pad to the generation's record length, add the parity
+                // rows, and interpolate the missing points.
+                let body_len = buf.shards.values().map(|s| s.body.len()).max().unwrap_or(0);
+                let mut have: Vec<(usize, Vec<u8>)> = Vec::new();
+                for (i, s) in (first..first + k as u64).enumerate() {
+                    if !held(s) {
+                        continue;
+                    }
+                    let Some(msg) = self.sent_msgs.get(&s) else {
+                        continue;
+                    };
+                    let mut rec = encode_record(msg);
+                    if rec.len() < body_len {
+                        rec.resize(body_len, 0);
+                    }
+                    have.push((i, rec));
+                }
+                for (&idx, shard) in &buf.shards {
+                    have.push((idx, shard.body.clone()));
+                }
+                let refs: Vec<(usize, &[u8])> =
+                    have.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+                let Some(data) = crate::fec::decode(k, &refs) else {
+                    return;
+                };
+                let mut out = Vec::new();
+                for &s in &missing {
+                    let idx = (s - first) as usize;
+                    let Some(msg) = decode_record(&data[idx]) else {
+                        return; // malformed record: leave the buffer for retransmission
+                    };
+                    if msg.seq != s {
+                        return;
+                    }
+                    out.push((s, msg));
+                }
+                out
+            }
+        };
+        self.daemons[daemon].fec_buf.remove(&first);
+        let at = self.queue.now();
+        for (s, msg) in repaired {
+            self.stats.fec_repairs += 1;
+            self.telemetry.record(|| Event {
+                at,
+                dur: Duration::ZERO,
+                actor: Actor::Daemon(daemon),
+                kind: EventKind::FecRepair { seq: s },
+            });
+            self.settle_recovery(daemon, s, RecoveryPath::FecRepair);
+            self.store_at_daemon(daemon, Rc::new(msg));
+        }
     }
 
     fn store_at_daemon(&mut self, daemon: DaemonId, msg: Rc<WireMsg>) {
@@ -1499,7 +2009,25 @@ impl SimWorld {
         if !self.daemons[daemon].alive {
             return; // the copy arrived at a crashed daemon
         }
+        let seq = msg.seq;
+        // A copy whose first transmission was lost arrives here only
+        // via retransmission — close the recovery window into the
+        // retransmission bucket.
+        self.settle_recovery(daemon, seq, RecoveryPath::Retransmission);
         self.store_at_daemon(daemon, msg);
+        // A late-arriving data copy can complete a generation that
+        // already buffered parity: re-try the repair so the buffer
+        // drains as soon as it becomes decodable.
+        if !self.daemons[daemon].fec_buf.is_empty() {
+            let generation = self.daemons[daemon]
+                .fec_buf
+                .iter()
+                .find(|(&first, buf)| first <= seq && seq < first + buf.k as u64)
+                .map(|(&first, _)| first);
+            if let Some(first) = generation {
+                self.try_fec_repair(daemon, first);
+            }
+        }
     }
 
     /// Delivers every received message with `seq <= token_aru` to this
@@ -1583,7 +2111,7 @@ impl SimWorld {
                     payload: out.payload,
                     vc,
                 };
-                let size_cost = self.payload_cost(&msg.payload);
+                let size_cost = self.wire_cost(msg.payload.len());
                 let members = self
                     .view_history
                     .get(&view_id)
@@ -1614,7 +2142,7 @@ impl SimWorld {
             }
             Service::Fifo => {
                 self.stats.fifo_messages += 1;
-                let size_cost = self.payload_cost(&out.payload);
+                let size_cost = self.wire_cost(out.payload.len());
                 let delivery = Delivery {
                     sender: client,
                     service: Service::Fifo,
@@ -1877,5 +2405,178 @@ impl SimWorld {
         for out in ctx.outgoing {
             self.schedule(submit_delay, Ev::ClientSubmit { client, out });
         }
+    }
+}
+
+/// Serializes a sequenced message into a FEC record. The layout is
+/// fixed little-endian so encoding is a pure, deterministic function
+/// of the message: seq (8) | sender (8) | view_id (8) | origin (8) |
+/// dest tag (1) | dest target (8) | payload_len (8) | payload.
+/// Trailing zero-padding (from the erasure code's common shard
+/// length) is ignored by [`decode_record`] via the embedded
+/// `payload_len`.
+fn encode_record(msg: &WireMsg) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(49 + msg.payload.len());
+    rec.extend_from_slice(&msg.seq.to_le_bytes());
+    rec.extend_from_slice(&(msg.sender as u64).to_le_bytes());
+    rec.extend_from_slice(&msg.view_id.to_le_bytes());
+    rec.extend_from_slice(&(msg.origin as u64).to_le_bytes());
+    let (tag, target) = msg.dest.to_wire();
+    rec.push(tag);
+    rec.extend_from_slice(&target.to_le_bytes());
+    rec.extend_from_slice(&(msg.payload.len() as u64).to_le_bytes());
+    rec.extend_from_slice(&msg.payload);
+    rec
+}
+
+/// Reverses [`encode_record`]. `None` on any malformed or truncated
+/// record (an interpolation fed bad shards) — the caller falls back
+/// to retransmission rather than panicking.
+fn decode_record(rec: &[u8]) -> Option<WireMsg> {
+    let u64_at = |off: usize| -> Option<u64> {
+        rec.get(off..off + 8)?
+            .try_into()
+            .ok()
+            .map(u64::from_le_bytes)
+    };
+    let seq = u64_at(0)?;
+    let sender = u64_at(8)? as ClientId;
+    let view_id = u64_at(16)?;
+    let origin = u64_at(24)? as DaemonId;
+    let tag = *rec.get(32)?;
+    let target = u64_at(33)?;
+    let dest = Dest::from_wire(tag, target)?;
+    let payload_len = u64_at(41)? as usize;
+    let payload = rec.get(49..49 + payload_len)?;
+    Some(WireMsg {
+        seq,
+        sender,
+        dest,
+        view_id,
+        payload: Bytes::copy_from_slice(payload),
+        origin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+
+    #[test]
+    fn record_codec_roundtrip() {
+        for dest in [Dest::All, Dest::One(5)] {
+            let msg = WireMsg {
+                seq: 42,
+                sender: 3,
+                dest,
+                view_id: 7,
+                payload: Bytes::from(vec![9u8, 8, 7, 6, 5]),
+                origin: 11,
+            };
+            let mut rec = encode_record(&msg);
+            // Erasure-coded records carry trailing zero-padding up to
+            // the generation's common shard length; the codec must see
+            // through it.
+            rec.resize(rec.len() + 13, 0);
+            let back = decode_record(&rec).expect("roundtrip");
+            assert_eq!(back.seq, msg.seq);
+            assert_eq!(back.sender, msg.sender);
+            assert_eq!(back.dest, msg.dest);
+            assert_eq!(back.view_id, msg.view_id);
+            assert_eq!(back.payload, msg.payload);
+            assert_eq!(back.origin, msg.origin);
+        }
+        assert!(decode_record(&[1, 2, 3]).is_none(), "truncated record");
+    }
+
+    #[test]
+    fn burst_window_is_half_open_and_clears_on_expiry() {
+        let mut cfg = testbed::lan();
+        cfg.loss_rate = 0.0;
+        let mut w = SimWorld::new(cfg);
+        w.set_loss_burst(0.5, Duration::from_millis(10));
+        let until = SimTime::ZERO + Duration::from_millis(10);
+        // One nanosecond before expiry the burst rate applies...
+        let just_before = SimTime::from_nanos(until.as_nanos() - 1);
+        assert_eq!(w.effective_loss_rate_at(just_before), 0.5);
+        assert!(w.loss_burst.is_some(), "burst still active");
+        // ...at the exact expiry instant it no longer does (half-open
+        // window), and the expired burst is cleared.
+        assert_eq!(w.effective_loss_rate_at(until), 0.0);
+        assert!(w.loss_burst.is_none(), "expired burst must be cleared");
+        // Cleared state is stable: later draws stay on the base rate.
+        assert_eq!(
+            w.effective_loss_rate_at(until + Duration::from_millis(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn burst_combines_with_base_rate_via_max() {
+        let mut cfg = testbed::lan();
+        cfg.loss_rate = 0.3;
+        let mut w = SimWorld::new(cfg);
+        // A 0.0-rate burst cannot suppress the configured base rate.
+        w.set_loss_burst(0.0, Duration::from_millis(5));
+        assert_eq!(w.effective_loss_rate_at(SimTime::ZERO), 0.3);
+        // A burst above the base rate overrides it while it lasts.
+        w.set_loss_burst(0.9, Duration::from_millis(5));
+        assert_eq!(w.effective_loss_rate_at(SimTime::ZERO), 0.9);
+        assert_eq!(
+            w.effective_loss_rate_at(SimTime::ZERO + Duration::from_millis(5)),
+            0.3
+        );
+    }
+
+    #[test]
+    fn overlapping_bursts_last_writer_wins() {
+        let mut w = SimWorld::new(testbed::lan());
+        w.set_loss_burst(0.8, Duration::from_millis(100));
+        // A shorter, milder burst set while the first is active
+        // replaces it entirely — including cutting the window short.
+        w.set_loss_burst(0.2, Duration::from_millis(1));
+        assert_eq!(w.effective_loss_rate_at(SimTime::ZERO), 0.2);
+        assert_eq!(
+            w.effective_loss_rate_at(SimTime::ZERO + Duration::from_millis(2)),
+            0.0,
+            "the replaced burst's longer window must not survive"
+        );
+    }
+
+    #[test]
+    fn edge_burst_rates_are_accepted() {
+        let mut w = SimWorld::new(testbed::lan());
+        w.set_loss_burst(0.0, Duration::from_millis(1));
+        assert_eq!(w.effective_loss_rate_at(SimTime::ZERO), 0.0);
+        w.set_loss_burst(1.0, Duration::from_millis(1));
+        assert_eq!(w.effective_loss_rate_at(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst loss rate")]
+    fn out_of_range_burst_rate_rejected() {
+        let mut w = SimWorld::new(testbed::lan());
+        w.set_loss_burst(1.5, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn parity_budget_respects_floor_ceiling_and_field() {
+        let mut cfg = testbed::lan();
+        cfg.fec_parity = 2;
+        cfg.fec_parity_max = 6;
+        cfg.fec_adaptive = true;
+        let mut w = SimWorld::new(cfg);
+        // No losses observed yet: the floor applies.
+        assert_eq!(w.parity_budget(10), 2);
+        // A high loss estimate pushes the budget up to the ceiling.
+        w.loss_ewma = 0.9;
+        assert_eq!(w.parity_budget(10), 6);
+        // A moderate estimate lands between floor and ceiling:
+        // ceil(0.2 * 2 * 10) = 4.
+        w.loss_ewma = 0.2;
+        assert_eq!(w.parity_budget(10), 4);
+        // The field size always caps the total shard count.
+        assert_eq!(w.parity_budget(255), 1);
     }
 }

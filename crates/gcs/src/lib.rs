@@ -73,6 +73,7 @@ mod client;
 mod config;
 mod engine;
 mod fault;
+pub mod fec;
 mod message;
 mod shard;
 pub mod testbed;

@@ -52,6 +52,27 @@ pub enum Dest {
     One(ClientId),
 }
 
+impl Dest {
+    /// Stable wire encoding as a `(tag, target)` pair for the FEC
+    /// record codec: `All` ↔ `(0, 0)`, `One(c)` ↔ `(1, c)`.
+    pub(crate) fn to_wire(self) -> (u8, u64) {
+        match self {
+            Dest::All => (0, 0),
+            Dest::One(c) => (1, c as u64),
+        }
+    }
+
+    /// Inverse of [`Dest::to_wire`]; `None` for an unknown tag (a
+    /// corrupt record must fail decode, not panic).
+    pub(crate) fn from_wire(tag: u8, target: u64) -> Option<Dest> {
+        match tag {
+            0 => Some(Dest::All),
+            1 => Some(Dest::One(target as usize)),
+            _ => None,
+        }
+    }
+}
+
 /// A view identifier; increases with every membership change.
 pub type ViewId = u64;
 
@@ -111,6 +132,15 @@ pub struct Delivery {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dest_wire_roundtrip() {
+        for d in [Dest::All, Dest::One(0), Dest::One(42)] {
+            let (tag, target) = d.to_wire();
+            assert_eq!(Dest::from_wire(tag, target), Some(d));
+        }
+        assert_eq!(Dest::from_wire(2, 0), None, "unknown tag fails decode");
+    }
 
     #[test]
     fn view_membership_queries() {

@@ -1,0 +1,106 @@
+//! Pinned golden runs: with FEC disabled (`fec_parity = 0`) and the
+//! legacy retransmission policy (`retrans_backoff = ZERO`, the preset
+//! defaults) the engine must produce *exactly* the pre-FEC numbers —
+//! virtual end time, message counts, loss/retransmission counts — on
+//! the LAN and WAN testbeds, clean and lossy. The FEC/backoff layers
+//! draw no randomness and schedule no events when disabled, so any
+//! drift here means the new code leaked into the baseline path.
+
+use gkap_gcs::{testbed, Client, ClientCtx, Delivery, SimWorld, View};
+
+#[derive(Default)]
+struct Chatty {
+    send_count: u8,
+}
+
+impl Client for Chatty {
+    fn on_view(&mut self, ctx: &mut ClientCtx<'_>, _view: &View) {
+        for i in 0..self.send_count {
+            ctx.multicast_agreed(vec![i]);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut ClientCtx<'_>, _msg: &Delivery) {}
+}
+
+fn run_lan(loss: f64, seed: u64, members: usize, per_member: u8) -> SimWorld {
+    let mut cfg = testbed::lan();
+    cfg.loss_rate = loss;
+    cfg.loss_seed = seed;
+    let mut world = SimWorld::new(cfg);
+    for _ in 0..members {
+        world.add_client(Box::new(Chatty {
+            send_count: per_member,
+        }));
+    }
+    world.install_initial_view();
+    world.run_until_quiescent();
+    world
+}
+
+#[test]
+fn clean_lan_run_matches_pre_fec_engine() {
+    let w = run_lan(0.0, 7, 8, 3);
+    let s = w.stats();
+    assert_eq!(w.now().as_nanos(), 2_610_000);
+    assert_eq!(s.agreed_messages, 24);
+    assert_eq!(s.token_rotations, 4);
+    assert_eq!(s.messages_lost, 0);
+    assert_eq!(s.retransmissions, 0);
+    assert_eq!(s.retransmission_rounds, 0);
+    assert_eq!(s.views_installed, 1);
+    // The FEC layer is fully dormant at parity 0.
+    assert_eq!(s.parity_shards_sent, 0);
+    assert_eq!(s.fec_repairs, 0);
+    assert_eq!(s.recovery_ns(), 0);
+}
+
+#[test]
+fn lossy_lan_run_matches_pre_fec_engine() {
+    let w = run_lan(0.25, 7, 8, 3);
+    let s = w.stats();
+    assert_eq!(w.now().as_nanos(), 4_710_000);
+    assert_eq!(s.agreed_messages, 24);
+    assert_eq!(s.token_rotations, 7);
+    assert_eq!(s.messages_lost, 85);
+    assert_eq!(s.retransmissions, 85);
+    assert_eq!(s.retransmission_rounds, 36);
+    assert_eq!(s.views_installed, 1);
+    assert_eq!(s.parity_shards_sent, 0);
+    assert_eq!(s.fec_repairs, 0);
+    // Every recovered loss is attributed to retransmission, none to
+    // FEC; the split sums exactly into the total by construction.
+    assert_eq!(s.fec_repair_recovery_ns, 0);
+    assert!(s.retransmission_recovery_ns > 0);
+    assert_eq!(
+        s.recovery_ns(),
+        s.fec_repair_recovery_ns + s.retransmission_recovery_ns
+    );
+}
+
+#[test]
+fn clean_wan_run_matches_pre_fec_engine() {
+    let mut cfg = testbed::wan();
+    cfg.loss_rate = 0.0;
+    let mut w = SimWorld::new(cfg);
+    for _ in 0..6 {
+        w.add_client(Box::new(Chatty { send_count: 2 }));
+    }
+    w.install_initial_view();
+    w.run_until_quiescent();
+    let s = w.stats();
+    assert_eq!(w.now().as_nanos(), 481_950_000);
+    assert_eq!(s.agreed_messages, 12);
+    assert_eq!(s.token_rotations, 4);
+    assert_eq!(s.messages_lost, 0);
+    assert_eq!(s.parity_shards_sent, 0);
+}
+
+#[test]
+fn lossy_runs_are_reproducible() {
+    let a = run_lan(0.25, 11, 8, 3);
+    let b = run_lan(0.25, 11, 8, 3);
+    assert_eq!(a.now(), b.now());
+    assert_eq!(a.stats().messages_lost, b.stats().messages_lost);
+    assert_eq!(a.stats().retransmissions, b.stats().retransmissions);
+    assert_eq!(a.stats().recovery_ns(), b.stats().recovery_ns());
+}

@@ -19,7 +19,8 @@ fn event_time(ev: &TraceEvent) -> gkap_sim::SimTime {
         TraceEvent::Sequenced { at, .. }
         | TraceEvent::Delivered { at, .. }
         | TraceEvent::ViewInstalled { at, .. }
-        | TraceEvent::Retransmit { at, .. } => *at,
+        | TraceEvent::Retransmit { at, .. }
+        | TraceEvent::FecRepaired { at, .. } => *at,
     }
 }
 

@@ -56,6 +56,7 @@ pub fn event_to_json(ev: &Event) -> String {
         }
         EventKind::TokenRotation { rotation } => write!(s, ",\"rotation\":{rotation}"),
         EventKind::Retransmit { seq } => write!(s, ",\"seq\":{seq}"),
+        EventKind::FecRepair { seq } => write!(s, ",\"seq\":{seq}"),
         EventKind::Sequenced { seq, sender } => {
             write!(s, ",\"seq\":{seq},\"sender\":{sender}")
         }
@@ -186,6 +187,7 @@ mod tests {
             },
             EventKind::TokenRotation { rotation: 7 },
             EventKind::Retransmit { seq: 42 },
+            EventKind::FecRepair { seq: 43 },
             EventKind::Sequenced { seq: 42, sender: 1 },
             EventKind::Delivered {
                 sender: 1,

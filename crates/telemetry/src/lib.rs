@@ -34,6 +34,7 @@
 //! | `CryptoOp` | crypto suite | one charged primitive (modexp, sign, …) with its virtual duration |
 //! | `TokenRotation` | GCS engine | the ring token completed a full rotation |
 //! | `Retransmit` | GCS engine | a daemon answered a missed-sequence retransmission request |
+//! | `FecRepair` | GCS engine | a daemon reconstructed a missing message from FEC parity shards |
 //! | `Sequenced` | GCS engine | a message obtained its Agreed-order sequence number |
 //! | `Delivered` | GCS engine | a payload was delivered to a client |
 //! | `ViewInstalled` | GCS engine | a daemon installed a membership view |
@@ -168,6 +169,13 @@ pub enum EventKind {
         /// The Agreed sequence number being retransmitted.
         seq: u64,
     },
+    /// A daemon reconstructed a missing message locally from the
+    /// parity shards of its FEC-coded fan-out generation, without a
+    /// retransmission round trip.
+    FecRepair {
+        /// The Agreed sequence number reconstructed.
+        seq: u64,
+    },
     /// A message obtained Agreed sequence number `seq`.
     Sequenced {
         /// The assigned sequence number.
@@ -224,6 +232,7 @@ impl EventKind {
             EventKind::CryptoOp { .. } => "crypto_op",
             EventKind::TokenRotation { .. } => "token_rotation",
             EventKind::Retransmit { .. } => "retransmit",
+            EventKind::FecRepair { .. } => "fec_repair",
             EventKind::Sequenced { .. } => "sequenced",
             EventKind::Delivered { .. } => "delivered",
             EventKind::ViewInstalled { .. } => "view_installed",
@@ -349,6 +358,10 @@ impl Recorder {
             EventKind::Retransmit { .. } => {
                 self.metrics.inc("gcs/retransmit", 1);
                 self.hub.inc(Key::new(Layer::Gcs, "retransmit"), 1);
+            }
+            EventKind::FecRepair { .. } => {
+                self.metrics.inc("gcs/fec_repair", 1);
+                self.hub.inc(Key::new(Layer::Gcs, "fec_repair"), 1);
             }
             EventKind::Sequenced { .. } => {
                 self.metrics.inc("gcs/sequenced", 1);
@@ -586,6 +599,7 @@ mod tests {
         let t = Telemetry::enabled();
         t.record(|| ev(0, EventKind::TokenRotation { rotation: 1 }));
         t.record(|| ev(1, EventKind::Retransmit { seq: 9 }));
+        t.record(|| ev(1, EventKind::FecRepair { seq: 10 }));
         t.record(|| ev(1, EventKind::Sequenced { seq: 9, sender: 0 }));
         t.record(|| {
             ev(
@@ -597,6 +611,7 @@ mod tests {
         });
         assert_eq!(t.counter("gcs/token_rotation"), 1);
         assert_eq!(t.counter("gcs/retransmit"), 1);
+        assert_eq!(t.counter("gcs/fec_repair"), 1);
         assert_eq!(t.counter("gcs/sequenced"), 1);
         assert_eq!(t.counter("send/unicast"), 1);
         assert_eq!(t.counter("send/multicast"), 0);
